@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure from the paper and prints the
+corresponding rows/series, so ``pytest benchmarks/ --benchmark-only -s``
+doubles as the artefact-regeneration entry point.  The benchmark timings
+measure how long the reproduction takes to regenerate each artefact.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    # The benchmark suite lives outside the default testpaths; make sure the
+    # benchmark plugin does not complain when invoked without --benchmark-only.
+    config.addinivalue_line("markers", "paper_artifact(name): marks which paper artefact a benchmark regenerates")

@@ -1,0 +1,38 @@
+"""Ablations: link-scheduling policy and agreement-engine choice."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    render_ablation,
+    run_engine_ablation,
+    run_scheduling_ablation,
+)
+
+
+@pytest.mark.paper_artifact("ablation-scheduling")
+def test_bench_scheduling_ablation(benchmark):
+    cells = benchmark.pedantic(
+        lambda: run_scheduling_ablation(relay_count=4000, bandwidth_mbps=20.0),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_ablation(cells, "Ablation: fair-share vs FIFO link scheduling"))
+    outcome_by_variant = {}
+    for cell in cells:
+        outcome_by_variant.setdefault(cell.protocol, set()).add(cell.success)
+    # The qualitative conclusion is identical under both link models.
+    for protocol, outcomes in outcome_by_variant.items():
+        assert len(outcomes) == 1
+
+
+@pytest.mark.paper_artifact("ablation-engine")
+def test_bench_engine_ablation(benchmark):
+    cells = benchmark.pedantic(
+        lambda: run_engine_ablation(relay_count=4000, bandwidth_mbps=20.0),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_ablation(cells, "Ablation: agreement engine inside the new protocol"))
+    assert all(cell.success for cell in cells)
+    latencies = [cell.latency_s for cell in cells]
+    assert max(latencies) - min(latencies) < 30.0

@@ -1,0 +1,14 @@
+"""Section 4.3: the attack-cost estimate ($0.074 per run, $53.28 per month)."""
+
+import pytest
+
+from repro.experiments import render_cost_analysis, run_cost_analysis
+
+
+@pytest.mark.paper_artifact("section-4.3-cost")
+def test_bench_cost_model(benchmark):
+    estimate = benchmark(run_cost_analysis)
+    print("\n" + render_cost_analysis(estimate))
+    assert estimate.traffic_per_target_mbps == pytest.approx(240.0)
+    assert estimate.cost_per_run_usd == pytest.approx(0.074, abs=0.001)
+    assert estimate.cost_per_month_usd == pytest.approx(53.28, abs=0.01)

@@ -1,0 +1,43 @@
+"""Figure 10: latency of Current / Synchronous / Ours across bandwidths."""
+
+import pytest
+
+from repro.experiments import render_figure10, run_figure10
+from repro.experiments.figure10_latency import FIGURE10_BANDWIDTHS
+
+RELAY_COUNTS = (1000, 4000, 7000, 10000)
+
+
+@pytest.mark.paper_artifact("figure-10")
+def test_bench_figure10_latency(benchmark):
+    grid = benchmark.pedantic(
+        lambda: run_figure10(bandwidths_mbps=FIGURE10_BANDWIDTHS, relay_counts=RELAY_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_figure10(grid))
+
+    # "Ours" succeeds in every cell of every panel.
+    ours = [cell for cell in grid.cells if cell.protocol == "ours"]
+    assert ours and all(cell.success for cell in ours)
+
+    # At 10 Mbit/s the synchronous protocol fails at (or before) a relay count
+    # where the current protocol still works, and both fail before "ours".
+    sync_threshold = grid.failure_threshold("synchronous", 10.0)
+    current_threshold = grid.failure_threshold("current", 10.0)
+    assert sync_threshold is not None and current_threshold is not None
+    assert sync_threshold <= current_threshold
+
+    # At DDoS-level bandwidths (1 / 0.5 Mbit/s) both baselines fail everywhere.
+    for bandwidth in (1.0, 0.5):
+        for protocol in ("current", "synchronous"):
+            assert all(not cell.success for cell in grid.series(protocol, bandwidth))
+        # Ours still finishes within the figure's ~1000 s axis.
+        assert all(cell.latency_s < 1100 for cell in grid.series("ours", bandwidth))
+
+    # At 50 Mbit/s everything succeeds and ours stays within seconds of current.
+    for relay_count in RELAY_COUNTS:
+        current_cell = [c for c in grid.series("current", 50.0) if c.relay_count == relay_count][0]
+        ours_cell = [c for c in grid.series("ours", 50.0) if c.relay_count == relay_count][0]
+        assert current_cell.success and ours_cell.success
+        assert ours_cell.latency_s - current_cell.latency_s < 15.0

@@ -1,0 +1,20 @@
+"""Figure 1: authority log while five authorities are under DDoS."""
+
+import pytest
+
+from repro.experiments import run_attack_demo
+
+
+@pytest.mark.paper_artifact("figure-1")
+def test_bench_figure1_attack_log(benchmark):
+    demo = benchmark.pedantic(
+        lambda: run_attack_demo(relay_count=8000), rounds=1, iterations=1
+    )
+    print("\n=== Figure 1: authority log under attack (observer: %s) ===" % demo.observer_authority)
+    print(demo.log_text)
+    print("Attack succeeded (consensus blocked): %s" % demo.attack_succeeded)
+
+    assert demo.attack_succeeded
+    assert "We're missing votes from 5 authorities" in demo.log_text
+    assert "Giving up downloading votes" in demo.log_text
+    assert "We don't have enough votes to generate a consensus" in demo.log_text

@@ -1,0 +1,13 @@
+"""Figure 6: number of Tor relays over time (average ≈ 7141.79)."""
+
+import pytest
+
+from repro.experiments import render_figure6, run_figure6
+
+
+@pytest.mark.paper_artifact("figure-6")
+def test_bench_figure6_relay_counts(benchmark):
+    series = benchmark(run_figure6)
+    print("\n" + render_figure6(series))
+    assert series.average == pytest.approx(7141.79, abs=0.01)
+    assert 5000 < series.minimum < series.maximum < 10000

@@ -1,0 +1,25 @@
+"""Figure 7: bandwidth required by attacked authorities vs. number of relays."""
+
+import pytest
+
+from repro.attack.ddos import ATTACK_RESIDUAL_BANDWIDTH_MBPS
+from repro.experiments import render_figure7, run_figure7
+
+RELAY_COUNTS = (1000, 2000, 4000, 6000, 8000, 10000)
+
+
+@pytest.mark.paper_artifact("figure-7")
+def test_bench_figure7_bandwidth_requirement(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_figure7(relay_counts=RELAY_COUNTS), rounds=1, iterations=1
+    )
+    print("\n" + render_figure7(results))
+
+    required = {result.relay_count: result.required_mbps for result in results}
+    # Monotone growth with the relay count (linear shape).
+    ordered = [required[count] for count in RELAY_COUNTS]
+    assert all(later >= earlier for earlier, later in zip(ordered, ordered[1:]))
+    # Roughly 10 Mbit/s at 8,000 relays, as the paper reports.
+    assert 6.0 <= required[8000] <= 16.0
+    # Far above what a host keeps under DDoS, so the attack always succeeds.
+    assert min(ordered) > 2 * ATTACK_RESIDUAL_BANDWIDTH_MBPS

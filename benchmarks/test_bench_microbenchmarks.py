@@ -1,0 +1,76 @@
+"""Micro-benchmarks of the substrates (not paper artefacts, but useful baselines).
+
+These time the hot paths of the reproduction: vote aggregation, vote
+serialisation, the event-driven transport, and a full single-shot consensus
+instance on the local driver.
+"""
+
+import pytest
+
+from repro.consensus import EngineConfig, LocalDriver, make_engine
+from repro.directory.aggregate import aggregate_votes
+from repro.netgen.relaygen import RelayPopulationConfig, generate_population
+from repro.netgen.views import generate_authority_votes
+from repro.directory.authority import make_authorities
+from repro.simnet.message import Message
+from repro.simnet.network import LinkConfig, SimNetwork
+from repro.simnet.node import ProtocolNode
+
+
+@pytest.fixture(scope="module")
+def vote_fixture():
+    authorities, _ring = make_authorities(9, seed=5)
+    population = generate_population(RelayPopulationConfig(relay_count=300, seed=5))
+    votes = list(generate_authority_votes(population, authorities).values())
+    return votes
+
+
+def test_bench_vote_aggregation(benchmark, vote_fixture):
+    consensus = benchmark(lambda: aggregate_votes(vote_fixture))
+    assert consensus.relay_count > 250
+
+
+def test_bench_vote_serialization(benchmark, vote_fixture):
+    size = benchmark(lambda: vote_fixture[0].size_bytes)
+    assert size > 50_000
+
+
+def test_bench_consensus_single_shot(benchmark):
+    nodes = tuple("n%d" % index for index in range(9))
+
+    def run_once():
+        engines = {
+            name: make_engine("hotstuff", EngineConfig(node_id=name, nodes=nodes))
+            for name in nodes
+        }
+        driver = LocalDriver(engines)
+        driver.start({name: "value" for name in nodes})
+        return driver.run(until=100)
+
+    result = benchmark(run_once)
+    assert len(result.decisions) == 9
+
+
+class _Sink(ProtocolNode):
+    def on_message(self, message, now):
+        pass
+
+
+def test_bench_transport_many_flows(benchmark):
+    def run_once():
+        network = SimNetwork()
+        for index in range(10):
+            network.add_node(_Sink("node-%d" % index), LinkConfig.symmetric_mbps(100))
+        for source in range(10):
+            for destination in range(10):
+                if source != destination:
+                    network.send(
+                        "node-%d" % source,
+                        "node-%d" % destination,
+                        Message(msg_type="BLOB", size_bytes=500_000),
+                    )
+        network.run()
+        return network.stats.messages_delivered
+
+    delivered = benchmark(run_once)
+    assert delivered == 90

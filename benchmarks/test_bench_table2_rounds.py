@@ -1,0 +1,15 @@
+"""Table 2: round complexity of the sub-protocols (total of 9 with HotStuff)."""
+
+import pytest
+
+from repro.experiments import render_table2, run_table2
+
+
+@pytest.mark.paper_artifact("table-2")
+def test_bench_table2_rounds(benchmark):
+    rows = benchmark(run_table2)
+    print("\n" + render_table2(rows))
+    by_name = {row.sub_protocol: row.rounds for row in rows}
+    assert by_name["Dissemination"] == "2"
+    assert by_name["Aggregation"] == "2"
+    assert by_name["Total"] == "9"

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Bandwidth planning for directory authorities (Figure 7 + Section 4.3).
+
+Sweeps the relay count and reports how much usable bandwidth an attacked
+authority needs for the current directory protocol to survive, compares the
+simulation against the closed-form model, and derives the attacker's cost for
+each operating point.  This is the analysis an authority operator (or an
+attacker) would run to size links and attacks.
+
+Run with:  python examples/bandwidth_planning.py
+"""
+
+from repro.analysis.bandwidth import analytic_required_bandwidth_mbps, required_bandwidth_mbps
+from repro.analysis.reporting import format_table
+from repro.attack import AttackCostModel
+
+RELAY_COUNTS = (1000, 4000, 8000)
+
+
+def main() -> None:
+    rows = []
+    for relay_count in RELAY_COUNTS:
+        result = required_bandwidth_mbps(relay_count, tolerance_mbps=1.0)
+        analytic = analytic_required_bandwidth_mbps(relay_count)
+        cost = AttackCostModel(required_bandwidth_mbps=result.required_mbps)
+        rows.append(
+            (
+                relay_count,
+                "%.1f" % result.required_mbps,
+                "%.1f" % analytic,
+                "%.0f" % cost.traffic_per_target_mbps,
+                "$%.2f" % cost.cost_per_month(),
+            )
+        )
+    print(
+        format_table(
+            [
+                "Relays",
+                "Required bandwidth (Mbit/s)",
+                "Closed-form model (Mbit/s)",
+                "Attack traffic per target (Mbit/s)",
+                "Attack cost per month",
+            ],
+            rows,
+            title="Bandwidth requirements of the current protocol and the matching attack cost",
+        )
+    )
+    print()
+    print("A host under volumetric DDoS retains about 0.5 Mbit/s of usable bandwidth,")
+    print("far below every requirement above - which is why the attack always works.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Protocol comparison across bandwidths (a condensed Figure 10).
+
+Runs the three directory protocols over a small bandwidth × relay-count grid
+and prints one table per bandwidth, marking the configurations where each
+protocol fails — the condensed version of the paper's Figure 10 panels.
+
+Run with:  python examples/protocol_comparison.py
+"""
+
+from repro.experiments import render_figure10, run_figure10
+
+
+def main() -> None:
+    grid = run_figure10(
+        bandwidths_mbps=(50.0, 10.0, 0.5),
+        relay_counts=(1000, 8000),
+    )
+    print(render_figure10(grid))
+    print()
+    print("Reading the tables: the current protocol fails once vote transfers no")
+    print("longer fit its connection timeouts, the synchronous protocol fails much")
+    print("earlier (its vote packages are ~9x larger), and the partial-synchrony")
+    print("protocol keeps producing a consensus even at DDoS-level bandwidth,")
+    print("merely taking longer.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: run all three Tor directory protocols on a simulated network.
+
+This script builds a 9-authority scenario with an 8,000-relay workload (the
+size of today's Tor network), runs the current v3 protocol, Luo et al.'s
+synchronous protocol, and the paper's partial-synchrony protocol under benign
+conditions, and prints each run's outcome and latency.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.protocols import DirectoryProtocolConfig, build_scenario, run_protocol
+
+
+def main() -> None:
+    config = DirectoryProtocolConfig()
+    scenario = build_scenario(relay_count=8000, bandwidth_mbps=250.0, seed=7)
+    print("Scenario: %d authorities, %d relays, vote size %.2f MB, 250 Mbit/s links" % (
+        len(scenario.authorities),
+        scenario.relay_count,
+        scenario.votes[0].size_bytes / 1e6,
+    ))
+    print()
+
+    for protocol, label in (
+        ("current", "Current Tor directory protocol (v3)"),
+        ("synchronous", "Synchronous protocol (Luo et al.)"),
+        ("ours", "Partial-synchrony protocol (this paper)"),
+    ):
+        result = run_protocol(protocol, scenario, config=config, max_time=1800.0)
+        status = "succeeded" if result.success else "FAILED"
+        latency = "%.1f s" % result.latency if result.latency is not None else "n/a"
+        print("%-45s %s  (latency: %s, authorities signing: %d/9)" % (
+            label, status, latency, len(result.successful_authorities),
+        ))
+
+    print()
+    print("All three protocols succeed under benign conditions; see")
+    print("examples/ddos_attack_demo.py for what happens under the 5-minute DDoS.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, so modern PEP-517 editable
+installs (which build a wheel) fail.  Keeping a classic ``setup.py`` lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
+Project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""Reproduction of "Five Minutes of DDoS Brings down Tor" (EUROSYS 2026).
+
+The library has three layers:
+
+* **substrates** — a deterministic discrete-event network simulator
+  (:mod:`repro.simnet`), the Tor directory data model and aggregation
+  algorithm (:mod:`repro.directory`), synthetic network/workload generation
+  (:mod:`repro.netgen`), view-based BFT engines (:mod:`repro.consensus`), and
+  a small crypto layer (:mod:`repro.crypto`);
+* **the paper's contribution** — Interactive Consistency under Partial
+  Synchrony (:mod:`repro.core`) and the three directory protocols wired onto
+  the simulator (:mod:`repro.protocols`): the current v3 protocol, Luo et
+  al.'s synchronous protocol, and the new partial-synchrony protocol;
+* **evaluation** — the DDoS attack and cost models (:mod:`repro.attack`),
+  analyses (:mod:`repro.analysis`), and one module per paper figure/table
+  (:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro.protocols import build_scenario, run_protocol
+    from repro.attack import majority_attack_plan
+
+    scenario = build_scenario(relay_count=8000, bandwidth_mbps=250)
+    attack = majority_attack_plan()                      # 5 of 9 authorities, 300 s
+    attacked = scenario.with_bandwidth_schedules(attack.schedules())
+
+    print(run_protocol("current", attacked).success)     # False: the attack works
+    print(run_protocol("ours", attacked).success)        # True: ICPS recovers
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import ICPSConfig, ICPSNode, ICPSOutput, Document
+from repro.protocols import (
+    DirectoryProtocolConfig,
+    ProtocolRunResult,
+    Scenario,
+    build_scenario,
+    run_protocol,
+)
+from repro.attack import AttackCostModel, DDoSAttackPlan, majority_attack_plan
+
+__all__ = [
+    "__version__",
+    "ICPSConfig",
+    "ICPSNode",
+    "ICPSOutput",
+    "Document",
+    "DirectoryProtocolConfig",
+    "ProtocolRunResult",
+    "Scenario",
+    "build_scenario",
+    "run_protocol",
+    "AttackCostModel",
+    "DDoSAttackPlan",
+    "majority_attack_plan",
+]

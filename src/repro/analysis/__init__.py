@@ -1,0 +1,44 @@
+"""Analyses that turn simulation runs into the paper's tables and figures.
+
+* :mod:`repro.analysis.bandwidth` — the Figure 7 search: the minimum
+  bandwidth an attacked authority needs for the current protocol to still
+  succeed, as a function of the relay count; plus the closed-form model used
+  for sanity checks.
+* :mod:`repro.analysis.complexity` — the Table 1 communication-complexity
+  models and the Table 2 round counts, both analytic and as measured from
+  simulator byte accounting.
+* :mod:`repro.analysis.latency` — the Figure 10/11 sweep helpers.
+* :mod:`repro.analysis.reporting` — plain-text table/series rendering used by
+  the benchmarks and examples to print paper-style output.
+"""
+
+from repro.analysis.bandwidth import (
+    BandwidthRequirementResult,
+    analytic_required_bandwidth_mbps,
+    required_bandwidth_mbps,
+)
+from repro.analysis.complexity import (
+    ComplexityRow,
+    RoundComplexityRow,
+    communication_complexity_bytes,
+    complexity_comparison_table,
+    round_complexity_table,
+)
+from repro.analysis.latency import LatencyCell, LatencyGrid, sweep_latency
+from repro.analysis.reporting import format_series, format_table
+
+__all__ = [
+    "BandwidthRequirementResult",
+    "analytic_required_bandwidth_mbps",
+    "required_bandwidth_mbps",
+    "ComplexityRow",
+    "RoundComplexityRow",
+    "communication_complexity_bytes",
+    "complexity_comparison_table",
+    "round_complexity_table",
+    "LatencyCell",
+    "LatencyGrid",
+    "sweep_latency",
+    "format_series",
+    "format_table",
+]

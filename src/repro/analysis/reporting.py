@@ -1,0 +1,50 @@
+"""Plain-text rendering of tables and series.
+
+The benchmarks regenerate every table and figure of the paper as text: rows
+for tables, ``x -> y`` series for figures.  Keeping the renderer here avoids
+each benchmark re-implementing column alignment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    materialised: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, value in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(widths[index]) for index, value in enumerate(values))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(line(row) for row in materialised)
+    return "\n".join(parts)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    points: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an x → y series (one figure line) as text."""
+    rows = [(x, y) for x, y, *rest in [tuple(point) for point in points]]
+    return format_table([x_label, y_label], rows, title=title)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return "%.3f" % value
+    return str(value)

@@ -1,0 +1,39 @@
+"""DDoS attack modelling: bandwidth throttling plans, adversaries, and costs.
+
+Follows the threat model of Section 4: the attacker is an outsider who rents
+DDoS-for-hire stressor capacity and floods a majority of the directory
+authorities during the protocol's vote rounds.  Per Jansen et al. (and the
+paper), a host under volumetric attack is modelled as having its usable
+bandwidth reduced to a residual value (0.5 Mbit/s) for the attack window.
+
+* :class:`DDoSAttackPlan` turns "attack these authorities from t₀ for d
+  seconds" into per-authority :class:`~repro.simnet.bandwidth.BandwidthSchedule`
+  overrides for the simulator.
+* :mod:`repro.attack.cost` implements the stressor cost model that produces
+  the paper's $0.074-per-instance and $53.28-per-month figures.
+* :mod:`repro.attack.adversary` provides Byzantine ICPS participants
+  (equivocating, silent, crashing) used by the security test-suite.
+"""
+
+from repro.attack.ddos import (
+    ATTACK_RESIDUAL_BANDWIDTH_MBPS,
+    DDoSAttackPlan,
+    majority_attack_plan,
+)
+from repro.attack.cost import AttackCostModel, AttackCostEstimate
+from repro.attack.adversary import (
+    CrashingICPSAdversary,
+    EquivocatingICPSAdversary,
+    SilentICPSAdversary,
+)
+
+__all__ = [
+    "ATTACK_RESIDUAL_BANDWIDTH_MBPS",
+    "DDoSAttackPlan",
+    "majority_attack_plan",
+    "AttackCostModel",
+    "AttackCostEstimate",
+    "CrashingICPSAdversary",
+    "EquivocatingICPSAdversary",
+    "SilentICPSAdversary",
+]

@@ -1,0 +1,152 @@
+"""Byzantine participants for the ICPS security tests.
+
+The paper's protocol claims safety with up to ``f < n/3`` Byzantine
+authorities.  These adversaries implement the misbehaviours the protocol is
+designed to survive, using the same action-based interface as
+:class:`~repro.core.icps.ICPSNode`, so they can be dropped into the local
+driver next to honest nodes:
+
+* :class:`SilentICPSAdversary` — contributes nothing (models a crashed or
+  permanently DDoS-ed authority);
+* :class:`EquivocatingICPSAdversary` — sends *different* documents to
+  different peers (the equivocation attack of Luo et al.); the dissemination
+  proofs turn this into a ⊥ entry backed by an equivocation proof;
+* :class:`CrashingICPSAdversary` — behaves honestly for a bounded number of
+  steps, then goes silent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.consensus.interfaces import Action, SendAction
+from repro.core.documents import Document
+from repro.core.dissemination import DisseminationTracker
+from repro.core.icps import ICPSConfig, ICPSMessage, ICPSNode
+from repro.core.proofs import sign_claim
+from repro.crypto.keys import KeyPair, KeyRing
+
+
+class _BaseAdversary:
+    """Common plumbing for engine-compatible adversaries."""
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        self.decided = False
+        self.decision: Any = None
+        self.decision_view: Optional[int] = None
+        self.output: Any = None
+
+    def start(self, value: Any) -> List[Action]:
+        """Called by the driver with the adversary's (ignored) input."""
+        return []
+
+    def set_input(self, value: Any) -> List[Action]:
+        """Late input is ignored."""
+        return []
+
+    def on_message(self, message: Any) -> List[Action]:
+        """Incoming messages are ignored."""
+        return []
+
+    def on_timeout(self, timer_id: str) -> List[Action]:
+        """Timers are ignored."""
+        return []
+
+
+class SilentICPSAdversary(_BaseAdversary):
+    """A node that never sends anything."""
+
+
+class EquivocatingICPSAdversary(_BaseAdversary):
+    """A node that tells different peers different documents.
+
+    The first half of the peer list receives ``document_a``; the rest receive
+    ``document_b``.  Both documents carry valid signatures, so honest nodes
+    that compare notes during the proposal exchange obtain a valid
+    equivocation proof and the agreed vector marks this node as ⊥.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        peers: Sequence[str],
+        keypair: KeyPair,
+        document_a: Document,
+        document_b: Document,
+    ) -> None:
+        super().__init__(node_id)
+        self.peers = [peer for peer in peers if peer != node_id]
+        self.keypair = keypair
+        self.document_a = document_a
+        self.document_b = document_b
+
+    def start(self, value: Any) -> List[Action]:
+        actions: List[Action] = []
+        half = len(self.peers) // 2
+        for index, peer in enumerate(self.peers):
+            document = self.document_a if index < half else self.document_b
+            signature = sign_claim(self.keypair, self.node_id, document.digest())
+            actions.append(
+                SendAction(
+                    to=peer,
+                    message=ICPSMessage(
+                        msg_type="DOCUMENT",
+                        sender=self.node_id,
+                        payload={"document": document, "signature": signature},
+                    ),
+                )
+            )
+        return actions
+
+
+class CrashingICPSAdversary:
+    """An honest ICPS node that stops participating after ``crash_after_events`` steps."""
+
+    def __init__(
+        self,
+        config: ICPSConfig,
+        ring: KeyRing,
+        keypair: KeyPair,
+        crash_after_events: int = 5,
+    ) -> None:
+        self._inner = ICPSNode(config, ring, keypair)
+        self.node_id = config.node_id
+        self.crash_after_events = crash_after_events
+        self._events = 0
+
+    # -- driver-facing state --------------------------------------------------
+    @property
+    def decided(self) -> bool:
+        """Crashing nodes are not required to decide."""
+        return self._inner.decided
+
+    @property
+    def decision(self) -> Any:
+        return self._inner.decision
+
+    @property
+    def decision_view(self) -> Optional[int]:
+        return self._inner.decision_view
+
+    @property
+    def output(self) -> Any:
+        return self._inner.output
+
+    def _gate(self, actions: List[Action]) -> List[Action]:
+        self._events += 1
+        if self._events > self.crash_after_events:
+            return []
+        return actions
+
+    def start(self, value: Any) -> List[Action]:
+        return self._gate(self._inner.start(value))
+
+    def set_input(self, value: Any) -> List[Action]:
+        return self._gate(self._inner.set_input(value))
+
+    def on_message(self, message: Any) -> List[Action]:
+        return self._gate(self._inner.on_message(message))
+
+    def on_timeout(self, timer_id: str) -> List[Action]:
+        return self._gate(self._inner.on_timeout(timer_id))

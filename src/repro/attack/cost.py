@@ -1,0 +1,94 @@
+"""The stressor-service cost model (Section 4.3).
+
+The paper derives its headline number — "$53.28 per month to keep Tor down" —
+from three inputs taken from prior measurements:
+
+* an authority link capacity of 250 Mbit/s,
+* a protocol bandwidth requirement of ~10 Mbit/s for ~8,000 relays, so the
+  attacker must generate 240 Mbit/s of flood traffic per target, and
+* an amortised stressor price of $0.00074 per Mbit/s of attack traffic per
+  hour (Jansen et al.).
+
+With 5 targets flooded for 5 minutes per hourly consensus run, one disrupted
+run costs ≈ $0.074 and a month of hourly disruptions ≈ $53.28.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import ensure
+
+#: Amortised stressor cost per Mbit/s of attack traffic per hour (USD).
+JANSEN_COST_PER_MBPS_HOUR = 0.00074
+
+#: Hours per month used by the paper's monthly extrapolation (30 days).
+HOURS_PER_MONTH = 24 * 30
+
+
+@dataclass(frozen=True)
+class AttackCostEstimate:
+    """Cost breakdown for a sustained directory-protocol DDoS campaign."""
+
+    traffic_per_target_mbps: float
+    targets: int
+    attack_seconds_per_run: float
+    runs_per_month: int
+    cost_per_run_usd: float
+    cost_per_day_usd: float
+    cost_per_month_usd: float
+
+
+@dataclass(frozen=True)
+class AttackCostModel:
+    """Parameters of the stressor cost calculation."""
+
+    authority_link_mbps: float = 250.0
+    required_bandwidth_mbps: float = 10.0
+    cost_per_mbps_hour_usd: float = JANSEN_COST_PER_MBPS_HOUR
+    targets: int = 5
+    attack_seconds_per_run: float = 300.0
+    runs_per_hour: int = 1
+
+    def __post_init__(self) -> None:
+        ensure(self.authority_link_mbps > 0, "authority link capacity must be positive")
+        ensure(self.required_bandwidth_mbps >= 0, "required bandwidth must be non-negative")
+        ensure(self.cost_per_mbps_hour_usd >= 0, "cost rate must be non-negative")
+        ensure(self.targets >= 1, "attack needs at least one target")
+        ensure(self.attack_seconds_per_run > 0, "attack duration must be positive")
+        ensure(self.runs_per_hour >= 1, "at least one consensus run per hour")
+
+    @property
+    def traffic_per_target_mbps(self) -> float:
+        """Flood volume per target needed to deny the protocol its bandwidth."""
+        return max(0.0, self.authority_link_mbps - self.required_bandwidth_mbps)
+
+    def cost_per_run(self) -> float:
+        """Cost (USD) of disrupting a single consensus run."""
+        attack_hours = self.attack_seconds_per_run / 3600.0
+        return (
+            self.traffic_per_target_mbps
+            * self.targets
+            * attack_hours
+            * self.cost_per_mbps_hour_usd
+        )
+
+    def cost_per_day(self) -> float:
+        """Cost (USD) of disrupting every consensus run for a day."""
+        return self.cost_per_run() * 24 * self.runs_per_hour
+
+    def cost_per_month(self) -> float:
+        """Cost (USD) of disrupting every consensus run for a 30-day month."""
+        return self.cost_per_run() * HOURS_PER_MONTH * self.runs_per_hour
+
+    def estimate(self) -> AttackCostEstimate:
+        """Full cost breakdown."""
+        return AttackCostEstimate(
+            traffic_per_target_mbps=self.traffic_per_target_mbps,
+            targets=self.targets,
+            attack_seconds_per_run=self.attack_seconds_per_run,
+            runs_per_month=HOURS_PER_MONTH * self.runs_per_hour,
+            cost_per_run_usd=self.cost_per_run(),
+            cost_per_day_usd=self.cost_per_day(),
+            cost_per_month_usd=self.cost_per_month(),
+        )

@@ -1,0 +1,104 @@
+"""DDoS attack plans expressed as bandwidth schedules.
+
+The paper's attack needs only three parameters: *which* authorities to flood
+(a majority — 5 of 9), *when* (the first two rounds of a consensus run, i.e.
+300 seconds), and *how hard* (enough to leave less usable bandwidth than the
+directory protocol needs; Jansen et al. measure ~0.5 Mbit/s of residual
+capacity on a flooded host).  :class:`DDoSAttackPlan` captures those and
+converts them into per-authority bandwidth schedules for the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.simnet.bandwidth import BandwidthSchedule
+from repro.utils.validation import ensure
+
+#: Residual usable bandwidth of a host under volumetric DDoS (Jansen et al.).
+ATTACK_RESIDUAL_BANDWIDTH_MBPS = 0.5
+
+#: Link capacity of a live directory authority (Mbit/s).
+DEFAULT_AUTHORITY_LINK_MBPS = 250.0
+
+
+@dataclass(frozen=True)
+class DDoSAttackPlan:
+    """A bandwidth-degradation attack against a set of authorities.
+
+    Attributes
+    ----------
+    target_authority_ids:
+        The authorities being flooded.
+    start / duration:
+        Attack window in simulation seconds.  The paper's headline attack is
+        ``start=0, duration=300`` — the two vote rounds.
+    residual_bandwidth_mbps:
+        Usable bandwidth left to a target during the attack.
+    baseline_bandwidth_mbps:
+        The targets' normal link capacity outside the attack window.
+    """
+
+    target_authority_ids: Tuple[int, ...]
+    start: float = 0.0
+    duration: float = 300.0
+    residual_bandwidth_mbps: float = ATTACK_RESIDUAL_BANDWIDTH_MBPS
+    baseline_bandwidth_mbps: float = DEFAULT_AUTHORITY_LINK_MBPS
+
+    def __post_init__(self) -> None:
+        ensure(len(self.target_authority_ids) > 0, "attack needs at least one target")
+        ensure(self.duration > 0, "attack duration must be positive")
+        ensure(self.start >= 0, "attack start must be non-negative")
+        ensure(self.residual_bandwidth_mbps >= 0, "residual bandwidth must be non-negative")
+        ensure(self.baseline_bandwidth_mbps > 0, "baseline bandwidth must be positive")
+
+    @property
+    def end(self) -> float:
+        """Time at which the attack stops."""
+        return self.start + self.duration
+
+    @property
+    def target_count(self) -> int:
+        """Number of authorities under attack."""
+        return len(self.target_authority_ids)
+
+    def schedule_for_target(self) -> BandwidthSchedule:
+        """Bandwidth schedule of one attacked authority."""
+        return BandwidthSchedule.constant_mbps(self.baseline_bandwidth_mbps).with_window_mbps(
+            self.start, self.end, self.residual_bandwidth_mbps
+        )
+
+    def schedules(self) -> Dict[int, BandwidthSchedule]:
+        """Per-authority schedule overrides to merge into a scenario."""
+        schedule = self.schedule_for_target()
+        return {authority_id: schedule for authority_id in self.target_authority_ids}
+
+    def attack_traffic_mbps(self, required_bandwidth_mbps: float) -> float:
+        """Flood volume needed per target to push usable bandwidth below requirement.
+
+        The attacker must consume everything above what the protocol needs:
+        ``link - required`` (240 Mbit/s in the paper's running example of a
+        250 Mbit/s link and a 10 Mbit/s requirement).
+        """
+        ensure(required_bandwidth_mbps >= 0, "required bandwidth must be non-negative")
+        return max(0.0, self.baseline_bandwidth_mbps - required_bandwidth_mbps)
+
+
+def majority_attack_plan(
+    authority_count: int = 9,
+    start: float = 0.0,
+    duration: float = 300.0,
+    residual_bandwidth_mbps: float = ATTACK_RESIDUAL_BANDWIDTH_MBPS,
+    baseline_bandwidth_mbps: float = DEFAULT_AUTHORITY_LINK_MBPS,
+) -> DDoSAttackPlan:
+    """The paper's attack: flood a bare majority of authorities for ``duration`` s."""
+    ensure(authority_count >= 1, "authority_count must be positive")
+    majority = authority_count // 2 + 1
+    return DDoSAttackPlan(
+        target_authority_ids=tuple(range(majority)),
+        start=start,
+        duration=duration,
+        residual_bandwidth_mbps=residual_bandwidth_mbps,
+        baseline_bandwidth_mbps=baseline_bandwidth_mbps,
+    )

@@ -1,0 +1,72 @@
+"""View-based Byzantine agreement engines (the agreement sub-protocol substrate).
+
+The paper's new directory protocol delegates its agreement phase to "any
+view-based consensus protocol, such as PBFT, Tendermint, or HotStuff".  This
+sub-package provides all three as **pure state machines**:
+
+* engines never touch a clock or a socket — they consume
+  :class:`ConsensusMessage` / timeout notifications and emit
+  :class:`Action` lists (send, broadcast, set-timer, decide);
+* the same engine therefore runs under the deterministic
+  :class:`LocalDriver` (unit tests, Byzantine adversaries, partition
+  schedules) and under the network simulator (integration tests and the
+  paper's benchmarks);
+* all engines are single-shot (one decision per instance), support external
+  validity predicates, and rotate leaders round-robin across views.
+
+``n >= 3f + 1`` is required, matching the partial-synchrony bound the paper
+moves to (and the corresponding drop from tolerating 4 to 2 faulty
+authorities out of 9).
+"""
+
+from repro.consensus.interfaces import (
+    Action,
+    BroadcastAction,
+    ConsensusEngine,
+    ConsensusMessage,
+    DecideAction,
+    EngineConfig,
+    SendAction,
+    SetTimerAction,
+)
+from repro.consensus.quorum import QuorumCertificate, quorum_size
+from repro.consensus.hotstuff import HotStuffEngine
+from repro.consensus.pbft import PBFTEngine
+from repro.consensus.tendermint import TendermintEngine
+from repro.consensus.driver import DriverResult, LocalDriver
+
+ENGINE_REGISTRY = {
+    "hotstuff": HotStuffEngine,
+    "pbft": PBFTEngine,
+    "tendermint": TendermintEngine,
+}
+
+
+def make_engine(name: str, config: EngineConfig) -> ConsensusEngine:
+    """Instantiate a consensus engine by name (``hotstuff``/``pbft``/``tendermint``)."""
+    try:
+        engine_cls = ENGINE_REGISTRY[name]
+    except KeyError:
+        raise ValueError("unknown consensus engine %r; known: %s" % (name, sorted(ENGINE_REGISTRY)))
+    return engine_cls(config)
+
+
+__all__ = [
+    "Action",
+    "BroadcastAction",
+    "ConsensusEngine",
+    "ConsensusMessage",
+    "DecideAction",
+    "EngineConfig",
+    "SendAction",
+    "SetTimerAction",
+    "QuorumCertificate",
+    "quorum_size",
+    "HotStuffEngine",
+    "PBFTEngine",
+    "TendermintEngine",
+    "LocalDriver",
+    "DriverResult",
+    "ENGINE_REGISTRY",
+    "make_engine",
+]

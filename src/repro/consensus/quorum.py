@@ -1,0 +1,44 @@
+"""Quorum certificates.
+
+A quorum certificate (QC) records that at least ``n - f`` distinct nodes
+voted for the same value digest in the same view.  All three engines use QCs
+(PBFT's prepared certificates, Tendermint's polka, HotStuff's QC); keeping the
+structure shared makes the safety tests uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Optional
+
+from repro.utils.validation import ensure
+
+
+def quorum_size(n: int, f: Optional[int] = None) -> int:
+    """Quorum size for ``n`` nodes tolerating ``f`` faults (default ⌊(n-1)/3⌋)."""
+    ensure(n >= 1, "n must be positive")
+    if f is None:
+        f = (n - 1) // 3
+    ensure(n >= 3 * f + 1, "partial synchrony requires n >= 3f + 1")
+    return n - f
+
+
+@dataclass(frozen=True)
+class QuorumCertificate:
+    """Proof that a quorum voted for ``value_digest`` in ``view``."""
+
+    view: int
+    value_digest: bytes
+    voters: FrozenSet[str]
+    phase: str = "generic"
+
+    def is_valid(self, quorum: int) -> bool:
+        """True when the certificate carries at least ``quorum`` distinct voters."""
+        return len(self.voters) >= quorum
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return "QC(view=%d, phase=%s, voters=%d)" % (self.view, self.phase, len(self.voters))
+
+
+#: A conventional "genesis" certificate used before any real QC exists.
+GENESIS_QC = QuorumCertificate(view=-1, value_digest=b"", voters=frozenset(), phase="genesis")

@@ -1,0 +1,211 @@
+"""A single-shot Tendermint consensus engine.
+
+Tendermint's characteristic structure — PROPOSAL, PREVOTE, PRECOMMIT per
+round, with value locking on a *polka* (a quorum of prevotes) and a
+``validValue`` that later proposers must re-propose — implemented as a pure
+state machine.  Rounds advance on timer expiry; the paper cites Tendermint's
+linear view change (but with waiting) as one of the candidate agreement
+engines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.consensus.interfaces import (
+    Action,
+    BroadcastAction,
+    ConsensusEngine,
+    ConsensusMessage,
+    EngineConfig,
+    SetTimerAction,
+)
+from repro.consensus.values import NIL_DIGEST, value_digest
+
+
+class TendermintEngine(ConsensusEngine):
+    """Tendermint-style consensus, single-shot."""
+
+    name = "tendermint"
+    good_case_rounds = 3
+
+    def __init__(self, config: EngineConfig) -> None:
+        super().__init__(config)
+        self.round = 0
+        self.started = False
+        self.input_value: Any = None
+        self.locked_value: Any = None
+        self.locked_round: int = -1
+        self.valid_value: Any = None
+        self.valid_round: int = -1
+        self._proposals: Dict[int, Any] = {}
+        self._proposed_in_round: Set[int] = set()
+        self._prevoted: Set[int] = set()
+        self._precommitted: Set[int] = set()
+        self._prevotes: Dict[Tuple[int, bytes], Set[str]] = {}
+        self._precommits: Dict[Tuple[int, bytes], Set[str]] = {}
+        self._values_by_digest: Dict[bytes, Any] = {}
+        self._future: Dict[int, List[ConsensusMessage]] = {}
+
+    # The agreement layer addresses views; for Tendermint a view is a round.
+    @property
+    def view(self) -> int:
+        """Alias so hosts can treat rounds uniformly with other engines."""
+        return self.round
+
+    # -- helpers -----------------------------------------------------------
+    def _is_proposer(self, round_number: Optional[int] = None) -> bool:
+        round_number = self.round if round_number is None else round_number
+        return self.config.leader_of(round_number) == self.config.node_id
+
+    def _round_timer(self, round_number: int) -> SetTimerAction:
+        return SetTimerAction(
+            timer_id="view-%d" % round_number,
+            duration=self.config.view_timeout(round_number),
+        )
+
+    def _remember(self, value: Any) -> bytes:
+        digest = value_digest(value)
+        self._values_by_digest[digest] = value
+        return digest
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self, value: Any) -> List[Action]:
+        """Start the engine with this node's input value (may be None)."""
+        self.started = True
+        self.input_value = value
+        actions: List[Action] = [self._round_timer(0)]
+        actions.extend(self._maybe_propose())
+        return actions
+
+    def set_input(self, value: Any) -> List[Action]:
+        """Provide (or update) the input value after start."""
+        self.input_value = value
+        if not self.started or self.decided:
+            return []
+        return self._maybe_propose()
+
+    def _maybe_propose(self) -> List[Action]:
+        if self.decided or not self._is_proposer() or self.round in self._proposed_in_round:
+            return []
+        value = self.valid_value if self.valid_value is not None else self.input_value
+        if value is None or not self.config.is_valid_value(value):
+            return []
+        self._proposed_in_round.add(self.round)
+        digest = self._remember(value)
+        proposal = ConsensusMessage(
+            msg_type="TM/PROPOSAL",
+            sender=self.config.node_id,
+            view=self.round,
+            payload={"value": value, "digest": digest, "valid_round": self.valid_round},
+        )
+        return [BroadcastAction(proposal)]
+
+    # -- message handling --------------------------------------------------------
+    def on_message(self, message: ConsensusMessage) -> List[Action]:
+        if self.decided:
+            return []
+        handlers = {
+            "TM/PROPOSAL": self._on_proposal,
+            "TM/PREVOTE": self._on_prevote,
+            "TM/PRECOMMIT": self._on_precommit,
+        }
+        handler = handlers.get(message.msg_type)
+        if handler is None:
+            return []
+        if message.view > self.round:
+            self._future.setdefault(message.view, []).append(message)
+            return []
+        return handler(message)
+
+    def _on_proposal(self, message: ConsensusMessage) -> List[Action]:
+        if message.sender != self.config.leader_of(message.view):
+            return []
+        payload = message.payload or {}
+        value = payload.get("value")
+        proposal_valid_round = payload.get("valid_round", -1)
+        if value is None:
+            return []
+        if message.view != self.round:
+            # A proposal for an earlier round still teaches us the value, which
+            # may be exactly what a pending precommit quorum is waiting for.
+            digest = self._remember(value)
+            self._proposals[message.view] = value
+            return self._try_decide(digest, message.view)
+        if message.view in self._prevoted:
+            return []
+        digest = self._remember(value)
+        self._proposals[message.view] = value
+        acceptable = self.config.is_valid_value(value) and (
+            self.locked_round == -1
+            or value_digest(self.locked_value) == digest
+            or proposal_valid_round >= self.locked_round
+        )
+        self._prevoted.add(message.view)
+        prevote = ConsensusMessage(
+            msg_type="TM/PREVOTE",
+            sender=self.config.node_id,
+            view=message.view,
+            payload={"digest": digest if acceptable else NIL_DIGEST},
+        )
+        return [BroadcastAction(prevote)]
+
+    def _on_prevote(self, message: ConsensusMessage) -> List[Action]:
+        if message.view != self.round:
+            return []
+        digest = (message.payload or {}).get("digest")
+        if digest is None:
+            return []
+        voters = self._prevotes.setdefault((message.view, digest), set())
+        voters.add(message.sender)
+        if digest == NIL_DIGEST or len(voters) < self.config.quorum:
+            return []
+        value = self._values_by_digest.get(digest)
+        if value is None:
+            return []
+        # A polka: lock and precommit.
+        self.locked_value = value
+        self.locked_round = message.view
+        self.valid_value = value
+        self.valid_round = message.view
+        if message.view in self._precommitted:
+            return []
+        self._precommitted.add(message.view)
+        precommit = ConsensusMessage(
+            msg_type="TM/PRECOMMIT",
+            sender=self.config.node_id,
+            view=message.view,
+            payload={"digest": digest},
+        )
+        return [BroadcastAction(precommit)]
+
+    def _on_precommit(self, message: ConsensusMessage) -> List[Action]:
+        digest = (message.payload or {}).get("digest")
+        if digest is None or digest == NIL_DIGEST:
+            return []
+        voters = self._precommits.setdefault((message.view, digest), set())
+        voters.add(message.sender)
+        return self._try_decide(digest, message.view)
+
+    def _try_decide(self, digest: bytes, round_number: int) -> List[Action]:
+        voters = self._precommits.get((round_number, digest), set())
+        if len(voters) < self.config.quorum:
+            return []
+        value = self._values_by_digest.get(digest)
+        if value is None:
+            return []
+        return self._decide(value, round_number)
+
+    # -- timers ---------------------------------------------------------------------
+    def on_timeout(self, timer_id: str) -> List[Action]:
+        if self.decided or not timer_id.startswith("view-"):
+            return []
+        timed_out_round = int(timer_id.split("-", 1)[1])
+        if timed_out_round != self.round:
+            return []
+        self.round = timed_out_round + 1
+        actions: List[Action] = [self._round_timer(self.round)]
+        actions.extend(self._maybe_propose())
+        for buffered in self._future.pop(self.round, []):
+            actions.extend(self.on_message(buffered))
+        return actions

@@ -1,0 +1,32 @@
+"""Value digests for consensus engines.
+
+Engines vote on digests rather than full values (full values only travel in
+proposals), mirroring how the real protocols separate data dissemination from
+agreement.  Within one simulation process a canonical ``repr`` is a stable
+encoding; values used by the library (ICPS digest vectors, plain strings,
+tuples) all have deterministic representations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+#: Digest used for "nil" votes (Tendermint) and missing values.
+NIL_DIGEST = b"\x00" * 32
+
+
+def value_digest(value: Any) -> bytes:
+    """Return a stable 32-byte digest of ``value``.
+
+    Values may implement ``canonical_encoding() -> bytes`` to control their
+    encoding; otherwise ``repr`` is used.
+    """
+    if value is None:
+        return NIL_DIGEST
+    encode = getattr(value, "canonical_encoding", None)
+    if callable(encode):
+        material = encode()
+    else:
+        material = repr(value).encode("utf-8")
+    return hashlib.sha256(b"consensus-value|" + material).digest()

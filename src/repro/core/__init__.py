@@ -1,0 +1,59 @@
+"""Interactive Consistency under Partial Synchrony (ICPS) — the paper's core.
+
+The paper defines a new functionality (Definition 5.1) combining interactive
+consistency with Byzantine broadcast under partial synchrony, and a protocol
+implementing it in three sub-protocols:
+
+1. **Dissemination** — every node broadcasts its document with a signed
+   digest; nodes assemble signed *proposals* describing which digests they
+   received; a (view) leader combines ``n - f`` proposals into a digest
+   vector ``H`` plus an externally verifiable proof ``π``.
+2. **Agreement** — any view-based BFT engine (:mod:`repro.consensus`) agrees
+   on one ``(H, π)`` pair; ``π`` is checked by the engine's external-validity
+   predicate.
+3. **Aggregation** — nodes fetch any documents referenced by the agreed
+   ``H`` that they do not hold yet (at least one correct node holds each),
+   then output the document vector.
+
+:class:`ICPSNode` implements all three phases as a pure state machine with
+the same action-based interface as the consensus engines, so it can be driven
+by the local test driver, by adversarial drivers, and by the network
+simulator (see :mod:`repro.protocols.partialsync`).
+"""
+
+from repro.core.documents import Document
+from repro.core.proofs import (
+    DigestVectorValue,
+    EntryProof,
+    ProposalEntry,
+    ProposalMessage,
+    validate_digest_vector,
+    validate_proposal,
+)
+from repro.core.dissemination import DisseminationTracker, build_digest_vector
+from repro.core.icps import ICPSConfig, ICPSNode, ICPSOutput
+from repro.core.properties import (
+    check_agreement,
+    check_common_set_validity,
+    check_termination,
+    check_value_validity,
+)
+
+__all__ = [
+    "Document",
+    "DigestVectorValue",
+    "EntryProof",
+    "ProposalEntry",
+    "ProposalMessage",
+    "validate_digest_vector",
+    "validate_proposal",
+    "DisseminationTracker",
+    "build_digest_vector",
+    "ICPSConfig",
+    "ICPSNode",
+    "ICPSOutput",
+    "check_agreement",
+    "check_common_set_validity",
+    "check_termination",
+    "check_value_validity",
+]

@@ -1,0 +1,65 @@
+"""Documents disseminated by the ICPS protocol.
+
+The ICPS protocol is generic over document contents: for the Tor directory
+protocol the document is an authority's serialised vote, but the protocol
+itself only needs bytes, a digest, and a size.  :class:`Document` packages
+those, keeping the core protocol decoupled from :mod:`repro.directory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.crypto.digest import sha256_digest
+from repro.utils.validation import ensure
+
+
+@dataclass(frozen=True)
+class Document:
+    """An opaque document with a stable digest.
+
+    Attributes
+    ----------
+    data:
+        The document bytes (e.g. a serialised vote).
+    label:
+        Optional human-readable label used in traces.
+    payload:
+        Optional decoded object carried alongside the bytes (e.g. the
+        :class:`~repro.directory.vote.VoteDocument` the bytes serialise).  It
+        stands in for re-parsing the bytes on the receiving side and does not
+        participate in equality or the digest.
+    size_override:
+        Optional wire size to report instead of ``len(data)``.  Large-scale
+        benchmarks use it to model full-size votes while keeping a reduced
+        relay sample as content (see DESIGN.md, calibration note).
+    """
+
+    data: bytes
+    label: str = ""
+    payload: object = field(default=None, compare=False, repr=False)
+    size_override: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        ensure(isinstance(self.data, bytes), "document data must be bytes")
+        ensure(self.size_override >= 0, "size_override must be non-negative")
+
+    @classmethod
+    def from_text(cls, text: str, label: str = "") -> "Document":
+        """Build a document from text content."""
+        return cls(data=text.encode("utf-8"), label=label)
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the document."""
+        if self.size_override:
+            return self.size_override
+        return len(self.data)
+
+    def digest(self) -> bytes:
+        """SHA-256 digest of the document bytes."""
+        return sha256_digest(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return "Document(label=%r, size=%d)" % (self.label, self.size_bytes)

@@ -1,0 +1,105 @@
+"""Property checkers for Interactive Consistency under Partial Synchrony.
+
+Definition 5.1 of the paper lists four properties.  These helpers check them
+over the outputs of a (simulated or driver-based) protocol run and are used
+by the unit, integration, and property-based tests as the single source of
+truth for "did the protocol behave correctly".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.core.documents import Document
+from repro.core.icps import ICPSOutput
+
+
+def check_termination(
+    outputs: Mapping[str, Optional[ICPSOutput]],
+    correct_nodes: Sequence[str],
+) -> bool:
+    """Termination: every correct node produced an output."""
+    return all(outputs.get(node) is not None for node in correct_nodes)
+
+
+def check_agreement(
+    outputs: Mapping[str, Optional[ICPSOutput]],
+    correct_nodes: Sequence[str],
+) -> bool:
+    """Agreement: all correct nodes output the same vector.
+
+    Vectors are compared entry by entry on document *bytes* (⊥ compares equal
+    to ⊥ only), which is stricter than comparing digests.
+    """
+    decided = [outputs[node] for node in correct_nodes if outputs.get(node) is not None]
+    if len(decided) <= 1:
+        return True
+    reference = decided[0]
+    for output in decided[1:]:
+        if set(output.documents) != set(reference.documents):
+            return False
+        for subject, document in reference.documents.items():
+            other = output.documents[subject]
+            if (document is None) != (other is None):
+                return False
+            if document is not None and other is not None and document.data != other.data:
+                return False
+    return True
+
+
+def check_value_validity(
+    outputs: Mapping[str, Optional[ICPSOutput]],
+    inputs: Mapping[str, Document],
+    correct_nodes: Sequence[str],
+    gst_zero: bool,
+) -> bool:
+    """Value validity: a correct node's own entry is its input or ⊥.
+
+    When GST is zero (the network never lost synchrony) the entry must be the
+    node's input, for *every* correct node's entry in *every* correct output.
+    """
+    for node in correct_nodes:
+        output = outputs.get(node)
+        if output is None:
+            continue
+        for subject in correct_nodes:
+            entry = output.document_of(subject)
+            expected = inputs.get(subject)
+            if entry is not None and expected is not None and entry.data != expected.data:
+                return False
+            if gst_zero and entry is None:
+                return False
+    return True
+
+
+def check_common_set_validity(
+    outputs: Mapping[str, Optional[ICPSOutput]],
+    correct_nodes: Sequence[str],
+    n: int,
+    f: int,
+) -> bool:
+    """Common-set validity: every correct output has at least ``n - f`` entries."""
+    for node in correct_nodes:
+        output = outputs.get(node)
+        if output is None:
+            continue
+        if output.non_bottom_count < n - f:
+            return False
+    return True
+
+
+def check_all_properties(
+    outputs: Mapping[str, Optional[ICPSOutput]],
+    inputs: Mapping[str, Document],
+    correct_nodes: Sequence[str],
+    n: int,
+    f: int,
+    gst_zero: bool,
+) -> Dict[str, bool]:
+    """Run all four checks and return a name → result mapping."""
+    return {
+        "termination": check_termination(outputs, correct_nodes),
+        "agreement": check_agreement(outputs, correct_nodes),
+        "value_validity": check_value_validity(outputs, inputs, correct_nodes, gst_zero),
+        "common_set_validity": check_common_set_validity(outputs, correct_nodes, n, f),
+    }

@@ -1,0 +1,40 @@
+"""Cryptographic substrate for the reproduction.
+
+The directory protocols only need four primitives:
+
+* collision-resistant digests of documents (:func:`sha256_digest`),
+* per-authority signing keys (:class:`KeyPair`, :class:`KeyRing`),
+* unforgeable, verifiable signatures (:class:`Signature`, :func:`sign`,
+  :func:`verify`), and
+* signature *chains* for the Dolev–Strong broadcast used by the synchronous
+  baseline (:class:`SignatureChain`).
+
+Real Tor uses RSA/Ed25519; inside a closed simulation an HMAC construction
+keyed by a secret only the signer holds provides the same unforgeability
+semantics while remaining dependency-free and fast.  Signature size is
+modelled explicitly (``SIGNATURE_SIZE_BYTES``) because the paper's complexity
+analysis (Table 1) is parameterised by the signature size κ.
+"""
+
+from repro.crypto.digest import sha256_digest, digest_hex, DIGEST_SIZE_BYTES
+from repro.crypto.keys import KeyPair, KeyRing
+from repro.crypto.signatures import (
+    SIGNATURE_SIZE_BYTES,
+    Signature,
+    SignatureChain,
+    sign,
+    verify,
+)
+
+__all__ = [
+    "sha256_digest",
+    "digest_hex",
+    "DIGEST_SIZE_BYTES",
+    "KeyPair",
+    "KeyRing",
+    "SIGNATURE_SIZE_BYTES",
+    "Signature",
+    "SignatureChain",
+    "sign",
+    "verify",
+]

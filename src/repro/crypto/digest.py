@@ -1,0 +1,34 @@
+"""Message digests.
+
+Vote and consensus documents are identified by their SHA-256 digest, exactly
+as Tor identifies documents by digest in the directory protocol.  The digest
+of a document is what the dissemination sub-protocol circulates in place of
+the full document, which is the key to the new protocol's low agreement-phase
+bandwidth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+#: Size of a digest in bytes (SHA-256).
+DIGEST_SIZE_BYTES = 32
+
+
+def _as_bytes(data: Union[str, bytes]) -> bytes:
+    if isinstance(data, str):
+        return data.encode("utf-8")
+    if isinstance(data, bytes):
+        return data
+    raise TypeError("digest input must be str or bytes, got %r" % type(data).__name__)
+
+
+def sha256_digest(data: Union[str, bytes]) -> bytes:
+    """Return the raw SHA-256 digest of ``data``."""
+    return hashlib.sha256(_as_bytes(data)).digest()
+
+
+def digest_hex(data: Union[str, bytes]) -> str:
+    """Return the SHA-256 digest of ``data`` as an uppercase hex string."""
+    return hashlib.sha256(_as_bytes(data)).hexdigest().upper()

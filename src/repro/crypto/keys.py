@@ -1,0 +1,96 @@
+"""Signing keys for directory authorities.
+
+A :class:`KeyPair` contains a secret signing key and a public verification
+key.  The construction is HMAC-based: the "public key" is a commitment to the
+secret, and verification re-derives the expected tag via the
+:class:`KeyRing`, which plays the role of the PKI that Tor establishes
+out-of-band (authority keys are shipped with the Tor source).
+
+Within the simulation this gives the same guarantees as real signatures:
+
+* only the holder of the secret can produce a tag that verifies, and
+* any node holding the key ring can verify any authority's signature.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+from repro.utils.validation import ValidationError, ensure
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A signing key pair owned by one authority.
+
+    Attributes
+    ----------
+    owner:
+        Identifier of the owning authority (its index or fingerprint).
+    secret:
+        The secret signing key.  Never placed inside messages.
+    public:
+        A public commitment to the secret used as the verification handle.
+    """
+
+    owner: str
+    secret: bytes
+    public: bytes
+
+    @classmethod
+    def generate(cls, owner: str, seed: bytes) -> "KeyPair":
+        """Deterministically derive a key pair for ``owner`` from ``seed``."""
+        ensure(isinstance(owner, str) and owner != "", "key owner must be a non-empty string")
+        secret = hashlib.sha256(b"repro-secret|" + seed + b"|" + owner.encode("utf-8")).digest()
+        public = hashlib.sha256(b"repro-public|" + secret).digest()
+        return cls(owner=owner, secret=secret, public=public)
+
+    def mac(self, message: bytes) -> bytes:
+        """Return the authentication tag of ``message`` under this key."""
+        return hmac.new(self.secret, message, hashlib.sha256).digest()
+
+
+class KeyRing:
+    """The public-key infrastructure shared by all authorities.
+
+    In production Tor the directory authority identity keys are pinned in the
+    client and relay code.  The key ring mirrors that: it maps an owner
+    identifier to its :class:`KeyPair` and is distributed to every node of the
+    simulation, but honest code only ever uses ``verify`` (which needs the
+    pair to recompute the tag) and never signs on behalf of another owner.
+    Byzantine behaviours that try to forge signatures are therefore modelled
+    as producing tags that fail verification.
+    """
+
+    def __init__(self, pairs: Iterable[KeyPair] = ()) -> None:
+        self._pairs: Dict[str, KeyPair] = {}
+        for pair in pairs:
+            self.add(pair)
+
+    def add(self, pair: KeyPair) -> None:
+        """Register a key pair; owners must be unique."""
+        if pair.owner in self._pairs:
+            raise ValidationError("duplicate key owner %r" % pair.owner)
+        self._pairs[pair.owner] = pair
+
+    def get(self, owner: str) -> KeyPair:
+        """Return the key pair for ``owner`` or raise ``KeyError``."""
+        return self._pairs[owner]
+
+    def __contains__(self, owner: str) -> bool:
+        return owner in self._pairs
+
+    def owners(self) -> Iterable[str]:
+        """Iterate over registered owner identifiers."""
+        return tuple(self._pairs.keys())
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    @classmethod
+    def for_owners(cls, owners: Iterable[str], seed: bytes = b"repro") -> "KeyRing":
+        """Convenience constructor creating one pair per owner."""
+        return cls(KeyPair.generate(owner, seed) for owner in owners)

@@ -1,0 +1,163 @@
+"""Signatures and signature chains.
+
+The protocols sign three kinds of payloads:
+
+* ``DOCUMENT`` digests in the dissemination sub-protocol (``σ_i(i, h_i)``),
+* consensus documents in the aggregation phase, and
+* Dolev–Strong relay chains in the synchronous baseline.
+
+:class:`Signature` carries the signer, the payload context, and the HMAC tag;
+:func:`verify` recomputes the tag against the key ring.  A fixed
+``SIGNATURE_SIZE_BYTES`` models the wire size κ used in the paper's
+communication-complexity analysis (Ed25519 signature plus key material,
+~96 bytes, rounded up to 128 to cover framing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.crypto.keys import KeyPair, KeyRing
+
+#: Modelled wire size of one signature (κ in the paper's analysis).
+SIGNATURE_SIZE_BYTES = 128
+
+
+def _canonical_payload(context: str, message: Union[str, bytes, None]) -> bytes:
+    if message is None:
+        body = b"\x00<bottom>"
+    elif isinstance(message, str):
+        body = message.encode("utf-8")
+    elif isinstance(message, bytes):
+        body = message
+    else:
+        raise TypeError("signature payload must be str, bytes, or None")
+    return context.encode("utf-8") + b"|" + body
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature by ``signer`` over ``(context, message)``.
+
+    ``message`` may be ``None`` to represent a signature over ⊥ (the
+    dissemination protocol signs "I did not receive a document from j").
+    """
+
+    signer: str
+    context: str
+    message: Optional[bytes]
+    tag: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of this signature."""
+        return SIGNATURE_SIZE_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return "Signature(signer=%r, context=%r)" % (self.signer, self.context)
+
+
+def sign(pair: KeyPair, context: str, message: Union[str, bytes, None]) -> Signature:
+    """Sign ``(context, message)`` with ``pair``."""
+    payload = _canonical_payload(context, message)
+    normalized = None if message is None else (
+        message.encode("utf-8") if isinstance(message, str) else bytes(message)
+    )
+    return Signature(
+        signer=pair.owner,
+        context=context,
+        message=normalized,
+        tag=pair.mac(payload),
+    )
+
+
+def verify(ring: KeyRing, signature: Signature) -> bool:
+    """Return True iff ``signature`` verifies against the key ring.
+
+    Unknown signers and tampered payloads both fail verification rather than
+    raising, because the protocols treat bad signatures as Byzantine input to
+    be discarded.
+    """
+    if signature.signer not in ring:
+        return False
+    pair = ring.get(signature.signer)
+    expected = pair.mac(_canonical_payload(signature.context, signature.message))
+    return _constant_time_eq(expected, signature.tag)
+
+
+def _constant_time_eq(left: bytes, right: bytes) -> bool:
+    if len(left) != len(right):
+        return False
+    result = 0
+    for a, b in zip(left, right):
+        result |= a ^ b
+    return result == 0
+
+
+@dataclass(frozen=True)
+class SignatureChain:
+    """A Dolev–Strong signature chain over a single value.
+
+    A chain of length ``r`` proves that the value has passed through ``r``
+    distinct signers, the first of which must be the designated sender.  The
+    synchronous baseline (Luo et al.) accepts a value in round ``r`` only if it
+    carries a valid chain of length at least ``r``.
+    """
+
+    value_digest: bytes
+    signatures: Tuple[Signature, ...]
+
+    @property
+    def length(self) -> int:
+        """Number of signatures in the chain."""
+        return len(self.signatures)
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the chain (used for bandwidth accounting)."""
+        return len(self.value_digest) + sum(sig.size_bytes for sig in self.signatures)
+
+    def signers(self) -> Tuple[str, ...]:
+        """The ordered tuple of signer identifiers."""
+        return tuple(sig.signer for sig in self.signatures)
+
+    def extend(self, pair: KeyPair, context: str) -> "SignatureChain":
+        """Return a new chain with ``pair``'s signature appended."""
+        new_sig = sign(pair, context, self.value_digest)
+        return SignatureChain(self.value_digest, self.signatures + (new_sig,))
+
+    def is_valid(
+        self,
+        ring: KeyRing,
+        context: str,
+        designated_sender: str,
+        minimum_length: int,
+    ) -> bool:
+        """Validate the chain per the Dolev–Strong acceptance rule.
+
+        The chain must (1) be at least ``minimum_length`` long, (2) start with
+        the designated sender, (3) contain pairwise-distinct signers, and
+        (4) contain only signatures that verify over the value digest.
+        """
+        if self.length < minimum_length:
+            return False
+        if not self.signatures:
+            return False
+        if self.signatures[0].signer != designated_sender:
+            return False
+        seen = set()
+        for sig in self.signatures:
+            if sig.signer in seen:
+                return False
+            seen.add(sig.signer)
+            if sig.message != self.value_digest or sig.context != context:
+                return False
+            if not verify(ring, sig):
+                return False
+        return True
+
+    @classmethod
+    def initial(cls, pair: KeyPair, context: str, value_digest: bytes) -> "SignatureChain":
+        """Create the sender's initial chain of length one."""
+        return cls(value_digest, (sign(pair, context, value_digest),))

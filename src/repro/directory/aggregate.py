@@ -1,0 +1,214 @@
+"""The deterministic vote-aggregation algorithm (Figure 2 of the paper).
+
+Every directory protocol in this library — the current v3 protocol, Luo et
+al.'s synchronous protocol, and the new partial-synchrony protocol — ends by
+running this same local algorithm over whatever set of votes the protocol
+delivered.  The paper's robustness argument ("as long as the input contains
+more votes from correct authorities than from faulty ones, the output will
+make sense") is about this function, so it is implemented once, used
+everywhere, and extensively property-tested.
+
+Rules reproduced from Figure 2:
+
+* A relay is included iff it appears in at least ``t`` votes, where the
+  default threshold is ⌊``total_votes``/2⌋ (at-least-half, per the paper's
+  wording) and can be configured to a strict majority.
+* The relay's **nickname** (and network location) is taken from the vote of
+  the authority with the **largest authority ID** among those voting for it.
+* Each **flag** is set iff a majority of the votes for that relay set it;
+  ties break towards "not set".
+* The **largest version** and the largest protocol string are selected.
+* On ties for the exit policy, the **lexicographically larger** exit-policy
+  summary is selected (implemented as: pick the policy with the most votes,
+  break ties towards the lexicographically larger serialisation).
+* The **bandwidth** is the median of the votes that *measured* the relay,
+  falling back to the median of all bandwidth votes when nobody measured it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.directory.relay import ExitPolicySummary, Relay
+from repro.directory.vote import VoteDocument
+from repro.directory.consensus_doc import ConsensusDocument
+from repro.utils.stats import median
+from repro.utils.validation import ValidationError, ensure
+
+
+@dataclass(frozen=True)
+class AggregationConfig:
+    """Tunable knobs of the aggregation algorithm.
+
+    Attributes
+    ----------
+    inclusion_rule:
+        ``"at-least-half"`` (paper's Figure 2 wording: t ≥ ⌊n/2⌋) or
+        ``"strict-majority"`` (Tor dir-spec wording: more than half).
+    voting_interval:
+        The consensus period length propagated into the output document.
+    """
+
+    inclusion_rule: str = "at-least-half"
+    voting_interval: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.inclusion_rule not in ("at-least-half", "strict-majority"):
+            raise ValidationError(
+                "inclusion_rule must be 'at-least-half' or 'strict-majority', got %r"
+                % self.inclusion_rule
+            )
+
+    def inclusion_threshold(self, total_votes: int) -> int:
+        """Minimum number of votes naming a relay for it to be included."""
+        ensure(total_votes > 0, "cannot aggregate zero votes")
+        if self.inclusion_rule == "strict-majority":
+            return total_votes // 2 + 1
+        return max(1, total_votes // 2)
+
+
+_VERSION_RE = re.compile(r"(\d+)")
+
+
+def version_sort_key(version: str) -> Tuple:
+    """Sort key implementing "the largest version is selected".
+
+    Versions like ``"Tor 0.4.8.12"`` are compared numerically component by
+    component; non-numeric versions fall back to lexicographic comparison.
+    The key is a tuple so mixed populations still order deterministically.
+    """
+    numbers = [int(part) for part in _VERSION_RE.findall(version)]
+    return (tuple(numbers), version)
+
+
+def _select_nickname_source(candidates: Mapping[int, Relay]) -> Relay:
+    """Pick the entry voted by the largest authority ID (Figure 2)."""
+    largest_id = max(candidates)
+    return candidates[largest_id]
+
+
+def _aggregate_flags(entries: Sequence[Relay], vote_count: int) -> frozenset:
+    """Per-flag majority with ties broken towards 'not set'.
+
+    ``vote_count`` is the number of votes that listed the relay; a flag is set
+    when strictly more than half of those votes set it (a tie therefore drops
+    the flag, matching "each flag is not set in case of a tie").
+    """
+    counts: Dict[str, int] = {}
+    for entry in entries:
+        for flag in entry.flags:
+            counts[flag] = counts.get(flag, 0) + 1
+    return frozenset(flag for flag, count in counts.items() if count * 2 > vote_count)
+
+
+def _aggregate_exit_policy(entries: Sequence[Relay]) -> ExitPolicySummary:
+    """Most-voted exit policy; ties broken towards the lexicographically larger."""
+    counts: Dict[ExitPolicySummary, int] = {}
+    for entry in entries:
+        counts[entry.exit_policy] = counts.get(entry.exit_policy, 0) + 1
+    top = max(counts.values())
+    tied = [policy for policy, count in counts.items() if count == top]
+    return max(tied, key=lambda policy: policy.sort_key())
+
+
+def _aggregate_bandwidth(entries: Sequence[Relay]) -> Tuple[int, bool]:
+    """Median of measured bandwidths, falling back to all bandwidth votes."""
+    measured = [entry.bandwidth for entry in entries if entry.measured]
+    if measured:
+        return int(median(measured)), True
+    return int(median([entry.bandwidth for entry in entries])), False
+
+
+def aggregate_relay(
+    votes_for_relay: Mapping[int, Relay],
+    total_votes: int,
+    config: AggregationConfig,
+) -> Optional[Relay]:
+    """Aggregate one relay's entries across votes.
+
+    Parameters
+    ----------
+    votes_for_relay:
+        Mapping from authority ID to that authority's entry for the relay.
+    total_votes:
+        Number of votes participating in the aggregation (including votes
+        that did not list this relay).
+    config:
+        Aggregation configuration.
+
+    Returns
+    -------
+    The consensus entry, or ``None`` when the relay does not meet the
+    inclusion threshold.
+    """
+    if not votes_for_relay:
+        return None
+    threshold = config.inclusion_threshold(total_votes)
+    if len(votes_for_relay) < threshold:
+        return None
+
+    entries = [votes_for_relay[authority_id] for authority_id in sorted(votes_for_relay)]
+    source = _select_nickname_source(votes_for_relay)
+    flags = _aggregate_flags(entries, len(entries))
+    version = max((entry.version for entry in entries), key=version_sort_key)
+    protocols = max(entry.protocols for entry in entries)
+    exit_policy = _aggregate_exit_policy(entries)
+    bandwidth, measured = _aggregate_bandwidth(entries)
+
+    return replace(
+        source,
+        flags=flags,
+        version=version,
+        protocols=protocols,
+        exit_policy=exit_policy,
+        bandwidth=bandwidth,
+        measured=measured,
+    )
+
+
+def aggregate_votes(
+    votes: Sequence[VoteDocument],
+    config: Optional[AggregationConfig] = None,
+    valid_after: Optional[float] = None,
+) -> ConsensusDocument:
+    """Aggregate a set of votes into an (unsigned) consensus document.
+
+    The function is deterministic in the *set* of votes: the order in which
+    votes are passed does not affect the output, and duplicate votes from the
+    same authority raise :class:`ValidationError` (equivocation must be
+    resolved by the protocol layer before aggregation).
+    """
+    config = config or AggregationConfig()
+    ensure(len(votes) > 0, "cannot aggregate an empty set of votes")
+    seen_authorities = set()
+    for vote in votes:
+        if vote.authority_id in seen_authorities:
+            raise ValidationError(
+                "duplicate vote from authority %d passed to aggregation" % vote.authority_id
+            )
+        seen_authorities.add(vote.authority_id)
+
+    ordered = sorted(votes, key=lambda vote: vote.authority_id)
+    total_votes = len(ordered)
+
+    per_relay: Dict[str, Dict[int, Relay]] = {}
+    for vote in ordered:
+        for fingerprint, relay in vote.relays.items():
+            per_relay.setdefault(fingerprint, {})[vote.authority_id] = relay
+
+    consensus_relays: Dict[str, Relay] = {}
+    for fingerprint in sorted(per_relay):
+        aggregated = aggregate_relay(per_relay[fingerprint], total_votes, config)
+        if aggregated is not None:
+            consensus_relays[fingerprint] = aggregated
+
+    if valid_after is None:
+        valid_after = ordered[0].valid_after
+    return ConsensusDocument(
+        valid_after=valid_after,
+        relays=consensus_relays,
+        source_vote_digests=tuple(vote.digest_hex() for vote in ordered),
+        voting_interval=config.voting_interval,
+    )

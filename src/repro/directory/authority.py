@@ -1,0 +1,125 @@
+"""Directory authority identities.
+
+Tor's live network runs nine directory authorities whose identity keys and
+addresses are pinned in the client software.  The reproduction mirrors that:
+:func:`make_authorities` creates ``n`` authorities with deterministic
+fingerprints, signing keys, and simulator addresses.
+
+Authority IDs matter for aggregation: when votes disagree on a relay's
+nickname, the consensus keeps the nickname from the vote of the authority
+with the **largest authority ID** (Figure 2 of the paper).  We define the
+authority ID as the integer index assigned at creation time and expose the
+fingerprint for log output that mimics Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.crypto.keys import KeyPair, KeyRing
+from repro.utils.rng import DeterministicRNG
+from repro.utils.validation import ensure
+
+#: Number of directory authorities on the live Tor network.
+TOR_AUTHORITY_COUNT = 9
+
+#: Nicknames of the live Tor directory authorities (for realistic logs).
+TOR_AUTHORITY_NICKNAMES: Tuple[str, ...] = (
+    "moria1",
+    "tor26",
+    "dizum",
+    "gabelmoo",
+    "dannenberg",
+    "maatuska",
+    "longclaw",
+    "bastet",
+    "faravahar",
+)
+
+
+@dataclass(frozen=True)
+class DirectoryAuthority:
+    """Identity of one directory authority.
+
+    Attributes
+    ----------
+    authority_id:
+        Integer index, also the tie-break ordering used by aggregation.
+    nickname:
+        Human-readable name (live Tor nicknames for the default nine).
+    fingerprint:
+        40-hex-character identity fingerprint used in log lines.
+    address:
+        Simulator address, e.g. ``"100.0.0.3:8080"``.
+    keypair:
+        The authority's signing key pair.
+    is_bandwidth_authority:
+        Whether this authority runs a bandwidth scanner (and therefore
+        reports measured bandwidths in its votes).
+    """
+
+    authority_id: int
+    nickname: str
+    fingerprint: str
+    address: str
+    keypair: KeyPair
+    is_bandwidth_authority: bool = True
+
+    @property
+    def name(self) -> str:
+        """Stable string identifier used as the simulator node name."""
+        return "auth-%d" % self.authority_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return "DirectoryAuthority(%d, %s)" % (self.authority_id, self.nickname)
+
+
+def make_authorities(
+    count: int = TOR_AUTHORITY_COUNT,
+    seed: int = 7,
+    bandwidth_authority_count: "int | None" = None,
+) -> Tuple[List[DirectoryAuthority], KeyRing]:
+    """Create ``count`` directory authorities and their shared key ring.
+
+    Parameters
+    ----------
+    count:
+        Number of authorities (nine on the live network).
+    seed:
+        Seed for deterministic fingerprints.
+    bandwidth_authority_count:
+        How many of the authorities run bandwidth scanners; the live network
+        has roughly half of the authorities measuring.  Defaults to
+        ``min(5, count)``.
+    """
+    ensure(count >= 1, "authority count must be at least 1")
+    if bandwidth_authority_count is None:
+        bandwidth_authority_count = min(5, count)
+    ensure(
+        0 <= bandwidth_authority_count <= count,
+        "bandwidth_authority_count must be between 0 and count",
+    )
+    rng = DeterministicRNG(seed).child("authorities")
+    authorities: List[DirectoryAuthority] = []
+    pairs: List[KeyPair] = []
+    for index in range(count):
+        nickname = (
+            TOR_AUTHORITY_NICKNAMES[index]
+            if index < len(TOR_AUTHORITY_NICKNAMES)
+            else "auth%d" % index
+        )
+        fingerprint = rng.child(index).hex_string(40)
+        pair = KeyPair.generate("auth-%d" % index, seed=seed.to_bytes(8, "big"))
+        pairs.append(pair)
+        authorities.append(
+            DirectoryAuthority(
+                authority_id=index,
+                nickname=nickname,
+                fingerprint=fingerprint,
+                address="100.0.0.%d:8080" % (index + 1),
+                keypair=pair,
+                is_bandwidth_authority=index < bandwidth_authority_count,
+            )
+        )
+    return authorities, KeyRing(pairs)

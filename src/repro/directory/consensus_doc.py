@@ -1,0 +1,146 @@
+"""Consensus documents and their signatures.
+
+The output of every directory protocol in this library is a
+:class:`ConsensusDocument`: the aggregated relay list plus the set of
+authority signatures attached to it.  A consensus is *valid* for clients only
+if it carries signatures from a majority of authorities over the **same**
+document digest — that requirement is exactly what the DDoS attack exploits
+(authorities that aggregated different vote subsets produce different
+documents, whose signatures do not add up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.crypto.digest import digest_hex, sha256_digest
+from repro.crypto.keys import KeyPair, KeyRing
+from repro.crypto.signatures import Signature, sign, verify
+from repro.directory.relay import Relay
+from repro.utils.validation import ensure
+
+
+@dataclass(frozen=True)
+class ConsensusSignature:
+    """A single authority signature over a consensus document digest."""
+
+    authority_id: int
+    authority_fingerprint: str
+    signature: Signature
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the signature record."""
+        return self.signature.size_bytes + len(self.authority_fingerprint)
+
+
+@dataclass
+class ConsensusDocument:
+    """The hourly network-status consensus.
+
+    Attributes
+    ----------
+    valid_after:
+        Start of the validity period.
+    relays:
+        Aggregated relay entries keyed by fingerprint.
+    source_vote_digests:
+        Digests of the votes that went into the aggregation, in authority-ID
+        order (⊥ entries are omitted).  Two consensuses are byte-identical iff
+        they aggregated the same votes, which is how the safety arguments in
+        the paper are phrased.
+    signatures:
+        Authority signatures collected so far.
+    voting_interval:
+        Consensus period length (seconds).
+    """
+
+    valid_after: float
+    relays: Dict[str, Relay]
+    source_vote_digests: Tuple[str, ...] = ()
+    signatures: List[ConsensusSignature] = field(default_factory=list)
+    voting_interval: float = 3600.0
+
+    # -- lifetime rules (dir-spec §1.4) -----------------------------------
+    @property
+    def fresh_until(self) -> float:
+        """Time after which clients should prefer a newer consensus."""
+        return self.valid_after + self.voting_interval
+
+    @property
+    def valid_until(self) -> float:
+        """Time after which clients must not use this consensus (3 periods)."""
+        return self.valid_after + 3 * self.voting_interval
+
+    def is_usable_at(self, time: float) -> bool:
+        """True if clients may still use the consensus at ``time``."""
+        return self.valid_after <= time <= self.valid_until
+
+    # -- content ------------------------------------------------------------
+    @property
+    def relay_count(self) -> int:
+        """Number of relays listed in the consensus."""
+        return len(self.relays)
+
+    def serialize_body(self) -> str:
+        """Serialise the unsigned consensus body."""
+        lines = [
+            "network-status-version 3",
+            "vote-status consensus",
+            "consensus-method 33",
+            "valid-after %d" % int(self.valid_after),
+            "fresh-until %d" % int(self.fresh_until),
+            "valid-until %d" % int(self.valid_until),
+            "voting-delay 300 300",
+            "sources %s" % ",".join(self.source_vote_digests),
+        ]
+        parts = ["\n".join(lines) + "\n"]
+        for fingerprint in sorted(self.relays):
+            parts.append(self.relays[fingerprint].serialize())
+        return "".join(parts)
+
+    def digest(self) -> bytes:
+        """SHA-256 digest of the unsigned body."""
+        return sha256_digest(self.serialize_body())
+
+    def digest_hex(self) -> str:
+        """Hex digest of the unsigned body."""
+        return digest_hex(self.serialize_body())
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the body plus attached signatures."""
+        return len(self.serialize_body().encode("utf-8")) + sum(
+            signature.size_bytes for signature in self.signatures
+        )
+
+    # -- signatures ----------------------------------------------------------
+    def sign_with(self, authority_id: int, fingerprint: str, keypair: KeyPair) -> ConsensusSignature:
+        """Create (and attach) this authority's signature over the body digest."""
+        signature = sign(keypair, "consensus", self.digest())
+        record = ConsensusSignature(authority_id, fingerprint, signature)
+        self.add_signature(record)
+        return record
+
+    def add_signature(self, record: ConsensusSignature) -> None:
+        """Attach a signature record, ignoring duplicates from the same authority."""
+        if any(existing.authority_id == record.authority_id for existing in self.signatures):
+            return
+        self.signatures.append(record)
+
+    def valid_signatures(self, ring: KeyRing) -> List[ConsensusSignature]:
+        """Return the attached signatures that verify over this body digest."""
+        digest = self.digest()
+        good = []
+        for record in self.signatures:
+            if record.signature.message != digest:
+                continue
+            if verify(ring, record.signature):
+                good.append(record)
+        return good
+
+    def is_valid(self, ring: KeyRing, total_authorities: int) -> bool:
+        """True when a strict majority of authorities signed this exact body."""
+        ensure(total_authorities > 0, "total_authorities must be positive")
+        return len(self.valid_signatures(ring)) * 2 > total_authorities

@@ -1,0 +1,47 @@
+"""Section 4.3: the attack-cost estimate ($0.074 per run, $53.28 per month).
+
+Combines the Figure 7 bandwidth requirement with the Jansen et al. stressor
+price to reproduce the paper's headline cost numbers.  The bandwidth
+requirement can either be supplied (e.g. measured by the Figure 7 search) or
+default to the paper's 10 Mbit/s figure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.reporting import format_table
+from repro.attack.cost import AttackCostEstimate, AttackCostModel
+
+
+def run_cost_analysis(
+    required_bandwidth_mbps: float = 10.0,
+    authority_link_mbps: float = 250.0,
+    targets: int = 5,
+    attack_seconds_per_run: float = 300.0,
+) -> AttackCostEstimate:
+    """Compute the attack-cost breakdown."""
+    model = AttackCostModel(
+        authority_link_mbps=authority_link_mbps,
+        required_bandwidth_mbps=required_bandwidth_mbps,
+        targets=targets,
+        attack_seconds_per_run=attack_seconds_per_run,
+    )
+    return model.estimate()
+
+
+def render_cost_analysis(estimate: AttackCostEstimate) -> str:
+    """Render the cost breakdown as text."""
+    rows = [
+        ("Attack traffic per target", "%.0f Mbit/s" % estimate.traffic_per_target_mbps),
+        ("Targets (majority of authorities)", str(estimate.targets)),
+        ("Attack time per consensus run", "%.0f s" % estimate.attack_seconds_per_run),
+        ("Cost per disrupted run", "$%.3f" % estimate.cost_per_run_usd),
+        ("Cost per day", "$%.2f" % estimate.cost_per_day_usd),
+        ("Cost per month (30 days)", "$%.2f" % estimate.cost_per_month_usd),
+    ]
+    return format_table(
+        ["Quantity", "Value"],
+        rows,
+        title="Section 4.3: estimated cost of keeping the Tor directory protocol down",
+    )

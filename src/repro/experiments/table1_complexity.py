@@ -1,0 +1,68 @@
+"""Table 1: design comparison and communication complexity.
+
+The analytic column instantiates the paper's big-O expressions; the measured
+column comes from running each protocol on the simulator (at a modest relay
+count so the synchronous protocol still succeeds) and summing the bytes the
+transport delivered.  The benchmark checks the *ordering* the paper claims:
+synchronous ≫ ours > current in document traffic, with ours close to current.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.complexity import ComplexityRow, complexity_comparison_table
+from repro.analysis.reporting import format_table
+from repro.protocols.base import DirectoryProtocolConfig
+from repro.protocols.runner import build_scenario, run_protocol
+
+
+def measure_protocol_bytes(
+    relay_count: int = 1000,
+    bandwidth_mbps: float = 250.0,
+    config: Optional[DirectoryProtocolConfig] = None,
+    seed: int = 7,
+) -> Dict[str, float]:
+    """Total delivered bytes per protocol at one configuration."""
+    config = config or DirectoryProtocolConfig()
+    scenario = build_scenario(relay_count=relay_count, bandwidth_mbps=bandwidth_mbps, seed=seed)
+    measured: Dict[str, float] = {}
+    for protocol in ("current", "synchronous", "ours"):
+        result = run_protocol(protocol, scenario, config=config, max_time=1800.0)
+        measured[protocol] = result.stats.total_bytes_delivered
+    return measured
+
+
+def run_table1(
+    relay_count: int = 1000,
+    measure: bool = True,
+    seed: int = 7,
+) -> List[ComplexityRow]:
+    """Build Table 1 rows, optionally annotated with measured traffic."""
+    scenario = build_scenario(relay_count=relay_count, seed=seed)
+    document_bytes = scenario.votes[0].size_bytes
+    measured = measure_protocol_bytes(relay_count=relay_count, seed=seed) if measure else None
+    return complexity_comparison_table(
+        n=len(scenario.authorities), document_bytes=document_bytes, measured=measured
+    )
+
+
+def render_table1(rows: Sequence[ComplexityRow]) -> str:
+    """Render Table 1 as text."""
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            (
+                row.protocol,
+                row.network_model,
+                row.security,
+                row.complexity_expression,
+                "%.1f MB" % (row.estimated_bytes / 1e6),
+                "-" if row.measured_bytes is None else "%.1f MB" % (row.measured_bytes / 1e6),
+            )
+        )
+    return format_table(
+        ["Protocol", "Network model", "Security", "Complexity", "Analytic traffic", "Measured traffic"],
+        table_rows,
+        title="Table 1: comparison of Tor directory protocol designs",
+    )

@@ -1,0 +1,35 @@
+"""Synthetic Tor network generation (the tornettools / Tor-Metrics substitute).
+
+The paper derives its workloads from two data sources we do not have access
+to in an offline reproduction:
+
+* **tornettools** private-Tor-network configurations, which determine how
+  many relays each authority knows about and with what attributes, and
+* **Tor Metrics** relay-count history (Figure 6), which motivates the sweep
+  over 1,000–10,000 relays.
+
+This sub-package replaces both with seeded synthetic generators that preserve
+the properties the experiments actually depend on: the number of relays, the
+per-relay vote-entry size, realistic attribute distributions for the
+aggregation algorithm, and per-authority *views* that differ slightly (an
+authority may have missed a relay or measured a different bandwidth), which
+is what makes aggregation non-trivial.
+"""
+
+from repro.netgen.relaygen import RelayPopulation, RelayPopulationConfig, generate_population
+from repro.netgen.views import AuthorityViewConfig, generate_authority_votes
+from repro.netgen.metrics import RelayCountSeries, TOR_METRICS_AVERAGE, synthesize_relay_counts
+from repro.netgen.topology_gen import AuthorityTopology, generate_topology
+
+__all__ = [
+    "RelayPopulation",
+    "RelayPopulationConfig",
+    "generate_population",
+    "AuthorityViewConfig",
+    "generate_authority_votes",
+    "RelayCountSeries",
+    "TOR_METRICS_AVERAGE",
+    "synthesize_relay_counts",
+    "AuthorityTopology",
+    "generate_topology",
+]

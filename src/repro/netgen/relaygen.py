@@ -1,0 +1,142 @@
+"""Synthetic relay population generator.
+
+Creates a population of :class:`~repro.directory.relay.Relay` entries with
+attribute distributions loosely matching the live Tor network:
+
+* roughly 15% of relays are exits, 40% guards, nearly all Running/Valid,
+* bandwidths follow a log-normal distribution (most relays are slow, a few
+  are very fast),
+* a handful of Tor versions are in circulation at any time,
+* exit policies come from a small set of common summaries.
+
+The absolute values do not need to match Tor Metrics — only the *sizes* of
+the resulting vote entries and the fact that attribute disagreement between
+authorities exercises every branch of the aggregation algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.directory.relay import ExitPolicySummary, Relay, RelayFlag
+from repro.utils.rng import DeterministicRNG
+from repro.utils.validation import ensure
+
+#: Tor versions commonly seen on the network, oldest to newest.
+COMMON_VERSIONS: Tuple[str, ...] = (
+    "Tor 0.4.7.16",
+    "Tor 0.4.8.10",
+    "Tor 0.4.8.12",
+    "Tor 0.4.8.13",
+)
+
+#: Exit-policy summaries commonly seen on the network.
+COMMON_EXIT_POLICIES: Tuple[ExitPolicySummary, ...] = (
+    ExitPolicySummary(accept=True, ports="80,443"),
+    ExitPolicySummary(accept=True, ports="20-23,43,53,79-81,443,8080"),
+    ExitPolicySummary(accept=False, ports="25,119,135-139,445,563"),
+    ExitPolicySummary(accept=False, ports="1-65535"),
+)
+
+
+@dataclass(frozen=True)
+class RelayPopulationConfig:
+    """Configuration for :func:`generate_population`."""
+
+    relay_count: int = 8000
+    exit_fraction: float = 0.15
+    guard_fraction: float = 0.40
+    fast_fraction: float = 0.80
+    stable_fraction: float = 0.55
+    hsdir_fraction: float = 0.50
+    running_fraction: float = 0.97
+    bandwidth_lognormal_mu: float = 8.0
+    bandwidth_lognormal_sigma: float = 1.4
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        ensure(self.relay_count >= 0, "relay_count must be non-negative")
+        for name in (
+            "exit_fraction",
+            "guard_fraction",
+            "fast_fraction",
+            "stable_fraction",
+            "hsdir_fraction",
+            "running_fraction",
+        ):
+            value = getattr(self, name)
+            ensure(0.0 <= value <= 1.0, "%s must be within [0, 1]" % name)
+
+
+@dataclass
+class RelayPopulation:
+    """A generated relay population (the "ground truth" network)."""
+
+    config: RelayPopulationConfig
+    relays: List[Relay]
+
+    @property
+    def relay_count(self) -> int:
+        """Number of relays in the population."""
+        return len(self.relays)
+
+    def total_vote_entry_bytes(self) -> int:
+        """Sum of per-relay vote-entry sizes; the dominant part of a vote."""
+        return sum(relay.entry_size_bytes for relay in self.relays)
+
+    def average_entry_bytes(self) -> float:
+        """Average serialised size of one relay entry."""
+        if not self.relays:
+            return 0.0
+        return self.total_vote_entry_bytes() / len(self.relays)
+
+
+def _relay_flags(rng: DeterministicRNG, config: RelayPopulationConfig, is_exit: bool) -> frozenset:
+    flags = {RelayFlag.VALID}
+    if rng.bernoulli(config.running_fraction):
+        flags.add(RelayFlag.RUNNING)
+    if is_exit:
+        flags.add(RelayFlag.EXIT)
+    if rng.bernoulli(config.guard_fraction):
+        flags.add(RelayFlag.GUARD)
+    if rng.bernoulli(config.fast_fraction):
+        flags.add(RelayFlag.FAST)
+    if rng.bernoulli(config.stable_fraction):
+        flags.add(RelayFlag.STABLE)
+    if rng.bernoulli(config.hsdir_fraction):
+        flags.add(RelayFlag.HSDIR)
+    if rng.bernoulli(0.3):
+        flags.add(RelayFlag.V2DIR)
+    return frozenset(flags)
+
+
+def generate_population(config: RelayPopulationConfig = RelayPopulationConfig()) -> RelayPopulation:
+    """Generate a deterministic relay population from ``config``."""
+    rng = DeterministicRNG(config.seed).child("relay-population")
+    relays: List[Relay] = []
+    for index in range(config.relay_count):
+        relay_rng = rng.child(index)
+        is_exit = relay_rng.bernoulli(config.exit_fraction)
+        bandwidth = max(
+            20,
+            int(relay_rng.lognormal(config.bandwidth_lognormal_mu, config.bandwidth_lognormal_sigma) / 8),
+        )
+        relay = Relay(
+            fingerprint=relay_rng.hex_string(40),
+            nickname="relay%06d" % index,
+            address="10.%d.%d.%d"
+            % (relay_rng.randint(0, 254), relay_rng.randint(0, 254), relay_rng.randint(1, 254)),
+            or_port=relay_rng.choice([443, 9001, 9002, 8443]),
+            dir_port=relay_rng.choice([0, 80, 9030]),
+            flags=_relay_flags(relay_rng, config, is_exit),
+            version=relay_rng.choice(list(COMMON_VERSIONS)),
+            exit_policy=relay_rng.choice(list(COMMON_EXIT_POLICIES))
+            if is_exit
+            else ExitPolicySummary(accept=False, ports="1-65535"),
+            bandwidth=bandwidth,
+            measured=False,
+            descriptor_digest=relay_rng.hex_string(40),
+        )
+        relays.append(relay)
+    return RelayPopulation(config=config, relays=relays)

@@ -1,0 +1,110 @@
+"""Per-authority views of a relay population.
+
+Real directory authorities do not see identical relay populations: a relay's
+self-published descriptor may have reached one authority and not another,
+reachability tests disagree, and only bandwidth authorities attach measured
+bandwidths.  Those disagreements are exactly what makes the Figure-2
+aggregation algorithm non-trivial, so the vote generator models them:
+
+* each authority *misses* a small fraction of relays entirely,
+* each authority flips Running/Stable/Guard flags on a small fraction,
+* bandwidth authorities attach noisy measured bandwidths,
+* a small fraction of nicknames disagree (exercising the largest-authority-ID
+  rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.directory.authority import DirectoryAuthority
+from repro.directory.relay import Relay, RelayFlag
+from repro.directory.vote import VoteDocument
+from repro.netgen.relaygen import RelayPopulation
+from repro.utils.rng import DeterministicRNG
+from repro.utils.validation import ensure
+
+
+@dataclass(frozen=True)
+class AuthorityViewConfig:
+    """Controls how much authorities' views disagree."""
+
+    miss_probability: float = 0.01
+    flag_flip_probability: float = 0.03
+    nickname_disagreement_probability: float = 0.002
+    measurement_noise: float = 0.10
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        for name in (
+            "miss_probability",
+            "flag_flip_probability",
+            "nickname_disagreement_probability",
+        ):
+            value = getattr(self, name)
+            ensure(0.0 <= value <= 1.0, "%s must be within [0, 1]" % name)
+        ensure(self.measurement_noise >= 0.0, "measurement_noise must be non-negative")
+
+
+def _perturb_flags(rng: DeterministicRNG, relay: Relay, config: AuthorityViewConfig) -> Relay:
+    flags = set(relay.flags)
+    for flag in (RelayFlag.RUNNING, RelayFlag.STABLE, RelayFlag.GUARD, RelayFlag.FAST):
+        if rng.bernoulli(config.flag_flip_probability):
+            if flag in flags:
+                flags.discard(flag)
+            else:
+                flags.add(flag)
+    return relay.with_flags(frozenset(flags))
+
+
+def _authority_entry(
+    rng: DeterministicRNG,
+    relay: Relay,
+    authority: DirectoryAuthority,
+    config: AuthorityViewConfig,
+) -> Relay:
+    entry = _perturb_flags(rng, relay, config)
+    if rng.bernoulli(config.nickname_disagreement_probability):
+        entry = replace(entry, nickname=relay.nickname + "x")
+    if authority.is_bandwidth_authority:
+        noise = 1.0 + rng.uniform(-config.measurement_noise, config.measurement_noise)
+        entry = entry.with_bandwidth(max(1, int(relay.bandwidth * noise)), measured=True)
+    return entry
+
+
+def generate_authority_votes(
+    population: RelayPopulation,
+    authorities: Sequence[DirectoryAuthority],
+    config: AuthorityViewConfig = AuthorityViewConfig(),
+    valid_after: float = 0.0,
+    voting_interval: float = 3600.0,
+    padded_relay_count: "Optional[int]" = None,
+) -> Dict[int, VoteDocument]:
+    """Generate one vote per authority over ``population``.
+
+    Returns a mapping from authority ID to that authority's
+    :class:`~repro.directory.vote.VoteDocument`.  ``padded_relay_count``
+    makes each vote report the wire size of a vote covering that many relays
+    (used by large parameter sweeps that materialise only a relay sample).
+    """
+    ensure(len(authorities) > 0, "need at least one authority")
+    votes: Dict[int, VoteDocument] = {}
+    base_rng = DeterministicRNG(config.seed).child("authority-views")
+    for authority in authorities:
+        auth_rng = base_rng.child(authority.authority_id)
+        entries: List[Relay] = []
+        for index, relay in enumerate(population.relays):
+            relay_rng = auth_rng.child(index)
+            if relay_rng.bernoulli(config.miss_probability):
+                continue
+            entries.append(_authority_entry(relay_rng, relay, authority, config))
+        votes[authority.authority_id] = VoteDocument.from_relays(
+            authority_id=authority.authority_id,
+            authority_fingerprint=authority.fingerprint,
+            relays=entries,
+            valid_after=valid_after,
+            voting_interval=voting_interval,
+            padded_relay_count=padded_relay_count,
+        )
+    return votes

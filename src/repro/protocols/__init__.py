@@ -1,0 +1,42 @@
+"""Directory protocols wired onto the network simulator.
+
+Three protocols are implemented, matching the three columns of the paper's
+evaluation (Figure 10, Table 1):
+
+* :mod:`repro.protocols.current_v3` — the deployed version-3 directory
+  protocol: four 150-second lock-step rounds (vote, fetch votes, signature,
+  fetch signatures) with per-connection timeouts;
+* :mod:`repro.protocols.synchronous_luo` — Luo et al.'s synchronous fix:
+  propose round, vote round (each vote packs every received list), a
+  Dolev–Strong style synchronisation round, then signatures;
+* :mod:`repro.protocols.partialsync` — the paper's new protocol: an
+  :class:`~repro.core.icps.ICPSNode` per authority (dissemination, view-based
+  agreement, aggregation) followed by Tor-level consensus signing.
+
+:mod:`repro.protocols.runner` builds simulator scenarios (authorities, votes,
+link schedules, attacks) and runs any of the three, returning a uniform
+:class:`~repro.protocols.base.ProtocolRunResult`.
+"""
+
+from repro.protocols.base import (
+    AuthorityOutcome,
+    DirectoryProtocolConfig,
+    ProtocolRunResult,
+)
+from repro.protocols.current_v3 import CurrentProtocolAuthority
+from repro.protocols.synchronous_luo import SynchronousLuoAuthority
+from repro.protocols.partialsync import PartialSyncAuthority
+from repro.protocols.runner import PROTOCOL_NAMES, Scenario, build_scenario, run_protocol
+
+__all__ = [
+    "AuthorityOutcome",
+    "DirectoryProtocolConfig",
+    "ProtocolRunResult",
+    "CurrentProtocolAuthority",
+    "SynchronousLuoAuthority",
+    "PartialSyncAuthority",
+    "PROTOCOL_NAMES",
+    "Scenario",
+    "build_scenario",
+    "run_protocol",
+]

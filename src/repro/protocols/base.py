@@ -1,0 +1,186 @@
+"""Shared configuration, outcome types, and the authority-node base class."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.crypto.keys import KeyRing
+from repro.directory.aggregate import AggregationConfig, aggregate_votes
+from repro.directory.authority import DirectoryAuthority
+from repro.directory.consensus_doc import ConsensusDocument, ConsensusSignature
+from repro.directory.vote import VoteDocument
+from repro.simnet.network import TransferStats
+from repro.simnet.node import ProtocolNode
+from repro.simnet.trace import TraceLog
+from repro.utils.validation import ensure
+
+
+@dataclass(frozen=True)
+class DirectoryProtocolConfig:
+    """Parameters shared by all directory protocols.
+
+    Attributes
+    ----------
+    round_duration:
+        Lock-step round length for the synchronous protocols (150 s live).
+    connection_timeout:
+        Directory connection timeout: a vote push or fetch that has not
+        completed within this window is abandoned (what produces the
+        "Giving up downloading votes" lines in Figure 1).
+    package_transfer_timeout:
+        Transfer window for the synchronous (Luo et al.) protocol's large
+        vote packages, which are streamed within a round rather than going
+        through the dir-client request path.  Calibrated so the protocol's
+        failure threshold lands near the paper's (~2,000 relays at 10 Mbit/s).
+    consensus_interval:
+        Period between consensus runs (3600 s live); used for lifetime rules
+        and the attack-cost model.
+    signature_size_bytes:
+        Modelled wire size of a detached consensus signature message.
+    inclusion_rule:
+        Relay-inclusion rule handed to the aggregation algorithm.
+    """
+
+    round_duration: float = 150.0
+    connection_timeout: float = 18.0
+    package_transfer_timeout: float = 45.0
+    consensus_interval: float = 3600.0
+    signature_size_bytes: int = 512
+    inclusion_rule: str = "at-least-half"
+
+    def __post_init__(self) -> None:
+        ensure(self.round_duration > 0, "round_duration must be positive")
+        ensure(self.connection_timeout > 0, "connection_timeout must be positive")
+        ensure(self.package_transfer_timeout > 0, "package_transfer_timeout must be positive")
+        ensure(self.consensus_interval > 0, "consensus_interval must be positive")
+
+    def aggregation_config(self) -> AggregationConfig:
+        """The aggregation configuration used when computing a consensus."""
+        return AggregationConfig(
+            inclusion_rule=self.inclusion_rule,
+            voting_interval=self.consensus_interval,
+        )
+
+
+@dataclass
+class AuthorityOutcome:
+    """What one authority ended up with after a protocol run."""
+
+    authority_id: int
+    success: bool = False
+    consensus_digest: Optional[str] = None
+    signature_count: int = 0
+    votes_held: int = 0
+    completion_time: Optional[float] = None
+    network_latency: Optional[float] = None
+    failure_reason: Optional[str] = None
+
+
+@dataclass
+class ProtocolRunResult:
+    """Aggregate result of one directory-protocol run on the simulator."""
+
+    protocol: str
+    success: bool
+    latency: Optional[float]
+    outcomes: Dict[int, AuthorityOutcome]
+    stats: TransferStats
+    trace: TraceLog
+    start_time: float
+    end_time: float
+    relay_count: int = 0
+
+    @property
+    def successful_authorities(self) -> List[int]:
+        """IDs of authorities that obtained a fully signed consensus."""
+        return sorted(aid for aid, outcome in self.outcomes.items() if outcome.success)
+
+    def latency_from(self, reference_time: float) -> Optional[float]:
+        """Mean completion latency measured from ``reference_time`` (Figure 11)."""
+        times = [
+            outcome.completion_time - reference_time
+            for outcome in self.outcomes.values()
+            if outcome.success and outcome.completion_time is not None
+        ]
+        if not times:
+            return None
+        return sum(times) / len(times)
+
+
+class DirectoryAuthorityNode(ProtocolNode):
+    """Base class for the per-protocol authority implementations.
+
+    Holds the authority's identity, its vote, the shared key ring, and the
+    outcome record; provides the consensus computation + signing helper that
+    all three protocols share (they differ only in *which* votes reach the
+    aggregation and *when*).
+    """
+
+    def __init__(
+        self,
+        authority: DirectoryAuthority,
+        peers: Sequence[DirectoryAuthority],
+        vote: VoteDocument,
+        ring: KeyRing,
+        config: DirectoryProtocolConfig,
+    ) -> None:
+        super().__init__(name=authority.name)
+        self.authority = authority
+        self.peers = [peer for peer in peers if peer.authority_id != authority.authority_id]
+        self.all_authorities = sorted(peers, key=lambda a: a.authority_id)
+        self.vote = vote
+        self.ring = ring
+        self.config = config
+        self.outcome = AuthorityOutcome(authority_id=authority.authority_id)
+        self.consensus: Optional[ConsensusDocument] = None
+
+    # -- common helpers ----------------------------------------------------
+    @property
+    def total_authorities(self) -> int:
+        """Number of directory authorities in the run."""
+        return len(self.all_authorities)
+
+    @property
+    def majority(self) -> int:
+        """Strict majority of authorities (5 of 9 on the live network)."""
+        return self.total_authorities // 2 + 1
+
+    def peer_names(self) -> List[str]:
+        """Simulator node names of every other authority."""
+        return [peer.name for peer in self.peers]
+
+    def peer_by_name(self, name: str) -> Optional[DirectoryAuthority]:
+        """Look up a peer authority by simulator node name."""
+        for peer in self.all_authorities:
+            if peer.name == name:
+                return peer
+        return None
+
+    def compute_consensus(self, votes: Sequence[VoteDocument]) -> ConsensusDocument:
+        """Aggregate ``votes`` and attach this authority's signature."""
+        consensus = aggregate_votes(
+            list(votes),
+            config=self.config.aggregation_config(),
+            valid_after=self.vote.valid_after,
+        )
+        consensus.sign_with(
+            self.authority.authority_id, self.authority.fingerprint, self.authority.keypair
+        )
+        self.consensus = consensus
+        return consensus
+
+    def record_success(self, completion_time: float, network_latency: Optional[float] = None) -> None:
+        """Mark this authority's run as successful."""
+        self.outcome.success = True
+        self.outcome.completion_time = completion_time
+        self.outcome.network_latency = network_latency
+        if self.consensus is not None:
+            self.outcome.consensus_digest = self.consensus.digest_hex()
+
+    def record_failure(self, reason: str) -> None:
+        """Mark this authority's run as failed (idempotent, keeps first reason)."""
+        if self.outcome.success:
+            return
+        if self.outcome.failure_reason is None:
+            self.outcome.failure_reason = reason

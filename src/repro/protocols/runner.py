@@ -1,0 +1,189 @@
+"""Scenario construction and protocol execution on the network simulator.
+
+A :class:`Scenario` bundles everything one directory-protocol run needs:
+authority identities and keys, one vote per authority, pairwise latencies,
+and a bandwidth schedule per authority (constant for plain sweeps, windowed
+for DDoS experiments).  :func:`run_protocol` instantiates the requested
+protocol's authority nodes on a fresh simulator, runs it, and returns a
+:class:`~repro.protocols.base.ProtocolRunResult`.
+
+Large sweeps (Figures 7 and 10 go up to 10,000 relays) materialise a capped
+sample of relays per vote and use ``padded_relay_count`` so the bandwidth
+model still sees full-size documents; see DESIGN.md for the calibration
+discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.crypto.keys import KeyRing
+from repro.directory.authority import DirectoryAuthority, make_authorities
+from repro.directory.vote import VoteDocument
+from repro.netgen.relaygen import RelayPopulationConfig, generate_population
+from repro.netgen.topology_gen import AuthorityTopology, generate_topology
+from repro.netgen.views import AuthorityViewConfig, generate_authority_votes
+from repro.protocols.base import DirectoryProtocolConfig, ProtocolRunResult
+from repro.protocols.current_v3 import CurrentProtocolAuthority
+from repro.protocols.partialsync import PartialSyncAuthority
+from repro.protocols.synchronous_luo import SynchronousLuoAuthority
+from repro.simnet.bandwidth import BandwidthSchedule
+from repro.simnet.network import LinkConfig, SimNetwork
+from repro.utils.validation import ValidationError, ensure
+
+#: Names accepted by :func:`run_protocol`, matching the paper's legend.
+PROTOCOL_NAMES = ("current", "synchronous", "ours")
+
+#: Default cap on how many relays are materialised per vote in large sweeps.
+DEFAULT_CONTENT_RELAY_CAP = 120
+
+
+@dataclass
+class Scenario:
+    """Everything needed to run one directory-protocol instance."""
+
+    authorities: List[DirectoryAuthority]
+    ring: KeyRing
+    votes: Dict[int, VoteDocument]
+    topology: AuthorityTopology
+    bandwidth_schedules: Dict[int, BandwidthSchedule]
+    relay_count: int
+    scheduling: str = "fair"
+
+    def with_bandwidth_schedules(self, schedules: Dict[int, BandwidthSchedule]) -> "Scenario":
+        """Return a copy with some authorities' bandwidth schedules replaced."""
+        merged = dict(self.bandwidth_schedules)
+        merged.update(schedules)
+        return replace(self, bandwidth_schedules=merged)
+
+
+def build_scenario(
+    relay_count: int,
+    bandwidth_mbps: float = 250.0,
+    authority_count: int = 9,
+    seed: int = 7,
+    content_relay_cap: int = DEFAULT_CONTENT_RELAY_CAP,
+    scheduling: str = "fair",
+    view_config: Optional[AuthorityViewConfig] = None,
+) -> Scenario:
+    """Build a scenario with ``relay_count`` relays and uniform authority bandwidth."""
+    ensure(relay_count >= 1, "relay_count must be at least 1")
+    ensure(bandwidth_mbps > 0, "bandwidth_mbps must be positive")
+    authorities, ring = make_authorities(authority_count, seed=seed)
+    materialised = min(relay_count, content_relay_cap)
+    population = generate_population(
+        RelayPopulationConfig(relay_count=materialised, seed=seed)
+    )
+    votes = generate_authority_votes(
+        population,
+        authorities,
+        config=view_config or AuthorityViewConfig(seed=seed),
+        padded_relay_count=relay_count,
+    )
+    topology = generate_topology(authorities, bandwidth_mbps=bandwidth_mbps, seed=seed)
+    schedules = {
+        authority.authority_id: BandwidthSchedule.constant_mbps(bandwidth_mbps)
+        for authority in authorities
+    }
+    return Scenario(
+        authorities=authorities,
+        ring=ring,
+        votes=votes,
+        topology=topology,
+        bandwidth_schedules=schedules,
+        relay_count=relay_count,
+        scheduling=scheduling,
+    )
+
+
+def _make_authority_node(
+    protocol: str,
+    authority: DirectoryAuthority,
+    scenario: Scenario,
+    config: DirectoryProtocolConfig,
+    engine: str,
+    delta: float,
+    view_timeout: float,
+):
+    vote = scenario.votes[authority.authority_id]
+    if protocol == "current":
+        return CurrentProtocolAuthority(authority, scenario.authorities, vote, scenario.ring, config)
+    if protocol == "synchronous":
+        return SynchronousLuoAuthority(authority, scenario.authorities, vote, scenario.ring, config)
+    if protocol == "ours":
+        return PartialSyncAuthority(
+            authority,
+            scenario.authorities,
+            vote,
+            scenario.ring,
+            config,
+            engine=engine,
+            delta=delta,
+            view_timeout=view_timeout,
+        )
+    raise ValidationError("unknown protocol %r; expected one of %r" % (protocol, PROTOCOL_NAMES))
+
+
+def run_protocol(
+    protocol: str,
+    scenario: Scenario,
+    config: Optional[DirectoryProtocolConfig] = None,
+    max_time: float = 3600.0,
+    engine: str = "hotstuff",
+    delta: float = 30.0,
+    view_timeout: float = 30.0,
+) -> ProtocolRunResult:
+    """Run ``protocol`` ("current", "synchronous", or "ours") over ``scenario``."""
+    config = config or DirectoryProtocolConfig()
+    network = SimNetwork(scheduling=scenario.scheduling)
+    nodes = []
+    for authority in scenario.authorities:
+        node = _make_authority_node(
+            protocol, authority, scenario, config, engine, delta, view_timeout
+        )
+        schedule = scenario.bandwidth_schedules[authority.authority_id]
+        network.add_node(node, LinkConfig.symmetric(schedule))
+        nodes.append(node)
+
+    for i, a in enumerate(scenario.authorities):
+        for b in scenario.authorities[i + 1 :]:
+            network.set_latency(
+                a.name, b.name, scenario.topology.latency_between(a.authority_id, b.authority_id)
+            )
+
+    network.start(at=0.0)
+    end_time = network.run(until=max_time)
+
+    outcomes = {node.authority.authority_id: node.outcome for node in nodes}
+    successes = [outcome for outcome in outcomes.values() if outcome.success]
+    run_success = len(successes) >= (len(scenario.authorities) // 2 + 1)
+
+    latency: Optional[float] = None
+    if run_success:
+        if protocol == "ours":
+            values = [
+                outcome.completion_time
+                for outcome in successes
+                if outcome.completion_time is not None
+            ]
+        else:
+            values = [
+                outcome.network_latency
+                for outcome in successes
+                if outcome.network_latency is not None
+            ]
+        if values:
+            latency = sum(values) / len(values)
+
+    return ProtocolRunResult(
+        protocol=protocol,
+        success=run_success,
+        latency=latency,
+        outcomes=outcomes,
+        stats=network.stats,
+        trace=network.trace,
+        start_time=0.0,
+        end_time=end_time,
+        relay_count=scenario.relay_count,
+    )

@@ -1,0 +1,39 @@
+"""Deterministic discrete-event network simulator (the Shadow substitute).
+
+The paper evaluates everything on Shadow, a high-fidelity network simulator
+running real Tor binaries.  What the experiments actually exercise is much
+narrower: message sizes, per-host bandwidth that varies over time (the DDoS
+model), propagation latency, protocol timers, and per-connection timeouts.
+:mod:`repro.simnet` models exactly those:
+
+* :class:`Simulator` — a deterministic event loop (virtual time, heap-ordered
+  events, stable tie-breaking);
+* :class:`BandwidthSchedule` — piecewise-constant link capacity over time;
+  DDoS attacks and GST are expressed as windows of reduced capacity;
+* :class:`SimNetwork` — nodes, links, and a flow-based transport layer with
+  either max-min **fair sharing** (TCP-like) or **FIFO** per-uplink
+  scheduling, per-flow timeouts, and per-node byte accounting;
+* :class:`ProtocolNode` — the base class all protocol state machines extend
+  (message handlers, timers, structured logging);
+* :class:`TraceLog` — Tor-style log records used to reproduce Figure 1.
+"""
+
+from repro.simnet.engine import EventHandle, Simulator
+from repro.simnet.bandwidth import BandwidthSchedule
+from repro.simnet.message import Message
+from repro.simnet.network import LinkConfig, SimNetwork, TransferStats
+from repro.simnet.node import ProtocolNode
+from repro.simnet.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "EventHandle",
+    "Simulator",
+    "BandwidthSchedule",
+    "Message",
+    "LinkConfig",
+    "SimNetwork",
+    "TransferStats",
+    "ProtocolNode",
+    "TraceLog",
+    "TraceRecord",
+]

@@ -1,0 +1,140 @@
+"""The discrete-event simulation engine.
+
+A deliberately small, deterministic event loop:
+
+* virtual time is a float number of seconds starting at 0;
+* events are ordered by ``(time, sequence_number)`` so that ties are broken
+  by scheduling order, never by memory layout or hashing;
+* cancelled events stay in the heap but are skipped, which keeps cancellation
+  O(1).
+
+Every protocol, transport flow, and timer in the library is ultimately an
+event in this loop, which is what makes whole-experiment runs reproducible
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.utils.validation import ReproError, ensure
+
+
+class SimulationError(ReproError):
+    """Raised for impossible simulation operations (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; supports cancellation."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: Tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Cancel the event; cancelled events are skipped by the loop."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        state = "cancelled" if self.cancelled else "pending"
+        return "EventHandle(t=%.6f, seq=%d, %s)" % (self.time, self.seq, state)
+
+
+class Simulator:
+    """A deterministic virtual-time event loop."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._processed_events = 0
+
+    # -- time --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (useful for run-away detection)."""
+        return self._processed_events
+
+    @property
+    def pending_events(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                "cannot schedule event at %.6f, current time is %.6f" % (time, self._now)
+            )
+        handle = EventHandle(max(time, self._now), next(self._seq), callback, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def schedule_in(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` seconds of virtual time."""
+        ensure(delay >= 0, "delay must be non-negative")
+        return self.schedule(self._now + delay, callback, *args)
+
+    def cancel(self, handle: Optional[EventHandle]) -> None:
+        """Cancel a previously scheduled event (no-op for None)."""
+        if handle is not None:
+            handle.cancel()
+
+    # -- execution -------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when the queue is empty."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            self._processed_events += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Run events until the queue empties or virtual time passes ``until``.
+
+        Returns the virtual time at which the run stopped.  ``max_events``
+        protects against runaway protocols in tests.
+        """
+        executed = 0
+        while self._heap:
+            # Peek at the next non-cancelled event.
+            while self._heap and self._heap[0].cancelled:
+                heapq.heappop(self._heap)
+            if not self._heap:
+                break
+            next_time = self._heap[0].time
+            if until is not None and next_time > until:
+                self._now = until
+                return self._now
+            if not self.step():
+                break
+            executed += 1
+            if executed > max_events:
+                raise SimulationError("exceeded max_events=%d; runaway simulation?" % max_events)
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Run until no events remain; returns the final virtual time."""
+        return self.run(until=None, max_events=max_events)

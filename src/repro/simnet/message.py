@@ -1,0 +1,59 @@
+"""Protocol messages carried by the simulated network.
+
+A :class:`Message` is a typed envelope with an explicit wire size.  The
+transport layer only cares about ``size_bytes``; the protocol layers switch on
+``msg_type`` and read ``payload``.  Keeping the size explicit (rather than
+serialising payloads) lets the protocols attach rich Python objects while the
+bandwidth model still sees realistic document sizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.utils.validation import ensure
+
+_MESSAGE_IDS = itertools.count(1)
+
+#: Modelled size of protocol framing / headers for small control messages.
+CONTROL_MESSAGE_OVERHEAD_BYTES = 256
+
+
+@dataclass
+class Message:
+    """A single protocol message.
+
+    Attributes
+    ----------
+    msg_type:
+        Protocol-level type tag, e.g. ``"VOTE"``, ``"DOCUMENT"``,
+        ``"HOTSTUFF/PREPARE"``.
+    sender:
+        Name of the sending node (filled by the network on send).
+    payload:
+        Arbitrary protocol payload.
+    size_bytes:
+        Wire size used by the bandwidth model.
+    msg_id:
+        Unique identifier (assigned automatically), useful in traces.
+    metadata:
+        Free-form annotations (e.g. the round the message belongs to).
+    """
+
+    msg_type: str
+    sender: str = ""
+    payload: Any = None
+    size_bytes: int = CONTROL_MESSAGE_OVERHEAD_BYTES
+    msg_id: int = field(default_factory=lambda: next(_MESSAGE_IDS))
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        ensure(self.msg_type != "", "message type must not be empty")
+        ensure(self.size_bytes >= 0, "message size must be non-negative")
+
+    def annotated(self, **extra: Any) -> "Message":
+        """Return self after merging ``extra`` into the metadata (chainable)."""
+        self.metadata.update(extra)
+        return self

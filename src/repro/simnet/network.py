@@ -1,0 +1,391 @@
+"""The simulated network: nodes, links, and flow-based transport.
+
+Transport model
+---------------
+
+Every message becomes a *flow* of ``size_bytes`` from the sender's uplink to
+the receiver's downlink.  Two scheduling policies are provided:
+
+``"fair"`` (default)
+    All flows sharing an uplink (or downlink) split its capacity equally;
+    a flow's instantaneous rate is ``min(uplink_share, downlink_share)``.
+    This approximates many parallel TCP connections, which is how Tor
+    authorities actually push and serve votes.
+
+``"fifo"``
+    Each uplink serves its flows strictly in arrival order (one at a time,
+    at full rate); the downlink is shared fairly among the flows currently
+    being served into it.  Useful as an ablation of the link model.
+
+Rates only change at discrete instants — a flow starts, a flow finishes or
+times out, or a bandwidth schedule hits a breakpoint — so the transport
+advances flow progress lazily and reschedules a single "recompute" event at
+the earliest next instant.  When a flow completes, the message is delivered
+to the destination node after the pairwise propagation latency.
+
+Per-flow timeouts model directory connection timeouts: a flow that has not
+completed ``timeout`` seconds after it was initiated is aborted, the receiver
+never sees it, and the sender's ``on_timeout`` callback fires (this is what
+produces the "Giving up downloading votes" behaviour of Figure 1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.simnet.bandwidth import BandwidthSchedule
+from repro.simnet.engine import EventHandle, Simulator
+from repro.simnet.message import Message
+from repro.simnet.node import ProtocolNode
+from repro.simnet.trace import TraceLog
+from repro.utils.validation import ReproError, ValidationError, ensure
+
+#: Residual bytes below which a flow counts as complete (floating-point slack).
+_COMPLETION_EPSILON_BYTES = 1e-6
+
+#: Slack when comparing virtual times.
+_TIME_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Uplink/downlink capacity schedules for one node."""
+
+    uplink: BandwidthSchedule
+    downlink: BandwidthSchedule
+
+    @classmethod
+    def symmetric(cls, schedule: BandwidthSchedule) -> "LinkConfig":
+        """Same schedule in both directions (authority links are symmetric)."""
+        return cls(uplink=schedule, downlink=schedule)
+
+    @classmethod
+    def symmetric_mbps(cls, mbps: float) -> "LinkConfig":
+        """Constant symmetric capacity given in Mbit/s."""
+        return cls.symmetric(BandwidthSchedule.constant_mbps(mbps))
+
+
+@dataclass
+class TransferStats:
+    """Byte and message accounting for a simulation run (used by Table 1)."""
+
+    bytes_sent: Dict[str, float] = field(default_factory=dict)
+    bytes_delivered: Dict[str, float] = field(default_factory=dict)
+    bytes_by_type: Dict[str, float] = field(default_factory=dict)
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_timed_out: int = 0
+
+    def record_sent(self, sender: str, message: Message) -> None:
+        """Account an attempted send."""
+        self.bytes_sent[sender] = self.bytes_sent.get(sender, 0.0) + message.size_bytes
+        self.messages_sent += 1
+
+    def record_delivered(self, sender: str, message: Message) -> None:
+        """Account a completed delivery."""
+        self.bytes_delivered[sender] = self.bytes_delivered.get(sender, 0.0) + message.size_bytes
+        self.bytes_by_type[message.msg_type] = (
+            self.bytes_by_type.get(message.msg_type, 0.0) + message.size_bytes
+        )
+        self.messages_delivered += 1
+
+    def record_timeout(self) -> None:
+        """Account an aborted transfer."""
+        self.messages_timed_out += 1
+
+    @property
+    def total_bytes_sent(self) -> float:
+        """Total bytes handed to the transport across all nodes."""
+        return sum(self.bytes_sent.values())
+
+    @property
+    def total_bytes_delivered(self) -> float:
+        """Total bytes successfully delivered across all nodes."""
+        return sum(self.bytes_delivered.values())
+
+
+class _Flow:
+    """Internal per-transfer state."""
+
+    __slots__ = (
+        "flow_id",
+        "src",
+        "dst",
+        "message",
+        "remaining",
+        "start_time",
+        "deadline",
+        "rate",
+        "on_timeout",
+        "on_delivered",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: str,
+        dst: str,
+        message: Message,
+        start_time: float,
+        deadline: Optional[float],
+        on_timeout: Optional[Callable[[Message, str], None]],
+        on_delivered: Optional[Callable[[Message, str, float], None]],
+    ) -> None:
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.message = message
+        self.remaining = float(message.size_bytes)
+        self.start_time = start_time
+        self.deadline = deadline
+        self.rate = 0.0
+        self.on_timeout = on_timeout
+        self.on_delivered = on_delivered
+
+
+class UnknownNodeError(ReproError):
+    """Raised when sending to or from a node that was never added."""
+
+
+class SimNetwork:
+    """Nodes plus the flow-based transport connecting them."""
+
+    SCHEDULING_POLICIES = ("fair", "fifo")
+
+    def __init__(
+        self,
+        simulator: Optional[Simulator] = None,
+        scheduling: str = "fair",
+        default_latency_s: float = 0.05,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        if scheduling not in self.SCHEDULING_POLICIES:
+            raise ValidationError(
+                "scheduling must be one of %r, got %r" % (self.SCHEDULING_POLICIES, scheduling)
+            )
+        ensure(default_latency_s >= 0, "default latency must be non-negative")
+        self.simulator = simulator or Simulator()
+        self.trace = trace or TraceLog()
+        self.stats = TransferStats()
+        self._scheduling = scheduling
+        self._default_latency = default_latency_s
+        self._nodes: Dict[str, ProtocolNode] = {}
+        self._links: Dict[str, LinkConfig] = {}
+        self._latency: Dict[Tuple[str, str], float] = {}
+        self._flows: Dict[int, _Flow] = {}
+        self._flow_ids = itertools.count(1)
+        self._last_update = 0.0
+        self._pending_recompute: Optional[EventHandle] = None
+
+    # -- topology -------------------------------------------------------------
+    def add_node(self, node: ProtocolNode, link: LinkConfig) -> None:
+        """Register a node and its link capacities."""
+        if node.name in self._nodes:
+            raise ValidationError("duplicate node name %r" % node.name)
+        self._nodes[node.name] = node
+        self._links[node.name] = link
+        node._attach(self)
+
+    def node(self, name: str) -> ProtocolNode:
+        """Return the node registered under ``name``."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise UnknownNodeError("unknown node %r" % name)
+
+    def node_names(self) -> List[str]:
+        """Names of all registered nodes, in insertion order."""
+        return list(self._nodes)
+
+    def nodes(self) -> List[ProtocolNode]:
+        """All registered nodes, in insertion order."""
+        return list(self._nodes.values())
+
+    def set_latency(self, a: str, b: str, seconds: float) -> None:
+        """Set the symmetric propagation latency between two nodes."""
+        ensure(seconds >= 0, "latency must be non-negative")
+        self._latency[(a, b)] = seconds
+        self._latency[(b, a)] = seconds
+
+    def latency(self, a: str, b: str) -> float:
+        """Propagation latency from ``a`` to ``b`` (seconds)."""
+        if a == b:
+            return 0.0
+        return self._latency.get((a, b), self._default_latency)
+
+    def set_link(self, name: str, link: LinkConfig) -> None:
+        """Replace a node's link configuration (e.g. to apply an attack schedule)."""
+        if name not in self._nodes:
+            raise UnknownNodeError("unknown node %r" % name)
+        self._links[name] = link
+        self._schedule_recompute(self.simulator.now)
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self, at: float = 0.0) -> None:
+        """Schedule every node's ``on_start`` hook at virtual time ``at``."""
+        for node in self._nodes.values():
+            self.simulator.schedule(at, node.on_start)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation (see :meth:`Simulator.run`)."""
+        return self.simulator.run(until=until)
+
+    # -- transport -------------------------------------------------------------
+    def send(
+        self,
+        sender: str,
+        destination: str,
+        message: Message,
+        timeout: Optional[float] = None,
+        on_timeout: Optional[Callable[[Message, str], None]] = None,
+        on_delivered: Optional[Callable[[Message, str, float], None]] = None,
+    ) -> int:
+        """Initiate a transfer of ``message`` from ``sender`` to ``destination``.
+
+        Returns the flow id (0 for latency-only deliveries of empty messages).
+        """
+        if sender not in self._nodes:
+            raise UnknownNodeError("unknown sender %r" % sender)
+        if destination not in self._nodes:
+            raise UnknownNodeError("unknown destination %r" % destination)
+        if sender == destination:
+            raise ValidationError("a node cannot send a message to itself")
+        message.sender = sender
+        now = self.simulator.now
+        self.stats.record_sent(sender, message)
+
+        if message.size_bytes <= 0:
+            self.simulator.schedule_in(
+                self.latency(sender, destination), self._deliver, None, sender, destination, message, on_delivered
+            )
+            return 0
+
+        flow = _Flow(
+            flow_id=next(self._flow_ids),
+            src=sender,
+            dst=destination,
+            message=message,
+            start_time=now,
+            deadline=None if timeout is None else now + timeout,
+            on_timeout=on_timeout,
+            on_delivered=on_delivered,
+        )
+        self._advance_progress(now)
+        self._flows[flow.flow_id] = flow
+        self._recompute(now)
+        return flow.flow_id
+
+    # -- flow machinery ----------------------------------------------------------
+    def active_flow_count(self) -> int:
+        """Number of in-flight transfers (mostly for tests and debugging)."""
+        return len(self._flows)
+
+    def _deliver(
+        self,
+        flow: Optional[_Flow],
+        sender: str,
+        destination: str,
+        message: Message,
+        on_delivered: Optional[Callable[[Message, str, float], None]],
+    ) -> None:
+        self.stats.record_delivered(sender, message)
+        if on_delivered is not None:
+            on_delivered(message, destination, self.simulator.now)
+        self._nodes[destination].receive(message)
+
+    def _advance_progress(self, now: float) -> None:
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            for flow in self._flows.values():
+                flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
+        self._last_update = now
+
+    def _flow_rates(self, now: float) -> None:
+        """Assign each active flow its instantaneous rate under the policy."""
+        if not self._flows:
+            return
+        uplink_users: Dict[str, List[_Flow]] = {}
+        for flow in self._flows.values():
+            uplink_users.setdefault(flow.src, []).append(flow)
+
+        if self._scheduling == "fair":
+            eligible = list(self._flows.values())
+        else:  # fifo: only the oldest flow per uplink transmits
+            eligible = []
+            for flows in uplink_users.values():
+                flows.sort(key=lambda f: f.flow_id)
+                eligible.append(flows[0])
+
+        eligible_ids = {flow.flow_id for flow in eligible}
+        up_counts: Dict[str, int] = {}
+        down_counts: Dict[str, int] = {}
+        for flow in eligible:
+            up_counts[flow.src] = up_counts.get(flow.src, 0) + 1
+            down_counts[flow.dst] = down_counts.get(flow.dst, 0) + 1
+
+        for flow in self._flows.values():
+            if flow.flow_id not in eligible_ids:
+                flow.rate = 0.0
+                continue
+            up_rate = self._links[flow.src].uplink.rate_at(now)
+            down_rate = self._links[flow.dst].downlink.rate_at(now)
+            up_share = up_rate / up_counts[flow.src]
+            down_share = down_rate / down_counts[flow.dst]
+            flow.rate = min(up_share, down_share)
+
+    def _recompute(self, now: Optional[float] = None) -> None:
+        now = self.simulator.now if now is None else now
+        self._advance_progress(now)
+
+        # Completions.
+        completed = [f for f in self._flows.values() if f.remaining <= _COMPLETION_EPSILON_BYTES]
+        for flow in completed:
+            del self._flows[flow.flow_id]
+            self.simulator.schedule_in(
+                self.latency(flow.src, flow.dst),
+                self._deliver,
+                flow,
+                flow.src,
+                flow.dst,
+                flow.message,
+                flow.on_delivered,
+            )
+
+        # Timeouts.
+        expired = [
+            f
+            for f in self._flows.values()
+            if f.deadline is not None and now >= f.deadline - _TIME_EPSILON
+        ]
+        for flow in expired:
+            del self._flows[flow.flow_id]
+            self.stats.record_timeout()
+            if flow.on_timeout is not None:
+                flow.on_timeout(flow.message, flow.dst)
+
+        # New rates and the next instant at which anything can change.
+        self._flow_rates(now)
+        self._schedule_recompute(now)
+
+    def _schedule_recompute(self, now: float) -> None:
+        if self._pending_recompute is not None:
+            self._pending_recompute.cancel()
+            self._pending_recompute = None
+        if not self._flows:
+            return
+        candidates: List[float] = []
+        for flow in self._flows.values():
+            if flow.rate > 0:
+                candidates.append(now + flow.remaining / flow.rate)
+            if flow.deadline is not None:
+                candidates.append(flow.deadline)
+            for schedule in (self._links[flow.src].uplink, self._links[flow.dst].downlink):
+                change = schedule.next_change_after(now)
+                if change is not None:
+                    candidates.append(change)
+        if not candidates:
+            return
+        next_time = max(min(candidates), now)
+        self._pending_recompute = self.simulator.schedule(next_time, self._recompute)

@@ -1,0 +1,84 @@
+"""Tor-style trace logging for simulated nodes.
+
+Figure 1 of the paper is simply an authority's log during the attack, showing
+the "We're missing votes from 5 authorities" and "We don't have enough votes
+to generate a consensus" notices.  :class:`TraceLog` collects structured
+records from every node and can render them in the same ``Jan 01 01:24:30.011
+[notice] ...`` style, which is what the attack-demo example and the Figure 1
+benchmark print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import Callable, Iterable, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One log record emitted by a simulated node."""
+
+    time: float
+    node: str
+    level: str
+    message: str
+
+    def format(self, epoch: Optional[datetime] = None) -> str:
+        """Render this record in Tor's log line format."""
+        epoch = epoch or datetime(2025, 1, 1, 1, 0, 0)
+        stamp = epoch + timedelta(seconds=self.time)
+        return "%s [%s] %s" % (stamp.strftime("%b %d %H:%M:%S.%f")[:-3], self.level, self.message)
+
+
+class TraceLog:
+    """Collects :class:`TraceRecord` entries from all nodes of a simulation."""
+
+    #: Log levels in increasing severity, mirroring Tor's.
+    LEVELS = ("debug", "info", "notice", "warn", "err")
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+
+    def record(self, time: float, node: str, level: str, message: str) -> TraceRecord:
+        """Append a record and return it."""
+        if level not in self.LEVELS:
+            raise ValueError("unknown log level %r" % level)
+        entry = TraceRecord(time=time, node=node, level=level, message=message)
+        self._records.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(
+        self,
+        node: Optional[str] = None,
+        min_level: str = "debug",
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """Return records filtered by node, minimum level, and predicate."""
+        threshold = self.LEVELS.index(min_level)
+        selected = []
+        for entry in self._records:
+            if node is not None and entry.node != node:
+                continue
+            if self.LEVELS.index(entry.level) < threshold:
+                continue
+            if predicate is not None and not predicate(entry):
+                continue
+            selected.append(entry)
+        return selected
+
+    def contains(self, fragment: str, node: Optional[str] = None) -> bool:
+        """True when any (optionally node-filtered) record contains ``fragment``."""
+        return any(fragment in entry.message for entry in self.records(node=node))
+
+    def format(
+        self,
+        node: Optional[str] = None,
+        min_level: str = "info",
+        epoch: Optional[datetime] = None,
+    ) -> str:
+        """Render the (filtered) log as Tor-style text."""
+        return "\n".join(entry.format(epoch) for entry in self.records(node=node, min_level=min_level))

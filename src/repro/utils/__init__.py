@@ -1,0 +1,59 @@
+"""Shared utilities: unit conversions, deterministic RNG, validation helpers.
+
+These helpers are deliberately tiny and dependency-free; every other
+sub-package of :mod:`repro` builds on them.
+"""
+
+from repro.utils.units import (
+    BYTE,
+    KIB,
+    MIB,
+    Bandwidth,
+    bits_to_bytes,
+    bytes_to_bits,
+    bytes_to_mib,
+    mbps_to_bytes_per_s,
+    bytes_per_s_to_mbps,
+    seconds,
+    minutes,
+    hours,
+)
+from repro.utils.rng import DeterministicRNG, derive_seed
+from repro.utils.validation import (
+    ReproError,
+    ValidationError,
+    ensure,
+    ensure_type,
+    ensure_positive,
+    ensure_non_negative,
+    ensure_in_range,
+)
+from repro.utils.stats import median, strict_majority, at_least_half, mean
+
+__all__ = [
+    "BYTE",
+    "KIB",
+    "MIB",
+    "Bandwidth",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "bytes_to_mib",
+    "mbps_to_bytes_per_s",
+    "bytes_per_s_to_mbps",
+    "seconds",
+    "minutes",
+    "hours",
+    "DeterministicRNG",
+    "derive_seed",
+    "ReproError",
+    "ValidationError",
+    "ensure",
+    "ensure_type",
+    "ensure_positive",
+    "ensure_non_negative",
+    "ensure_in_range",
+    "median",
+    "strict_majority",
+    "at_least_half",
+    "mean",
+]

@@ -1,0 +1,67 @@
+"""Small statistics helpers used by the directory aggregation algorithm.
+
+Tor's consensus rules (Figure 2 of the paper) rely on two primitives:
+
+* the **median** of measured bandwidth votes, and
+* **majority** counting for relay inclusion and per-flag decisions.
+
+Both are re-implemented here so that the exact tie-breaking behaviour is under
+our control and documented, rather than depending on library quirks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def median(values: Sequence[float]) -> float:
+    """Return the median of ``values``.
+
+    Tor's directory specification uses the *low median* for an even number of
+    bandwidth measurements (the lower of the two central values), which keeps
+    the result equal to one of the submitted measurements.  We follow that
+    convention.
+    """
+    if not values:
+        raise ValueError("median of an empty sequence is undefined")
+    ordered = sorted(values)
+    mid = (len(ordered) - 1) // 2
+    return ordered[mid]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ValueError("mean of an empty sequence is undefined")
+    return sum(values) / len(values)
+
+
+def strict_majority(count: int, total: int) -> bool:
+    """True when ``count`` is a strict majority of ``total`` (count > total/2)."""
+    if total <= 0:
+        raise ValueError("total must be positive")
+    return count * 2 > total
+
+
+def at_least_half(count: int, total: int) -> bool:
+    """True when ``count`` reaches at least ⌊total/2⌋ (the paper's Figure-2 rule)."""
+    if total <= 0:
+        raise ValueError("total must be positive")
+    return count >= total // 2
+
+
+def majority_value(values: Iterable[T]) -> List[T]:
+    """Return the values that occur most frequently (all tied maxima).
+
+    Helper used by flag/property aggregation; the caller applies the
+    protocol's tie-break rule when more than one value is returned.
+    """
+    counts: dict = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    if not counts:
+        return []
+    top = max(counts.values())
+    return [value for value, count in counts.items() if count == top]

@@ -1,0 +1,118 @@
+"""Unit conversions used throughout the simulator and analyses.
+
+The paper (and the Tor operational documents it cites) mixes several unit
+systems: link capacities in Mbit/s, document sizes in bytes or MiB, and
+protocol timers in seconds or minutes.  Keeping all conversions in a single
+module avoids the classic factor-of-8 bandwidth bugs.
+
+Internally the simulator always works in **bytes** and **seconds**; the
+conversion helpers here are the only place where Mbit/s appears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Number of bytes in common size units.
+BYTE = 1
+KIB = 1024
+MIB = 1024 * 1024
+
+#: Bits per byte.  Network capacities are quoted in bits.
+BITS_PER_BYTE = 8
+
+#: One megabit expressed in bits.  Networking uses decimal mega (1e6).
+MEGABIT = 1_000_000
+
+
+def bits_to_bytes(bits: float) -> float:
+    """Convert a number of bits to bytes."""
+    return bits / BITS_PER_BYTE
+
+
+def bytes_to_bits(nbytes: float) -> float:
+    """Convert a number of bytes to bits."""
+    return nbytes * BITS_PER_BYTE
+
+
+def bytes_to_mib(nbytes: float) -> float:
+    """Convert bytes to MiB (useful for human-readable reports)."""
+    return nbytes / MIB
+
+
+def mbps_to_bytes_per_s(mbps: float) -> float:
+    """Convert a bandwidth in Mbit/s to bytes per second.
+
+    Example: 10 Mbit/s -> 1.25e6 bytes/s, matching the paper's statement
+    that 10 Mbit/s equals 1.25 MB/s.
+    """
+    return mbps * MEGABIT / BITS_PER_BYTE
+
+
+def bytes_per_s_to_mbps(bytes_per_s: float) -> float:
+    """Convert a bandwidth in bytes per second to Mbit/s."""
+    return bytes_per_s * BITS_PER_BYTE / MEGABIT
+
+
+def seconds(value: float) -> float:
+    """Identity helper that documents a literal as seconds."""
+    return float(value)
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to seconds."""
+    return float(value) * 60.0
+
+
+def hours(value: float) -> float:
+    """Convert hours to seconds."""
+    return float(value) * 3600.0
+
+
+@dataclass(frozen=True)
+class Bandwidth:
+    """A link capacity with explicit unit handling.
+
+    Instances are immutable and comparable.  ``Bandwidth.from_mbps(10)`` and
+    ``Bandwidth.from_bytes_per_s(1.25e6)`` describe the same capacity.
+    """
+
+    bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_s < 0:
+            raise ValueError("bandwidth must be non-negative, got %r" % self.bytes_per_s)
+
+    @classmethod
+    def from_mbps(cls, mbps: float) -> "Bandwidth":
+        """Build a bandwidth from a value in Mbit/s."""
+        return cls(mbps_to_bytes_per_s(mbps))
+
+    @classmethod
+    def from_bytes_per_s(cls, bytes_per_s: float) -> "Bandwidth":
+        """Build a bandwidth from a value in bytes per second."""
+        return cls(float(bytes_per_s))
+
+    @property
+    def mbps(self) -> float:
+        """The capacity expressed in Mbit/s."""
+        return bytes_per_s_to_mbps(self.bytes_per_s)
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Time (seconds) needed to move ``nbytes`` at this rate.
+
+        Raises :class:`ZeroDivisionError` semantics explicitly: a zero-rate
+        link never finishes, which we represent with ``float('inf')``.
+        """
+        if self.bytes_per_s == 0:
+            return float("inf")
+        return nbytes / self.bytes_per_s
+
+    def __lt__(self, other: "Bandwidth") -> bool:
+        return self.bytes_per_s < other.bytes_per_s
+
+    def __le__(self, other: "Bandwidth") -> bool:
+        return self.bytes_per_s <= other.bytes_per_s
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return "%.3f Mbit/s" % self.mbps

@@ -1,0 +1,52 @@
+"""Validation helpers and the exception hierarchy for :mod:`repro`.
+
+The library favours loud, early failures: malformed protocol configuration or
+impossible simulator parameters raise :class:`ValidationError` at construction
+time rather than producing silently wrong experiment results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when a caller supplies invalid configuration or arguments."""
+
+
+def ensure(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def ensure_type(value: Any, types: Union[Type, Tuple[Type, ...]], name: str) -> None:
+    """Raise unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        raise ValidationError(
+            "%s must be an instance of %s, got %r" % (name, types, type(value).__name__)
+        )
+
+
+def ensure_positive(value: float, name: str) -> None:
+    """Raise unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValidationError("%s must be positive, got %r" % (name, value))
+
+
+def ensure_non_negative(value: float, name: str) -> None:
+    """Raise unless ``value`` is zero or positive."""
+    if value < 0:
+        raise ValidationError("%s must be non-negative, got %r" % (name, value))
+
+
+def ensure_in_range(value: float, low: float, high: float, name: str) -> None:
+    """Raise unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValidationError(
+            "%s must be within [%r, %r], got %r" % (name, low, high, value)
+        )

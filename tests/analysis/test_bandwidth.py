@@ -1,0 +1,36 @@
+"""Figure 7 analysis tests."""
+
+import pytest
+
+from repro.analysis.bandwidth import (
+    analytic_required_bandwidth_mbps,
+    required_bandwidth_mbps,
+)
+
+
+def test_analytic_model_is_linear_and_near_10mbps_at_8000_relays():
+    at_8000 = analytic_required_bandwidth_mbps(8000)
+    assert 8.0 <= at_8000 <= 13.0, "paper reports roughly 10 Mbit/s at 8,000 relays"
+    at_4000 = analytic_required_bandwidth_mbps(4000)
+    assert at_8000 / at_4000 == pytest.approx(2.0, rel=0.1)
+    assert analytic_required_bandwidth_mbps(0) > 0  # header still needs moving
+
+
+def test_analytic_model_rejects_negative():
+    with pytest.raises(Exception):
+        analytic_required_bandwidth_mbps(-1)
+
+
+def test_simulated_requirement_matches_analytic_model():
+    result = required_bandwidth_mbps(6000, tolerance_mbps=1.0)
+    analytic = analytic_required_bandwidth_mbps(6000)
+    assert result.required_mbps == pytest.approx(analytic, rel=0.35)
+    assert result.iterations > 0
+
+
+def test_simulated_requirement_increases_with_relays():
+    small = required_bandwidth_mbps(2000, tolerance_mbps=1.0)
+    large = required_bandwidth_mbps(8000, tolerance_mbps=1.0)
+    assert large.required_mbps > small.required_mbps
+    # Both far exceed the 0.5 Mbit/s left under DDoS: the attack always works.
+    assert small.required_mbps > 1.0

@@ -1,0 +1,56 @@
+"""Table 1 / Table 2 analysis tests."""
+
+import pytest
+
+from repro.analysis.complexity import (
+    communication_complexity_bytes,
+    complexity_comparison_table,
+    round_complexity_table,
+)
+
+
+def test_complexity_ordering_matches_table1():
+    n, d = 9, 3_000_000
+    current = communication_complexity_bytes("current", n, d)
+    synchronous = communication_complexity_bytes("synchronous", n, d)
+    ours = communication_complexity_bytes("ours", n, d)
+    # The synchronous protocol moves roughly n× more document bytes.
+    assert synchronous > 5 * current
+    # Ours only adds signature traffic on top of the current protocol's documents.
+    assert current <= ours < synchronous
+    assert (ours - current) < 0.1 * current
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(ValueError):
+        communication_complexity_bytes("unknown", 9, 1000)
+    with pytest.raises(Exception):
+        communication_complexity_bytes("current", 0, 1000)
+
+
+def test_comparison_table_rows_and_measured_column():
+    rows = complexity_comparison_table(measured={"current": 1.0, "ours": 2.0})
+    assert [row.protocol for row in rows] == [
+        "Current",
+        "Synchronous (Luo et al.)",
+        "Ours (Partial Synchrony)",
+    ]
+    assert rows[0].network_model == "Bounded Synchrony"
+    assert rows[2].network_model == "Partial Synchrony"
+    assert rows[0].measured_bytes == 1.0
+    assert rows[1].measured_bytes is None
+
+
+def test_round_complexity_table_totals_nine_for_hotstuff():
+    rows = round_complexity_table("hotstuff")
+    by_name = {row.sub_protocol: row.rounds for row in rows}
+    assert by_name["Dissemination"] == "2"
+    assert by_name["Aggregation"] == "2"
+    assert by_name["Agreement (hotstuff)"] == "5"
+    assert by_name["Total"] == "9"
+
+
+def test_round_complexity_other_engines():
+    assert {row.sub_protocol: row.rounds for row in round_complexity_table("pbft")}["Total"] == "7"
+    with pytest.raises(KeyError):
+        round_complexity_table("raft")

@@ -1,0 +1,42 @@
+"""Latency sweep (Figure 10 machinery) tests."""
+
+import pytest
+
+from repro.analysis.latency import LatencyCell, LatencyGrid, sweep_latency
+
+
+def test_grid_accessors():
+    grid = LatencyGrid()
+    grid.add(LatencyCell("current", 10.0, 1000, True, 3.0))
+    grid.add(LatencyCell("current", 10.0, 8000, False, None))
+    grid.add(LatencyCell("ours", 10.0, 8000, True, 20.0))
+    assert grid.protocols() == ["current", "ours"]
+    assert grid.bandwidths() == [10.0]
+    series = grid.series("current", 10.0)
+    assert [cell.relay_count for cell in series] == [1000, 8000]
+    assert grid.failure_threshold("current", 10.0) == 8000
+    assert grid.failure_threshold("ours", 10.0) is None
+
+
+def test_small_sweep_reproduces_figure10_ordering():
+    grid = sweep_latency(
+        protocols=("current", "synchronous", "ours"),
+        bandwidths_mbps=(10.0,),
+        relay_counts=(1000, 8000),
+        max_time=1500.0,
+    )
+    # At 10 Mbit/s with 1,000 relays everyone succeeds and the synchronous
+    # protocol is the slowest of the three.
+    small = {cell.protocol: cell for cell in grid.cells if cell.relay_count == 1000}
+    assert all(cell.success for cell in small.values())
+    assert small["synchronous"].latency_s > small["current"].latency_s
+    # At 8,000 relays only ours still succeeds (current/synchronous time out).
+    large = {cell.protocol: cell for cell in grid.cells if cell.relay_count == 8000}
+    assert large["ours"].success
+    assert not large["current"].success
+    assert not large["synchronous"].success
+
+
+def test_sweep_requires_protocols():
+    with pytest.raises(Exception):
+        sweep_latency(protocols=(), bandwidths_mbps=(10.0,), relay_counts=(1000,))

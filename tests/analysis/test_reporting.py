@@ -1,0 +1,28 @@
+"""Text rendering tests."""
+
+from repro.analysis.reporting import format_series, format_table
+
+
+def test_format_table_alignment_and_title():
+    text = format_table(
+        ["Relays", "Latency"],
+        [(1000, 3.25), (10000, None)],
+        title="Demo table",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Demo table"
+    assert lines[1].startswith("Relays")
+    assert set(lines[2]) <= {"-", " "}
+    assert "3.250" in text
+    assert "-" in lines[-1]  # None rendered as a dash
+
+
+def test_format_table_without_title():
+    text = format_table(["a"], [["x"]])
+    assert text.splitlines()[0] == "a"
+
+
+def test_format_series():
+    text = format_series("x", "y", [(1, 2.0), (3, 4.0)], title="Series")
+    assert "Series" in text
+    assert "4.000" in text

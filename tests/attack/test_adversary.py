@@ -1,0 +1,48 @@
+"""Adversary building-block tests (full protocol interaction is covered in core tests)."""
+
+from repro.attack.adversary import (
+    CrashingICPSAdversary,
+    EquivocatingICPSAdversary,
+    SilentICPSAdversary,
+)
+from repro.consensus.interfaces import SendAction
+from repro.core import Document, ICPSConfig
+from repro.crypto.keys import KeyPair, KeyRing
+
+NODES = ("a0", "a1", "a2", "a3")
+PAIRS = {name: KeyPair.generate(name, b"adv-seed") for name in NODES}
+RING = KeyRing(PAIRS.values())
+
+
+def test_silent_adversary_emits_nothing():
+    adversary = SilentICPSAdversary("a0")
+    assert adversary.start(Document.from_text("x")) == []
+    assert adversary.on_message(object()) == []
+    assert adversary.on_timeout("t") == []
+    assert not adversary.decided
+
+
+def test_equivocator_sends_conflicting_documents():
+    adversary = EquivocatingICPSAdversary(
+        "a0",
+        peers=NODES,
+        keypair=PAIRS["a0"],
+        document_a=Document.from_text("A"),
+        document_b=Document.from_text("B"),
+    )
+    actions = adversary.start(None)
+    sends = [a for a in actions if isinstance(a, SendAction)]
+    assert len(sends) == 3  # one per peer, none to itself
+    digests = {send.message.payload["document"].digest() for send in sends}
+    assert len(digests) == 2, "different peers must receive different documents"
+    assert all(send.message.msg_type == "DOCUMENT" for send in sends)
+
+
+def test_crashing_adversary_stops_after_budget():
+    config = ICPSConfig(node_id="a0", nodes=NODES, delta=5.0)
+    adversary = CrashingICPSAdversary(config, RING, PAIRS["a0"], crash_after_events=1)
+    first = adversary.start(Document.from_text("doc"))
+    assert first, "behaves honestly before the crash point"
+    assert adversary.on_timeout("dissemination") == []
+    assert adversary.on_message(object()) == []
+    assert not adversary.decided

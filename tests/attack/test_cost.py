@@ -1,0 +1,53 @@
+"""Attack cost model tests (reproduces the paper's headline numbers)."""
+
+import pytest
+
+from repro.attack.cost import AttackCostModel, HOURS_PER_MONTH, JANSEN_COST_PER_MBPS_HOUR
+
+
+def test_paper_headline_numbers():
+    model = AttackCostModel()
+    assert model.traffic_per_target_mbps == pytest.approx(240.0)
+    assert model.cost_per_run() == pytest.approx(0.074, abs=1e-3)
+    assert model.cost_per_month() == pytest.approx(53.28, abs=0.01)
+
+
+def test_cost_per_day_consistency():
+    model = AttackCostModel()
+    assert model.cost_per_day() == pytest.approx(model.cost_per_run() * 24)
+    assert model.cost_per_month() == pytest.approx(model.cost_per_run() * HOURS_PER_MONTH)
+
+
+def test_estimate_breakdown():
+    estimate = AttackCostModel().estimate()
+    assert estimate.targets == 5
+    assert estimate.runs_per_month == 720
+    assert estimate.cost_per_month_usd == pytest.approx(53.28, abs=0.01)
+
+
+def test_cost_scales_linearly_with_targets_and_duration():
+    base = AttackCostModel()
+    more_targets = AttackCostModel(targets=10)
+    longer = AttackCostModel(attack_seconds_per_run=600.0)
+    assert more_targets.cost_per_run() == pytest.approx(2 * base.cost_per_run())
+    assert longer.cost_per_run() == pytest.approx(2 * base.cost_per_run())
+
+
+def test_higher_protocol_requirement_lowers_attack_cost():
+    # If the protocol needed more bandwidth, the attacker would need less
+    # flood traffic to starve it.
+    cheap = AttackCostModel(required_bandwidth_mbps=100.0)
+    assert cheap.cost_per_month() < AttackCostModel().cost_per_month()
+
+
+def test_jansen_rate_constant():
+    assert JANSEN_COST_PER_MBPS_HOUR == pytest.approx(0.00074)
+
+
+def test_invalid_models_rejected():
+    with pytest.raises(Exception):
+        AttackCostModel(targets=0)
+    with pytest.raises(Exception):
+        AttackCostModel(attack_seconds_per_run=0)
+    with pytest.raises(Exception):
+        AttackCostModel(authority_link_mbps=0)

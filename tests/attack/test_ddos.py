@@ -1,0 +1,51 @@
+"""DDoS attack plan tests."""
+
+import pytest
+
+from repro.attack.ddos import (
+    ATTACK_RESIDUAL_BANDWIDTH_MBPS,
+    DDoSAttackPlan,
+    majority_attack_plan,
+)
+from repro.utils.units import mbps_to_bytes_per_s
+
+
+def test_majority_plan_targets_five_of_nine():
+    plan = majority_attack_plan()
+    assert plan.target_count == 5
+    assert plan.target_authority_ids == (0, 1, 2, 3, 4)
+    assert plan.duration == 300.0
+    assert plan.end == 300.0
+    assert plan.residual_bandwidth_mbps == ATTACK_RESIDUAL_BANDWIDTH_MBPS
+
+
+def test_schedule_reflects_attack_window():
+    plan = DDoSAttackPlan(target_authority_ids=(2, 5), start=100.0, duration=200.0)
+    schedule = plan.schedule_for_target()
+    assert schedule.rate_at(0) == pytest.approx(mbps_to_bytes_per_s(250))
+    assert schedule.rate_at(150) == pytest.approx(mbps_to_bytes_per_s(0.5))
+    assert schedule.rate_at(301) == pytest.approx(mbps_to_bytes_per_s(250))
+    schedules = plan.schedules()
+    assert set(schedules) == {2, 5}
+
+
+def test_attack_traffic_is_link_minus_requirement():
+    plan = majority_attack_plan()
+    assert plan.attack_traffic_mbps(10.0) == pytest.approx(240.0)
+    assert plan.attack_traffic_mbps(300.0) == 0.0
+    with pytest.raises(Exception):
+        plan.attack_traffic_mbps(-1)
+
+
+def test_invalid_plans_rejected():
+    with pytest.raises(Exception):
+        DDoSAttackPlan(target_authority_ids=(), duration=300)
+    with pytest.raises(Exception):
+        DDoSAttackPlan(target_authority_ids=(0,), duration=0)
+    with pytest.raises(Exception):
+        DDoSAttackPlan(target_authority_ids=(0,), start=-5)
+
+
+def test_majority_plan_for_other_sizes():
+    assert majority_attack_plan(authority_count=5).target_count == 3
+    assert majority_attack_plan(authority_count=7).target_count == 4

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import KeyPair, KeyRing
+from repro.directory.authority import make_authorities
+from repro.netgen.relaygen import RelayPopulationConfig, generate_population
+from repro.netgen.views import AuthorityViewConfig, generate_authority_votes
+
+
+@pytest.fixture(scope="session")
+def nine_authorities():
+    """The live-network configuration: nine authorities plus their key ring."""
+    authorities, ring = make_authorities(9, seed=7)
+    return authorities, ring
+
+
+@pytest.fixture(scope="session")
+def small_population():
+    """A small relay population shared by aggregation-level tests."""
+    return generate_population(RelayPopulationConfig(relay_count=40, seed=3))
+
+
+@pytest.fixture(scope="session")
+def small_votes(nine_authorities, small_population):
+    """One vote per authority over the small population."""
+    authorities, _ring = nine_authorities
+    return generate_authority_votes(
+        small_population, authorities, config=AuthorityViewConfig(seed=5)
+    )
+
+
+@pytest.fixture()
+def keyring_four():
+    """Four named key pairs plus the ring, for ICPS unit tests."""
+    names = ("a0", "a1", "a2", "a3")
+    pairs = {name: KeyPair.generate(name, b"test-seed") for name in names}
+    return names, pairs, KeyRing(pairs.values())

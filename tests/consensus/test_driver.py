@@ -1,0 +1,74 @@
+"""Local driver and delivery-policy tests."""
+
+import pytest
+
+from repro.consensus import EngineConfig, LocalDriver, make_engine
+from repro.consensus.driver import (
+    gst_delivery,
+    partition_delivery,
+    synchronous_delivery,
+)
+from repro.consensus.interfaces import ConsensusMessage
+
+
+def test_synchronous_delivery_constant_latency():
+    policy = synchronous_delivery(latency=0.5)
+    message = ConsensusMessage(msg_type="X", sender="a", view=0)
+    assert policy("a", "b", message, 10.0) == 10.5
+
+
+def test_gst_delivery_holds_back_early_messages():
+    policy = gst_delivery(gst=100.0, latency=0.5)
+    message = ConsensusMessage(msg_type="X", sender="a", view=0)
+    assert policy("a", "b", message, 10.0) == 100.5
+    assert policy("a", "b", message, 200.0) == 200.5
+
+
+def test_partition_delivery_blocks_across_groups_until_heal():
+    policy = partition_delivery((("a", "b"), ("c",)), heal_time=50.0, latency=0.1)
+    message = ConsensusMessage(msg_type="X", sender="a", view=0)
+    assert policy("a", "b", message, 1.0) == pytest.approx(1.1)
+    assert policy("a", "c", message, 1.0) == pytest.approx(50.1)
+    assert policy("a", "c", message, 60.0) == pytest.approx(60.1)
+
+
+def test_driver_requires_engines():
+    with pytest.raises(Exception):
+        LocalDriver({})
+
+
+def test_driver_counts_messages_and_collects_decision_times():
+    nodes = tuple("n%d" % index for index in range(4))
+    engines = {
+        name: make_engine("pbft", EngineConfig(node_id=name, nodes=nodes)) for name in nodes
+    }
+    driver = LocalDriver(engines)
+    driver.start({name: "v" for name in nodes})
+    result = driver.run(until=100)
+    assert result.messages_delivered > 0
+    assert set(result.decision_times) == set(nodes)
+    assert all(time >= 0 for time in result.decision_times.values())
+
+
+def test_crashed_nodes_never_receive_or_act():
+    nodes = tuple("n%d" % index for index in range(4))
+    engines = {
+        name: make_engine("hotstuff", EngineConfig(node_id=name, nodes=nodes)) for name in nodes
+    }
+    driver = LocalDriver(engines, crashed=("n2",))
+    driver.start({name: "v" for name in nodes})
+    result = driver.run(until=100)
+    assert "n2" not in result.decisions
+    assert not engines["n2"].decided
+
+
+def test_all_agree_with_no_decisions_is_true():
+    nodes = ("n0", "n1", "n2", "n3")
+    engines = {
+        name: make_engine("hotstuff", EngineConfig(node_id=name, nodes=nodes)) for name in nodes
+    }
+    driver = LocalDriver(engines)
+    # No start: nothing happens.
+    result = driver.run(until=1.0, stop_when_all_decided=False)
+    assert result.decisions == {}
+    assert result.all_agree()

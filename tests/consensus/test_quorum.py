@@ -1,0 +1,50 @@
+"""Quorum certificate and value digest tests."""
+
+import pytest
+
+from repro.consensus.quorum import GENESIS_QC, QuorumCertificate, quorum_size
+from repro.consensus.values import NIL_DIGEST, value_digest
+
+
+def test_quorum_size_for_nine_nodes():
+    # n = 9 tolerates f = 2 under partial synchrony; quorum is 7.
+    assert quorum_size(9) == 7
+    assert quorum_size(4) == 3
+    assert quorum_size(3, f=0) == 3
+
+
+def test_quorum_size_rejects_too_many_faults():
+    with pytest.raises(Exception):
+        quorum_size(9, f=3)
+    with pytest.raises(Exception):
+        quorum_size(0)
+
+
+def test_certificate_validity_by_voter_count():
+    qc = QuorumCertificate(view=1, value_digest=b"x" * 32, voters=frozenset({"a", "b", "c"}))
+    assert qc.is_valid(quorum=3)
+    assert not qc.is_valid(quorum=4)
+
+
+def test_genesis_certificate_is_older_than_everything():
+    assert GENESIS_QC.view == -1
+    assert not GENESIS_QC.is_valid(quorum=1)
+
+
+def test_value_digest_stability_and_sensitivity():
+    assert value_digest("hello") == value_digest("hello")
+    assert value_digest("hello") != value_digest("world")
+    assert value_digest(None) == NIL_DIGEST
+    assert len(value_digest("x")) == 32
+
+
+def test_value_digest_uses_canonical_encoding_when_available():
+    class Canonical:
+        def __init__(self, payload):
+            self.payload = payload
+
+        def canonical_encoding(self):
+            return self.payload
+
+    assert value_digest(Canonical(b"a")) == value_digest(Canonical(b"a"))
+    assert value_digest(Canonical(b"a")) != value_digest(Canonical(b"b"))

@@ -1,0 +1,74 @@
+"""Property-based safety tests for the consensus engines.
+
+Hypothesis draws random crash sets, partition layouts, heal times, and
+latencies; under every sampled schedule the engines must preserve agreement
+(no two correct nodes decide differently) — and, when the adversarial
+schedule eventually heals, termination as well.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.consensus import ENGINE_REGISTRY, EngineConfig, LocalDriver, make_engine
+from repro.consensus.driver import gst_delivery, partition_delivery
+
+NODE_COUNT = 4
+NODES = tuple("n%d" % index for index in range(NODE_COUNT))
+
+
+def build_engines(engine_name, base_timeout=2.0):
+    return {
+        name: make_engine(
+            engine_name, EngineConfig(node_id=name, nodes=NODES, base_timeout=base_timeout)
+        )
+        for name in NODES
+    }
+
+
+engine_names = st.sampled_from(sorted(ENGINE_REGISTRY))
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    engine_name=engine_names,
+    crashed_index=st.one_of(st.none(), st.integers(min_value=0, max_value=NODE_COUNT - 1)),
+    gst=st.floats(min_value=0.0, max_value=30.0),
+    latency=st.floats(min_value=0.001, max_value=0.5),
+)
+def test_agreement_and_termination_under_gst_and_one_crash(
+    engine_name, crashed_index, gst, latency
+):
+    crashed = () if crashed_index is None else (NODES[crashed_index],)
+    engines = build_engines(engine_name)
+    driver = LocalDriver(
+        engines, delivery_policy=gst_delivery(gst=gst, latency=latency), crashed=crashed
+    )
+    driver.start({name: "input-%s" % name for name in NODES})
+    result = driver.run(until=5000)
+
+    correct = [name for name in NODES if name not in crashed]
+    # Agreement among whoever decided.
+    assert result.all_agree()
+    # Termination: with at most f = 1 crash and a finite GST, everyone decides.
+    assert set(result.decisions) == set(correct)
+    # The decided value is one of the proposed inputs (no fabrication).
+    decided_value = list(result.decisions.values())[0]
+    assert decided_value in {"input-%s" % name for name in NODES}
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    engine_name=engine_names,
+    split=st.integers(min_value=1, max_value=NODE_COUNT - 1),
+    heal_time=st.floats(min_value=1.0, max_value=40.0),
+)
+def test_agreement_survives_partitions(engine_name, split, heal_time):
+    groups = (NODES[:split], NODES[split:])
+    engines = build_engines(engine_name)
+    driver = LocalDriver(
+        engines, delivery_policy=partition_delivery(groups, heal_time=heal_time, latency=0.01)
+    )
+    driver.start({name: "input-%s" % name for name in NODES})
+    result = driver.run(until=5000)
+    assert result.all_agree()
+    assert set(result.decisions) == set(NODES)

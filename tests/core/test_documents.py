@@ -1,0 +1,36 @@
+"""Document wrapper tests."""
+
+import pytest
+
+from repro.core.documents import Document
+
+
+def test_from_text_and_size():
+    document = Document.from_text("hello world", label="greeting")
+    assert document.size_bytes == 11
+    assert document.label == "greeting"
+
+
+def test_digest_stability_and_sensitivity():
+    assert Document.from_text("a").digest() == Document.from_text("a").digest()
+    assert Document.from_text("a").digest() != Document.from_text("b").digest()
+
+
+def test_size_override_changes_wire_size_not_digest():
+    plain = Document(data=b"small content")
+    padded = Document(data=b"small content", size_override=1_000_000)
+    assert padded.size_bytes == 1_000_000
+    assert plain.size_bytes == len(b"small content")
+    assert padded.digest() == plain.digest()
+    assert padded == plain  # size_override does not affect equality
+
+
+def test_payload_excluded_from_equality():
+    assert Document(data=b"x", payload={"decoded": 1}) == Document(data=b"x")
+
+
+def test_data_must_be_bytes_and_override_non_negative():
+    with pytest.raises(Exception):
+        Document(data="not bytes")  # type: ignore[arg-type]
+    with pytest.raises(Exception):
+        Document(data=b"x", size_override=-1)

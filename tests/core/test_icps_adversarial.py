@@ -1,0 +1,144 @@
+"""ICPS under Byzantine participants and adverse schedules (incl. property-based)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.attack.adversary import (
+    CrashingICPSAdversary,
+    EquivocatingICPSAdversary,
+    SilentICPSAdversary,
+)
+from repro.consensus import LocalDriver
+from repro.consensus.driver import gst_delivery, partition_delivery
+from repro.core import (
+    Document,
+    ICPSConfig,
+    ICPSNode,
+    check_agreement,
+    check_common_set_validity,
+    check_termination,
+    check_value_validity,
+)
+from repro.crypto.keys import KeyPair, KeyRing
+
+NAMES9 = tuple("a%d" % index for index in range(9))
+
+
+def build(n=4, engine="hotstuff", delta=5.0, view_timeout=8.0):
+    names = tuple("a%d" % index for index in range(n))
+    pairs = {name: KeyPair.generate(name, b"byz-seed") for name in names}
+    ring = KeyRing(pairs.values())
+    docs = {name: Document.from_text("vote of %s" % name, label=name) for name in names}
+    configs = {
+        name: ICPSConfig(node_id=name, nodes=names, delta=delta, engine=engine, view_timeout=view_timeout)
+        for name in names
+    }
+    return names, pairs, ring, docs, configs
+
+
+def honest_node(name, configs, ring, pairs):
+    return ICPSNode(configs[name], ring, pairs[name])
+
+
+def run(nodes, docs, delivery_policy=None, crashed=(), until=2000.0):
+    driver = LocalDriver(nodes, delivery_policy=delivery_policy, crashed=crashed, loopback_broadcast=False)
+    driver.start(docs)
+    driver.run(until=until)
+    return driver
+
+
+def test_silent_adversary_marked_bottom_but_protocol_completes():
+    names, pairs, ring, docs, configs = build(n=4)
+    nodes = {name: honest_node(name, configs, ring, pairs) for name in names[:-1]}
+    nodes["a3"] = SilentICPSAdversary("a3")
+    run(nodes, docs)
+    correct = names[:-1]
+    outputs = {name: nodes[name].output for name in correct}
+    assert check_termination(outputs, correct)
+    assert check_agreement(outputs, correct)
+    assert check_common_set_validity(outputs, correct, n=4, f=1)
+    assert all(output.document_of("a3") is None for output in outputs.values())
+
+
+def test_equivocating_adversary_detected_and_excluded_or_consistent():
+    names, pairs, ring, docs, configs = build(n=4)
+    nodes = {name: honest_node(name, configs, ring, pairs) for name in names[:-1]}
+    nodes["a3"] = EquivocatingICPSAdversary(
+        "a3",
+        peers=names,
+        keypair=pairs["a3"],
+        document_a=Document.from_text("lie A", label="a3"),
+        document_b=Document.from_text("lie B", label="a3"),
+    )
+    run(nodes, docs)
+    correct = names[:-1]
+    outputs = {name: nodes[name].output for name in correct}
+    assert check_termination(outputs, correct)
+    # Agreement is the crucial property: whatever the honest nodes output for
+    # the equivocator, they output the SAME thing (⊥ or one of the two lies).
+    assert check_agreement(outputs, correct)
+    assert check_common_set_validity(outputs, correct, n=4, f=1)
+    entries = {outputs[name].document_of("a3") for name in correct if outputs[name] is not None}
+    datas = {entry.data for entry in entries if entry is not None}
+    assert len(datas) <= 1
+
+
+def test_crashing_adversary_does_not_block_termination():
+    names, pairs, ring, docs, configs = build(n=4, view_timeout=5.0)
+    nodes = {name: honest_node(name, configs, ring, pairs) for name in names[:-1]}
+    nodes["a3"] = CrashingICPSAdversary(configs["a3"], ring, pairs["a3"], crash_after_events=2)
+    run(nodes, docs)
+    correct = names[:-1]
+    outputs = {name: nodes[name].output for name in correct}
+    assert check_termination(outputs, correct)
+    assert check_agreement(outputs, correct)
+
+
+def test_two_silent_adversaries_of_nine():
+    names, pairs, ring, docs, configs = build(n=9, view_timeout=5.0)
+    nodes = {name: honest_node(name, configs, ring, pairs) for name in names[:7]}
+    nodes["a7"] = SilentICPSAdversary("a7")
+    nodes["a8"] = SilentICPSAdversary("a8")
+    run(nodes, docs)
+    correct = names[:7]
+    outputs = {name: nodes[name].output for name in correct}
+    assert check_termination(outputs, correct)
+    assert check_agreement(outputs, correct)
+    assert check_common_set_validity(outputs, correct, n=9, f=2)
+    assert check_value_validity(outputs, docs, correct, gst_zero=True)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    engine=st.sampled_from(["hotstuff", "pbft", "tendermint"]),
+    faulty_index=st.integers(min_value=0, max_value=3),
+    behaviour=st.sampled_from(["silent", "equivocate", "crash"]),
+    gst=st.floats(min_value=0.0, max_value=25.0),
+)
+def test_properties_hold_for_random_fault_and_gst(engine, faulty_index, behaviour, gst):
+    names, pairs, ring, docs, configs = build(n=4, engine=engine, view_timeout=6.0)
+    faulty = names[faulty_index]
+    nodes = {}
+    for name in names:
+        if name != faulty:
+            nodes[name] = honest_node(name, configs, ring, pairs)
+        elif behaviour == "silent":
+            nodes[name] = SilentICPSAdversary(name)
+        elif behaviour == "equivocate":
+            nodes[name] = EquivocatingICPSAdversary(
+                name,
+                peers=names,
+                keypair=pairs[name],
+                document_a=Document.from_text("lie A", label=name),
+                document_b=Document.from_text("lie B", label=name),
+            )
+        else:
+            nodes[name] = CrashingICPSAdversary(configs[name], ring, pairs[name], crash_after_events=3)
+
+    run(nodes, docs, delivery_policy=gst_delivery(gst=gst, latency=0.02), until=4000)
+    correct = tuple(name for name in names if name != faulty)
+    outputs = {name: nodes[name].output for name in correct}
+    assert check_termination(outputs, correct)
+    assert check_agreement(outputs, correct)
+    assert check_common_set_validity(outputs, correct, n=4, f=1)
+    assert check_value_validity(outputs, docs, correct, gst_zero=False)

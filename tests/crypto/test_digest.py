@@ -1,0 +1,34 @@
+"""Digest tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.digest import DIGEST_SIZE_BYTES, digest_hex, sha256_digest
+
+
+def test_digest_size():
+    assert len(sha256_digest(b"hello")) == DIGEST_SIZE_BYTES
+
+
+def test_str_and_bytes_inputs_agree():
+    assert sha256_digest("hello") == sha256_digest(b"hello")
+    assert digest_hex("hello") == digest_hex(b"hello")
+
+
+def test_hex_is_uppercase_and_matches_raw():
+    hexed = digest_hex("abc")
+    assert hexed == hexed.upper()
+    assert bytes.fromhex(hexed) == sha256_digest("abc")
+
+
+def test_rejects_non_string_input():
+    with pytest.raises(TypeError):
+        sha256_digest(12345)  # type: ignore[arg-type]
+
+
+@given(st.binary(max_size=256), st.binary(max_size=256))
+def test_distinct_inputs_distinct_digests(a, b):
+    if a != b:
+        assert sha256_digest(a) != sha256_digest(b)
+    else:
+        assert sha256_digest(a) == sha256_digest(b)

@@ -1,0 +1,53 @@
+"""Key pair and key ring tests."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair, KeyRing
+from repro.utils.validation import ValidationError
+
+
+def test_generation_is_deterministic():
+    a = KeyPair.generate("auth-0", b"seed")
+    b = KeyPair.generate("auth-0", b"seed")
+    assert a == b
+
+
+def test_different_owner_or_seed_changes_keys():
+    base = KeyPair.generate("auth-0", b"seed")
+    assert KeyPair.generate("auth-1", b"seed").secret != base.secret
+    assert KeyPair.generate("auth-0", b"other").secret != base.secret
+
+
+def test_empty_owner_rejected():
+    with pytest.raises(ValidationError):
+        KeyPair.generate("", b"seed")
+
+
+def test_mac_depends_on_message_and_key():
+    pair = KeyPair.generate("auth-0", b"seed")
+    other = KeyPair.generate("auth-1", b"seed")
+    assert pair.mac(b"m1") != pair.mac(b"m2")
+    assert pair.mac(b"m1") != other.mac(b"m1")
+
+
+def test_keyring_lookup_and_membership():
+    pair = KeyPair.generate("auth-0", b"seed")
+    ring = KeyRing([pair])
+    assert "auth-0" in ring
+    assert "auth-1" not in ring
+    assert ring.get("auth-0") is pair
+    assert len(ring) == 1
+    with pytest.raises(KeyError):
+        ring.get("auth-1")
+
+
+def test_keyring_rejects_duplicate_owner():
+    pair = KeyPair.generate("auth-0", b"seed")
+    ring = KeyRing([pair])
+    with pytest.raises(ValidationError):
+        ring.add(KeyPair.generate("auth-0", b"other-seed"))
+
+
+def test_for_owners_builds_full_ring():
+    ring = KeyRing.for_owners(["a", "b", "c"])
+    assert set(ring.owners()) == {"a", "b", "c"}

@@ -1,0 +1,95 @@
+"""Signature and signature-chain tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.crypto.digest import sha256_digest
+from repro.crypto.keys import KeyPair, KeyRing
+from repro.crypto.signatures import SIGNATURE_SIZE_BYTES, Signature, SignatureChain, sign, verify
+
+
+@pytest.fixture()
+def ring_and_pairs():
+    pairs = {name: KeyPair.generate(name, b"seed") for name in ("a", "b", "c", "d")}
+    return KeyRing(pairs.values()), pairs
+
+
+def test_sign_verify_round_trip(ring_and_pairs):
+    ring, pairs = ring_and_pairs
+    signature = sign(pairs["a"], "ctx", b"message")
+    assert verify(ring, signature)
+
+
+def test_sign_none_message(ring_and_pairs):
+    ring, pairs = ring_and_pairs
+    signature = sign(pairs["a"], "ctx", None)
+    assert signature.message is None
+    assert verify(ring, signature)
+
+
+def test_tampered_message_fails(ring_and_pairs):
+    ring, pairs = ring_and_pairs
+    signature = sign(pairs["a"], "ctx", b"message")
+    forged = dataclasses.replace(signature, message=b"other")
+    assert not verify(ring, forged)
+
+
+def test_wrong_context_fails(ring_and_pairs):
+    ring, pairs = ring_and_pairs
+    signature = sign(pairs["a"], "ctx", b"message")
+    forged = dataclasses.replace(signature, context="other-ctx")
+    assert not verify(ring, forged)
+
+
+def test_unknown_signer_fails(ring_and_pairs):
+    ring, pairs = ring_and_pairs
+    outsider = KeyPair.generate("mallory", b"seed")
+    signature = sign(outsider, "ctx", b"message")
+    assert not verify(ring, signature)
+
+
+def test_impersonation_fails(ring_and_pairs):
+    ring, pairs = ring_and_pairs
+    signature = sign(pairs["a"], "ctx", b"message")
+    forged = dataclasses.replace(signature, signer="b")
+    assert not verify(ring, forged)
+
+
+def test_signature_size_is_modelled(ring_and_pairs):
+    _ring, pairs = ring_and_pairs
+    assert sign(pairs["a"], "ctx", b"m").size_bytes == SIGNATURE_SIZE_BYTES
+
+
+def test_chain_build_and_validate(ring_and_pairs):
+    ring, pairs = ring_and_pairs
+    digest = sha256_digest(b"value")
+    chain = SignatureChain.initial(pairs["a"], "ds", digest)
+    chain = chain.extend(pairs["b"], "ds").extend(pairs["c"], "ds")
+    assert chain.length == 3
+    assert chain.signers() == ("a", "b", "c")
+    assert chain.is_valid(ring, "ds", designated_sender="a", minimum_length=3)
+    assert not chain.is_valid(ring, "ds", designated_sender="b", minimum_length=1)
+    assert not chain.is_valid(ring, "ds", designated_sender="a", minimum_length=4)
+
+
+def test_chain_rejects_duplicate_signers(ring_and_pairs):
+    ring, pairs = ring_and_pairs
+    digest = sha256_digest(b"value")
+    chain = SignatureChain.initial(pairs["a"], "ds", digest).extend(pairs["a"], "ds")
+    assert not chain.is_valid(ring, "ds", designated_sender="a", minimum_length=2)
+
+
+def test_chain_rejects_wrong_value(ring_and_pairs):
+    ring, pairs = ring_and_pairs
+    chain = SignatureChain.initial(pairs["a"], "ds", sha256_digest(b"value"))
+    tampered = SignatureChain(sha256_digest(b"other"), chain.signatures)
+    assert not tampered.is_valid(ring, "ds", designated_sender="a", minimum_length=1)
+
+
+def test_chain_size_accounts_for_signatures(ring_and_pairs):
+    _ring, pairs = ring_and_pairs
+    digest = sha256_digest(b"value")
+    one = SignatureChain.initial(pairs["a"], "ds", digest)
+    two = one.extend(pairs["b"], "ds")
+    assert two.size_bytes == one.size_bytes + SIGNATURE_SIZE_BYTES

@@ -1,0 +1,197 @@
+"""Tests of the Figure-2 aggregation algorithm, including property-based ones."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.directory.aggregate import (
+    AggregationConfig,
+    aggregate_relay,
+    aggregate_votes,
+    version_sort_key,
+)
+from repro.directory.relay import ExitPolicySummary, Relay, RelayFlag
+from repro.directory.vote import VoteDocument
+from repro.utils.validation import ValidationError
+
+FP = "C" * 40
+
+
+def make_vote(authority_id, relays):
+    return VoteDocument.from_relays(
+        authority_id=authority_id,
+        authority_fingerprint="%040d" % authority_id,
+        relays=relays,
+    )
+
+
+class TestInclusionThreshold:
+    def test_at_least_half_rule(self):
+        config = AggregationConfig(inclusion_rule="at-least-half")
+        assert config.inclusion_threshold(9) == 4
+        assert config.inclusion_threshold(5) == 2
+        assert config.inclusion_threshold(1) == 1
+
+    def test_strict_majority_rule(self):
+        config = AggregationConfig(inclusion_rule="strict-majority")
+        assert config.inclusion_threshold(9) == 5
+        assert config.inclusion_threshold(8) == 5
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValidationError):
+            AggregationConfig(inclusion_rule="whatever")
+
+
+class TestRelayInclusion:
+    def test_relay_below_threshold_excluded(self):
+        votes = [make_vote(0, [Relay(fingerprint=FP, nickname="r")])]
+        votes += [make_vote(i, []) for i in range(1, 9)]
+        consensus = aggregate_votes(votes)
+        assert consensus.relay_count == 0
+
+    def test_relay_meeting_threshold_included(self):
+        votes = [
+            make_vote(i, [Relay(fingerprint=FP, nickname="r")] if i < 4 else [])
+            for i in range(9)
+        ]
+        consensus = aggregate_votes(votes)
+        assert FP in consensus.relays
+
+
+class TestFigure2Rules:
+    def test_nickname_from_largest_authority_id(self):
+        votes = [
+            make_vote(0, [Relay(fingerprint=FP, nickname="alpha")]),
+            make_vote(3, [Relay(fingerprint=FP, nickname="bravo")]),
+            make_vote(7, [Relay(fingerprint=FP, nickname="charlie")]),
+        ]
+        consensus = aggregate_votes(votes)
+        assert consensus.relays[FP].nickname == "charlie"
+
+    def test_flag_majority_and_tie_breaks_to_unset(self):
+        flagged = Relay(fingerprint=FP, nickname="r", flags=frozenset({RelayFlag.FAST}))
+        plain = Relay(fingerprint=FP, nickname="r")
+        # 2 of 4 votes set Fast -> tie -> not set.
+        votes = [make_vote(i, [flagged if i < 2 else plain]) for i in range(4)]
+        assert RelayFlag.FAST not in aggregate_votes(votes).relays[FP].flags
+        # 3 of 4 set Fast -> majority -> set.
+        votes = [make_vote(i, [flagged if i < 3 else plain]) for i in range(4)]
+        assert RelayFlag.FAST in aggregate_votes(votes).relays[FP].flags
+
+    def test_largest_version_selected(self):
+        versions = ["Tor 0.4.7.16", "Tor 0.4.8.12", "Tor 0.4.8.9"]
+        votes = [
+            make_vote(i, [Relay(fingerprint=FP, nickname="r", version=v)])
+            for i, v in enumerate(versions)
+        ]
+        assert aggregate_votes(votes).relays[FP].version == "Tor 0.4.8.12"
+
+    def test_version_sort_key_is_numeric_not_lexicographic(self):
+        assert version_sort_key("Tor 0.4.8.10") > version_sort_key("Tor 0.4.8.9")
+
+    def test_exit_policy_tie_breaks_to_lexicographically_larger(self):
+        policy_a = ExitPolicySummary(accept=True, ports="80,443")
+        policy_b = ExitPolicySummary(accept=False, ports="25")
+        votes = [
+            make_vote(0, [Relay(fingerprint=FP, nickname="r", exit_policy=policy_a)]),
+            make_vote(1, [Relay(fingerprint=FP, nickname="r", exit_policy=policy_b)]),
+        ]
+        chosen = aggregate_votes(votes).relays[FP].exit_policy
+        assert chosen == max([policy_a, policy_b], key=lambda p: p.sort_key())
+
+    def test_bandwidth_is_median_of_measured_votes(self):
+        bandwidths = [(100, True), (300, True), (900, True), (50, False)]
+        votes = [
+            make_vote(i, [Relay(fingerprint=FP, nickname="r", bandwidth=b, measured=m)])
+            for i, (b, m) in enumerate(bandwidths)
+        ]
+        result = aggregate_votes(votes).relays[FP]
+        assert result.bandwidth == 300
+        assert result.measured
+
+    def test_bandwidth_falls_back_to_all_votes_when_unmeasured(self):
+        votes = [
+            make_vote(i, [Relay(fingerprint=FP, nickname="r", bandwidth=b, measured=False)])
+            for i, b in enumerate([10, 20, 30])
+        ]
+        result = aggregate_votes(votes).relays[FP]
+        assert result.bandwidth == 20
+        assert not result.measured
+
+
+class TestAggregateVotes:
+    def test_empty_vote_set_rejected(self):
+        with pytest.raises(ValidationError):
+            aggregate_votes([])
+
+    def test_duplicate_authority_rejected(self):
+        vote = make_vote(1, [Relay(fingerprint=FP, nickname="r")])
+        with pytest.raises(ValidationError):
+            aggregate_votes([vote, vote])
+
+    def test_order_independence(self):
+        votes = [
+            make_vote(i, [Relay(fingerprint=FP, nickname="r%d" % i, bandwidth=100 * (i + 1))])
+            for i in range(5)
+        ]
+        forward = aggregate_votes(votes)
+        backward = aggregate_votes(list(reversed(votes)))
+        assert forward.digest() == backward.digest()
+
+    def test_source_digests_recorded_in_authority_order(self):
+        votes = [make_vote(i, [Relay(fingerprint=FP, nickname="r")]) for i in (4, 1, 7)]
+        consensus = aggregate_votes(votes)
+        expected = [v.digest_hex() for v in sorted(votes, key=lambda v: v.authority_id)]
+        assert list(consensus.source_vote_digests) == expected
+
+    def test_aggregate_relay_returns_none_for_empty(self):
+        assert aggregate_relay({}, total_votes=5, config=AggregationConfig()) is None
+
+
+# -- property-based tests -------------------------------------------------------
+
+relay_strategy = st.builds(
+    Relay,
+    fingerprint=st.just(FP),
+    nickname=st.sampled_from(["alpha", "bravo", "charlie"]),
+    flags=st.sets(st.sampled_from([RelayFlag.FAST, RelayFlag.GUARD, RelayFlag.RUNNING])).map(frozenset),
+    version=st.sampled_from(["Tor 0.4.7.16", "Tor 0.4.8.12", "Tor 0.4.8.13"]),
+    bandwidth=st.integers(min_value=1, max_value=10_000),
+    measured=st.booleans(),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(relay_strategy, min_size=1, max_size=9))
+def test_aggregation_determinism_and_majority_properties(entries):
+    votes = [make_vote(i, [relay]) for i, relay in enumerate(entries)]
+    consensus_a = aggregate_votes(votes)
+    consensus_b = aggregate_votes(list(reversed(votes)))
+    # Determinism / order independence.
+    assert consensus_a.digest() == consensus_b.digest()
+    if FP in consensus_a.relays:
+        result = consensus_a.relays[FP]
+        # The bandwidth must be one of the voted bandwidths (median property).
+        assert result.bandwidth in {relay.bandwidth for relay in entries}
+        # Any flag in the output was set by a strict majority of the votes.
+        for flag in result.flags:
+            count = sum(1 for relay in entries if flag in relay.flags)
+            assert count * 2 > len(entries)
+        # The version is the maximum voted version.
+        assert result.version == max((r.version for r in entries), key=version_sort_key)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=9),
+    st.integers(min_value=1, max_value=9),
+)
+def test_inclusion_monotone_in_vote_count(votes_for_relay, total):
+    votes_for_relay = min(votes_for_relay, total)
+    config = AggregationConfig()
+    included = votes_for_relay >= config.inclusion_threshold(total)
+    votes = [
+        make_vote(i, [Relay(fingerprint=FP, nickname="r")] if i < votes_for_relay else [])
+        for i in range(total)
+    ]
+    consensus = aggregate_votes(votes)
+    assert (FP in consensus.relays) == included

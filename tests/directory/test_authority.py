@@ -1,0 +1,59 @@
+"""Directory authority identity tests."""
+
+import pytest
+
+from repro.crypto.signatures import sign, verify
+from repro.directory.authority import TOR_AUTHORITY_NICKNAMES, make_authorities
+from repro.utils.validation import ValidationError
+
+
+def test_live_network_configuration():
+    authorities, ring = make_authorities(9)
+    assert len(authorities) == 9
+    assert len(ring) == 9
+    assert [auth.nickname for auth in authorities] == list(TOR_AUTHORITY_NICKNAMES)
+
+
+def test_authority_ids_and_names_are_sequential():
+    authorities, _ring = make_authorities(5)
+    assert [auth.authority_id for auth in authorities] == list(range(5))
+    assert [auth.name for auth in authorities] == ["auth-%d" % i for i in range(5)]
+
+
+def test_fingerprints_are_unique_40_hex():
+    authorities, _ring = make_authorities(9)
+    fingerprints = {auth.fingerprint for auth in authorities}
+    assert len(fingerprints) == 9
+    assert all(len(fp) == 40 for fp in fingerprints)
+
+
+def test_generation_is_deterministic_in_seed():
+    first, _ = make_authorities(9, seed=11)
+    second, _ = make_authorities(9, seed=11)
+    third, _ = make_authorities(9, seed=12)
+    assert [a.fingerprint for a in first] == [a.fingerprint for a in second]
+    assert [a.fingerprint for a in first] != [a.fingerprint for a in third]
+
+
+def test_keys_registered_in_ring_and_usable():
+    authorities, ring = make_authorities(3)
+    signature = sign(authorities[0].keypair, "test", b"payload")
+    assert verify(ring, signature)
+
+
+def test_bandwidth_authority_count():
+    authorities, _ring = make_authorities(9, bandwidth_authority_count=5)
+    assert sum(1 for auth in authorities if auth.is_bandwidth_authority) == 5
+    with pytest.raises(ValidationError):
+        make_authorities(9, bandwidth_authority_count=10)
+
+
+def test_addresses_match_figure1_style():
+    authorities, _ring = make_authorities(9)
+    assert authorities[0].address == "100.0.0.1:8080"
+    assert authorities[8].address == "100.0.0.9:8080"
+
+
+def test_more_than_nine_authorities_get_generic_nicknames():
+    authorities, _ring = make_authorities(11)
+    assert authorities[10].nickname == "auth10"

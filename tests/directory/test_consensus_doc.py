@@ -1,0 +1,88 @@
+"""Consensus document tests."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair, KeyRing
+from repro.directory.consensus_doc import ConsensusDocument, ConsensusSignature
+from repro.directory.relay import Relay
+
+
+@pytest.fixture()
+def ring_and_pairs():
+    pairs = {i: KeyPair.generate("auth-%d" % i, b"seed") for i in range(9)}
+    return KeyRing(pairs.values()), pairs
+
+
+def make_consensus(valid_after=0.0):
+    relays = {
+        "%040X" % index: Relay(fingerprint="%040X" % index, nickname="relay%d" % index)
+        for index in range(5)
+    }
+    return ConsensusDocument(valid_after=valid_after, relays=relays)
+
+
+def test_lifetime_rules():
+    consensus = make_consensus(valid_after=1000.0)
+    assert consensus.fresh_until == 1000.0 + 3600.0
+    assert consensus.valid_until == 1000.0 + 3 * 3600.0
+    assert consensus.is_usable_at(1000.0)
+    assert consensus.is_usable_at(1000.0 + 3 * 3600.0)
+    assert not consensus.is_usable_at(1000.0 + 3 * 3600.0 + 1)
+    assert not consensus.is_usable_at(999.0)
+
+
+def test_digest_stable_and_content_sensitive():
+    a = make_consensus()
+    b = make_consensus()
+    assert a.digest() == b.digest()
+    b.relays.popitem()
+    assert a.digest() != b.digest()
+
+
+def test_sign_and_validate_with_majority(ring_and_pairs):
+    ring, pairs = ring_and_pairs
+    consensus = make_consensus()
+    for index in range(5):
+        consensus.sign_with(index, "FP%d" % index, pairs[index])
+    assert len(consensus.valid_signatures(ring)) == 5
+    assert consensus.is_valid(ring, total_authorities=9)
+
+
+def test_four_signatures_are_not_enough(ring_and_pairs):
+    ring, pairs = ring_and_pairs
+    consensus = make_consensus()
+    for index in range(4):
+        consensus.sign_with(index, "FP%d" % index, pairs[index])
+    assert not consensus.is_valid(ring, total_authorities=9)
+
+
+def test_signature_over_different_body_does_not_count(ring_and_pairs):
+    ring, pairs = ring_and_pairs
+    consensus = make_consensus()
+    other = make_consensus()
+    other.relays.popitem()
+    record = other.sign_with(0, "FP0", pairs[0])
+    consensus.add_signature(record)
+    assert consensus.valid_signatures(ring) == []
+
+
+def test_duplicate_signatures_ignored(ring_and_pairs):
+    ring, pairs = ring_and_pairs
+    consensus = make_consensus()
+    consensus.sign_with(0, "FP0", pairs[0])
+    consensus.sign_with(0, "FP0", pairs[0])
+    assert len(consensus.signatures) == 1
+
+
+def test_size_includes_signatures(ring_and_pairs):
+    _ring, pairs = ring_and_pairs
+    consensus = make_consensus()
+    before = consensus.size_bytes
+    consensus.sign_with(0, "FP0", pairs[0])
+    assert consensus.size_bytes > before
+
+
+def test_is_valid_rejects_bad_total(ring_and_pairs):
+    ring, _pairs = ring_and_pairs
+    with pytest.raises(Exception):
+        make_consensus().is_valid(ring, total_authorities=0)

@@ -1,0 +1,84 @@
+"""Vote document tests."""
+
+import pytest
+
+from repro.directory.relay import Relay
+from repro.directory.vote import VOTE_HEADER_BYTES, VoteDocument, estimate_vote_size_bytes
+
+
+def make_relays(count):
+    return [
+        Relay(fingerprint=("%040X" % index), nickname="relay%d" % index)
+        for index in range(count)
+    ]
+
+
+def make_vote(count=5, **kwargs):
+    return VoteDocument.from_relays(
+        authority_id=3, authority_fingerprint="F" * 40, relays=make_relays(count), **kwargs
+    )
+
+
+def test_relay_count_and_fingerprints_sorted():
+    vote = make_vote(5)
+    assert vote.relay_count == 5
+    assert list(vote.fingerprints()) == sorted(vote.fingerprints())
+
+
+def test_get_relay():
+    vote = make_vote(3)
+    fingerprint = vote.fingerprints()[0]
+    assert vote.get(fingerprint).fingerprint == fingerprint
+    assert vote.get("0" * 40) is None or vote.get("0" * 40).fingerprint == "0" * 40
+
+
+def test_header_contains_vote_status_and_source():
+    header = make_vote(1).header()
+    assert "vote-status vote" in header
+    assert "dir-source auth-3" in header
+
+
+def test_size_grows_linearly_with_relays():
+    small = make_vote(10).size_bytes
+    large = make_vote(100).size_bytes
+    per_relay = (large - small) / 90
+    assert 250 <= per_relay <= 600
+
+
+def test_size_includes_header_padding():
+    assert make_vote(1).size_bytes >= VOTE_HEADER_BYTES
+
+
+def test_digest_changes_with_content():
+    assert make_vote(5).digest() != make_vote(6).digest()
+    assert make_vote(5).digest_hex() == make_vote(5).digest_hex()
+
+
+def test_padded_relay_count_extrapolates_size():
+    plain = make_vote(50)
+    padded = make_vote(50, padded_relay_count=5000)
+    assert padded.digest() == plain.digest(), "padding must not change content identity"
+    ratio = padded.size_bytes / plain.size_bytes
+    assert ratio > 50  # roughly 100x more relays worth of entries
+
+    # Padding below the materialised count is a no-op.
+    unpadded = make_vote(50, padded_relay_count=10)
+    assert unpadded.size_bytes == plain.size_bytes
+
+
+def test_voting_interval_must_be_positive():
+    with pytest.raises(Exception):
+        VoteDocument(
+            authority_id=0,
+            authority_fingerprint="F" * 40,
+            valid_after=0.0,
+            relays={},
+            voting_interval=0,
+        )
+
+
+def test_estimate_vote_size_linear():
+    assert estimate_vote_size_bytes(0) == VOTE_HEADER_BYTES
+    assert estimate_vote_size_bytes(1000) == VOTE_HEADER_BYTES + 390_000
+    with pytest.raises(Exception):
+        estimate_vote_size_bytes(-1)

@@ -1,0 +1,82 @@
+"""Whole-system integration tests: the paper's story end to end.
+
+These tests exercise the full stack — synthetic network generation, the
+simulator, all three directory protocols, the attack model, and the
+aggregation algorithm — and assert the paper's three headline claims:
+
+1. the current protocol works in benign conditions,
+2. five minutes of DDoS against five authorities breaks it (and the
+   synchronous fix), and
+3. the new partial-synchrony protocol survives the same attack and produces
+   the same consensus the current protocol would have produced.
+"""
+
+import pytest
+
+from repro.attack import AttackCostModel, majority_attack_plan
+from repro.directory.aggregate import aggregate_votes
+from repro.protocols import build_scenario, run_protocol
+from repro.protocols.base import DirectoryProtocolConfig
+
+CONFIG = DirectoryProtocolConfig()
+
+
+@pytest.fixture(scope="module")
+def benign_scenario():
+    return build_scenario(relay_count=8000, bandwidth_mbps=250.0, seed=99)
+
+
+@pytest.fixture(scope="module")
+def attacked_scenario(benign_scenario):
+    attack = majority_attack_plan()
+    return benign_scenario.with_bandwidth_schedules(attack.schedules()), attack
+
+
+def test_benign_conditions_all_protocols_agree_on_relay_content(benign_scenario):
+    reference = aggregate_votes(list(benign_scenario.votes.values()))
+    for protocol in ("current", "ours"):
+        result = run_protocol(protocol, benign_scenario, config=CONFIG, max_time=1200)
+        assert result.success
+        # Every successful authority signed a consensus covering (almost) the
+        # same relay set as the full-information aggregation.
+        digests = {
+            outcome.consensus_digest
+            for outcome in result.outcomes.values()
+            if outcome.success
+        }
+        assert len(digests) == 1
+        assert reference.relay_count > 0
+
+
+def test_headline_attack_story(attacked_scenario):
+    scenario, attack = attacked_scenario
+    # 1. The attack costs pocket money.
+    cost = AttackCostModel(targets=attack.target_count, attack_seconds_per_run=attack.duration)
+    assert cost.cost_per_month() < 60.0
+    # 2. Five minutes of DDoS breaks the current and synchronous protocols.
+    current = run_protocol("current", scenario, config=CONFIG, max_time=700)
+    synchronous = run_protocol("synchronous", scenario, config=CONFIG, max_time=700)
+    assert not current.success
+    assert not synchronous.success
+    # 3. The partial-synchrony protocol recovers right after the attack ends.
+    ours = run_protocol("ours", scenario, config=CONFIG, max_time=attack.end + 900)
+    assert ours.success
+    recovery = ours.latency_from(attack.end)
+    assert recovery is not None and recovery < 60.0
+
+
+def test_attack_is_ineffective_against_ours_even_when_longer(benign_scenario):
+    # Doubling the attack window only delays the new protocol, never kills it.
+    attack = majority_attack_plan(duration=600.0, residual_bandwidth_mbps=0.25)
+    scenario = benign_scenario.with_bandwidth_schedules(attack.schedules())
+    ours = run_protocol("ours", scenario, config=CONFIG, max_time=attack.end + 1200)
+    assert ours.success
+    assert ours.latency_from(attack.end) < 120.0
+
+
+def test_transfer_accounting_is_conserved(benign_scenario):
+    result = run_protocol("current", benign_scenario, config=CONFIG, max_time=700)
+    stats = result.stats
+    assert stats.total_bytes_delivered <= stats.total_bytes_sent
+    assert stats.messages_delivered <= stats.messages_sent
+    assert stats.messages_timed_out == 0  # nothing should time out at 250 Mbit/s

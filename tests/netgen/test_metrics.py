@@ -1,0 +1,63 @@
+"""Tor-Metrics relay-count series tests (Figure 6 input)."""
+
+from datetime import date
+
+import pytest
+
+from repro.netgen.metrics import (
+    FIGURE6_END,
+    FIGURE6_START,
+    TOR_METRICS_AVERAGE,
+    RelayCountSeries,
+    synthesize_relay_counts,
+)
+
+
+def test_average_matches_paper_value():
+    series = synthesize_relay_counts()
+    assert series.average == pytest.approx(TOR_METRICS_AVERAGE, rel=1e-9)
+
+
+def test_span_covers_figure6_window():
+    series = synthesize_relay_counts()
+    assert series.dates[0] == FIGURE6_START
+    assert series.dates[-1] == FIGURE6_END
+    assert len(series.dates) == (FIGURE6_END - FIGURE6_START).days + 1
+
+
+def test_counts_are_plausible_relay_numbers():
+    series = synthesize_relay_counts()
+    assert 5000 < series.minimum < series.maximum < 10000
+
+
+def test_deterministic_in_seed():
+    a = synthesize_relay_counts(seed=1)
+    b = synthesize_relay_counts(seed=1)
+    c = synthesize_relay_counts(seed=2)
+    assert a.counts == b.counts
+    assert a.counts != c.counts
+
+
+def test_monthly_averages_cover_every_month():
+    series = synthesize_relay_counts()
+    months = series.monthly_averages()
+    assert months[0][0] == "2022-09"
+    assert months[-1][0] == "2024-10"
+    assert len(months) == 26
+
+
+def test_custom_window_and_average():
+    series = synthesize_relay_counts(
+        start=date(2023, 1, 1), end=date(2023, 3, 1), target_average=5000.0
+    )
+    assert series.average == pytest.approx(5000.0)
+
+
+def test_invalid_window_rejected():
+    with pytest.raises(Exception):
+        synthesize_relay_counts(start=date(2024, 1, 1), end=date(2023, 1, 1))
+
+
+def test_series_requires_matching_lengths():
+    with pytest.raises(Exception):
+        RelayCountSeries(dates=(date(2023, 1, 1),), counts=(1.0, 2.0))

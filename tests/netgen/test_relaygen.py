@@ -1,0 +1,56 @@
+"""Relay population generator tests."""
+
+import pytest
+
+from repro.directory.relay import RelayFlag
+from repro.netgen.relaygen import RelayPopulationConfig, generate_population
+from repro.utils.validation import ValidationError
+
+
+def test_population_size_and_uniqueness():
+    population = generate_population(RelayPopulationConfig(relay_count=200, seed=1))
+    assert population.relay_count == 200
+    fingerprints = {relay.fingerprint for relay in population.relays}
+    assert len(fingerprints) == 200
+
+
+def test_generation_is_deterministic():
+    a = generate_population(RelayPopulationConfig(relay_count=50, seed=5))
+    b = generate_population(RelayPopulationConfig(relay_count=50, seed=5))
+    assert [r.fingerprint for r in a.relays] == [r.fingerprint for r in b.relays]
+    c = generate_population(RelayPopulationConfig(relay_count=50, seed=6))
+    assert [r.fingerprint for r in a.relays] != [r.fingerprint for r in c.relays]
+
+
+def test_attribute_fractions_roughly_respected():
+    config = RelayPopulationConfig(relay_count=600, exit_fraction=0.2, seed=2)
+    population = generate_population(config)
+    exits = sum(1 for relay in population.relays if RelayFlag.EXIT in relay.flags)
+    assert 0.1 <= exits / 600 <= 0.3
+    running = sum(1 for relay in population.relays if RelayFlag.RUNNING in relay.flags)
+    assert running / 600 > 0.9
+
+
+def test_bandwidths_are_positive_and_spread():
+    population = generate_population(RelayPopulationConfig(relay_count=300, seed=3))
+    bandwidths = [relay.bandwidth for relay in population.relays]
+    assert min(bandwidths) >= 20
+    assert max(bandwidths) > 10 * min(bandwidths), "log-normal spread expected"
+
+
+def test_average_entry_bytes_in_calibrated_range():
+    population = generate_population(RelayPopulationConfig(relay_count=100, seed=4))
+    assert 280 <= population.average_entry_bytes() <= 550
+
+
+def test_empty_population_allowed():
+    population = generate_population(RelayPopulationConfig(relay_count=0))
+    assert population.relay_count == 0
+    assert population.average_entry_bytes() == 0.0
+
+
+def test_invalid_fractions_rejected():
+    with pytest.raises(ValidationError):
+        RelayPopulationConfig(exit_fraction=1.5)
+    with pytest.raises(ValidationError):
+        RelayPopulationConfig(relay_count=-1)

@@ -1,0 +1,55 @@
+"""Authority topology tests."""
+
+import pytest
+
+from repro.directory.authority import make_authorities
+from repro.netgen.topology_gen import generate_topology
+from repro.utils.units import Bandwidth
+
+
+@pytest.fixture(scope="module")
+def topology():
+    authorities, _ring = make_authorities(9, seed=4)
+    return authorities, generate_topology(authorities, bandwidth_mbps=250.0, seed=4)
+
+
+def test_latencies_symmetric_and_in_range(topology):
+    authorities, topo = topology
+    for a in authorities:
+        for b in authorities:
+            latency = topo.latency_between(a.authority_id, b.authority_id)
+            assert latency == topo.latency_between(b.authority_id, a.authority_id)
+            if a.authority_id == b.authority_id:
+                assert latency == 0.0
+            else:
+                assert 0.02 <= latency <= 0.12
+
+
+def test_bandwidth_lookup(topology):
+    authorities, topo = topology
+    assert topo.bandwidth_of(authorities[0].authority_id) == Bandwidth.from_mbps(250.0)
+
+
+def test_with_uniform_bandwidth_returns_copy(topology):
+    authorities, topo = topology
+    slower = topo.with_uniform_bandwidth(10.0)
+    assert slower.bandwidth_of(0).mbps == pytest.approx(10.0)
+    assert topo.bandwidth_of(0).mbps == pytest.approx(250.0)
+    assert slower.latency_between(0, 1) == topo.latency_between(0, 1)
+
+
+def test_deterministic_in_seed():
+    authorities, _ring = make_authorities(5, seed=9)
+    a = generate_topology(authorities, seed=1)
+    b = generate_topology(authorities, seed=1)
+    c = generate_topology(authorities, seed=2)
+    assert a.latency_seconds == b.latency_seconds
+    assert a.latency_seconds != c.latency_seconds
+
+
+def test_invalid_parameters_rejected():
+    authorities, _ring = make_authorities(3)
+    with pytest.raises(Exception):
+        generate_topology(authorities, min_latency_s=0.2, max_latency_s=0.1)
+    with pytest.raises(Exception):
+        generate_topology([])

@@ -1,0 +1,68 @@
+"""Authority-view (vote generation) tests."""
+
+import pytest
+
+from repro.directory.authority import make_authorities
+from repro.netgen.relaygen import RelayPopulationConfig, generate_population
+from repro.netgen.views import AuthorityViewConfig, generate_authority_votes
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    authorities, ring = make_authorities(9, seed=2)
+    population = generate_population(RelayPopulationConfig(relay_count=80, seed=2))
+    votes = generate_authority_votes(population, authorities, AuthorityViewConfig(seed=2))
+    return authorities, population, votes
+
+
+def test_one_vote_per_authority(setup):
+    authorities, _population, votes = setup
+    assert set(votes) == {auth.authority_id for auth in authorities}
+    for auth in authorities:
+        assert votes[auth.authority_id].authority_fingerprint == auth.fingerprint
+
+
+def test_views_disagree_slightly_but_not_wildly(setup):
+    _authorities, population, votes = setup
+    counts = [vote.relay_count for vote in votes.values()]
+    assert max(counts) <= population.relay_count
+    assert min(counts) >= int(population.relay_count * 0.9)
+    digests = {vote.digest_hex() for vote in votes.values()}
+    assert len(digests) == len(votes), "authorities should not have identical votes"
+
+
+def test_only_bandwidth_authorities_measure(setup):
+    authorities, _population, votes = setup
+    for auth in authorities:
+        vote = votes[auth.authority_id]
+        measured = any(relay.measured for relay in vote.relays.values())
+        assert measured == auth.is_bandwidth_authority
+
+
+def test_generation_deterministic(setup):
+    authorities, population, votes = setup
+    again = generate_authority_votes(population, authorities, AuthorityViewConfig(seed=2))
+    assert {k: v.digest_hex() for k, v in votes.items()} == {
+        k: v.digest_hex() for k, v in again.items()
+    }
+
+
+def test_padded_relay_count_propagates():
+    authorities, _ring = make_authorities(3, seed=3)
+    population = generate_population(RelayPopulationConfig(relay_count=20, seed=3))
+    votes = generate_authority_votes(
+        population, authorities, padded_relay_count=2000
+    )
+    assert votes[0].size_bytes > 50 * votes[0].relay_count
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValidationError):
+        AuthorityViewConfig(miss_probability=2.0)
+    with pytest.raises(ValidationError):
+        AuthorityViewConfig(measurement_noise=-1.0)
+    with pytest.raises(ValidationError):
+        generate_authority_votes(
+            generate_population(RelayPopulationConfig(relay_count=1)), []
+        )

@@ -1,0 +1,85 @@
+"""Current (v3) directory protocol behaviour tests."""
+
+import pytest
+
+from repro.attack.ddos import DDoSAttackPlan
+from repro.protocols.base import DirectoryProtocolConfig
+from repro.protocols.runner import build_scenario, run_protocol
+
+
+CONFIG = DirectoryProtocolConfig()
+
+
+def run_current(scenario, config=CONFIG):
+    return run_protocol("current", scenario, config=config, max_time=4 * config.round_duration + 60)
+
+
+def test_success_and_latency_at_high_bandwidth():
+    scenario = build_scenario(relay_count=4000, bandwidth_mbps=100.0, seed=11)
+    result = run_current(scenario)
+    assert result.success
+    assert len(result.successful_authorities) == 9
+    # Network-time latency: well under one lock-step round at 100 Mbit/s.
+    assert result.latency < CONFIG.round_duration
+
+
+def test_latency_grows_with_relay_count():
+    small = run_current(build_scenario(relay_count=1000, bandwidth_mbps=20.0, seed=11))
+    large = run_current(build_scenario(relay_count=8000, bandwidth_mbps=20.0, seed=11))
+    assert small.success and large.success
+    assert large.latency > small.latency
+
+
+def test_fails_at_ddos_residual_bandwidth():
+    scenario = build_scenario(relay_count=8000, bandwidth_mbps=0.5, seed=11)
+    result = run_current(scenario)
+    assert not result.success
+    assert result.latency is None
+
+
+def test_attack_on_majority_breaks_protocol_but_minority_does_not():
+    base = build_scenario(relay_count=8000, bandwidth_mbps=250.0, seed=12)
+    majority_attack = DDoSAttackPlan(
+        target_authority_ids=(0, 1, 2, 3, 4), start=0.0, duration=300.0
+    )
+    minority_attack = DDoSAttackPlan(
+        target_authority_ids=(0, 1, 2, 3), start=0.0, duration=300.0
+    )
+    attacked_majority = base.with_bandwidth_schedules(majority_attack.schedules())
+    attacked_minority = base.with_bandwidth_schedules(minority_attack.schedules())
+    assert not run_current(attacked_majority).success
+    assert run_current(attacked_minority).success
+
+
+def test_attack_outside_vote_rounds_is_harmless():
+    # The same 300-second attack starting after the two vote rounds does not
+    # prevent consensus (signatures are tiny messages).
+    base = build_scenario(relay_count=4000, bandwidth_mbps=250.0, seed=13)
+    late_attack = DDoSAttackPlan(
+        target_authority_ids=(0, 1, 2, 3, 4), start=310.0, duration=300.0,
+        residual_bandwidth_mbps=0.5,
+    )
+    result = run_current(base.with_bandwidth_schedules(late_attack.schedules()))
+    assert result.success
+
+
+def test_figure1_log_lines_present_under_attack():
+    base = build_scenario(relay_count=8000, bandwidth_mbps=250.0, seed=14)
+    attack = DDoSAttackPlan(target_authority_ids=(0, 1, 2, 3, 4), start=0.0, duration=300.0)
+    result = run_current(base.with_bandwidth_schedules(attack.schedules()))
+    assert not result.success
+    observer = "auth-8"  # not attacked
+    trace = result.trace
+    assert trace.contains("Time to fetch any votes that we're missing.", node=observer)
+    assert trace.contains("We're missing votes from 5 authorities", node=observer)
+    assert trace.contains("Giving up downloading votes", node=observer)
+    assert trace.contains("We don't have enough votes to generate a consensus: 4 of 5", node=observer)
+
+
+def test_outcomes_record_votes_and_failure_reasons():
+    scenario = build_scenario(relay_count=8000, bandwidth_mbps=0.5, seed=15)
+    result = run_current(scenario)
+    for outcome in result.outcomes.values():
+        assert not outcome.success
+        assert outcome.failure_reason is not None
+        assert outcome.votes_held <= 9

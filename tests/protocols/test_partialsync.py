@@ -1,0 +1,70 @@
+"""Partial-synchrony (ICPS) directory protocol behaviour tests."""
+
+import pytest
+
+from repro.attack.ddos import DDoSAttackPlan
+from repro.protocols.base import DirectoryProtocolConfig
+from repro.protocols.runner import build_scenario, run_protocol
+
+CONFIG = DirectoryProtocolConfig()
+
+
+def run_ours(scenario, max_time=1800.0, **kwargs):
+    return run_protocol("ours", scenario, config=CONFIG, max_time=max_time, **kwargs)
+
+
+def test_succeeds_and_is_close_to_current_at_high_bandwidth():
+    scenario = build_scenario(relay_count=8000, bandwidth_mbps=50.0, seed=31)
+    ours = run_ours(scenario)
+    current = run_protocol("current", scenario, config=CONFIG, max_time=700)
+    assert ours.success and current.success
+    # "Comparable performance": within a handful of seconds of the current protocol.
+    assert ours.latency - current.latency < 15.0
+
+
+def test_succeeds_where_current_fails_low_bandwidth():
+    scenario = build_scenario(relay_count=8000, bandwidth_mbps=1.0, seed=32)
+    assert not run_protocol("current", scenario, config=CONFIG, max_time=700).success
+    result = run_ours(scenario, max_time=3000)
+    assert result.success
+    assert result.latency < 1000.0  # Figure 10's bottom panels stay under ~1000 s
+
+
+def test_succeeds_at_ddos_residual_bandwidth():
+    scenario = build_scenario(relay_count=4000, bandwidth_mbps=0.5, seed=33)
+    result = run_ours(scenario, max_time=4000)
+    assert result.success
+
+
+def test_recovers_quickly_after_full_ddos_window():
+    scenario = build_scenario(relay_count=8000, bandwidth_mbps=250.0, seed=34)
+    attack = DDoSAttackPlan(
+        target_authority_ids=(0, 1, 2, 3, 4),
+        start=0.0,
+        duration=300.0,
+        residual_bandwidth_mbps=0.05,
+    )
+    attacked = scenario.with_bandwidth_schedules(attack.schedules())
+    result = run_ours(attacked, max_time=attack.end + 900)
+    assert result.success
+    recovery = result.latency_from(attack.end)
+    assert recovery is not None
+    assert recovery < 60.0, "consensus should appear within seconds of the attack ending"
+
+
+def test_all_authorities_agree_on_consensus_digest():
+    scenario = build_scenario(relay_count=2000, bandwidth_mbps=20.0, seed=35)
+    result = run_ours(scenario)
+    assert result.success
+    digests = {
+        outcome.consensus_digest for outcome in result.outcomes.values() if outcome.success
+    }
+    assert len(digests) == 1
+    assert all(outcome.votes_held >= 7 for outcome in result.outcomes.values() if outcome.success)
+
+
+@pytest.mark.parametrize("engine", ["pbft", "tendermint"])
+def test_alternative_agreement_engines_work(engine):
+    scenario = build_scenario(relay_count=2000, bandwidth_mbps=20.0, seed=36)
+    result = run_ours(scenario, engine=engine)
+    assert result.success

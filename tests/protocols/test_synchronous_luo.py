@@ -1,0 +1,56 @@
+"""Synchronous (Luo et al.) protocol behaviour tests."""
+
+import pytest
+
+from repro.protocols.base import DirectoryProtocolConfig
+from repro.protocols.runner import build_scenario, run_protocol
+
+CONFIG = DirectoryProtocolConfig()
+
+
+def run_sync(scenario, config=CONFIG):
+    return run_protocol(
+        "synchronous", scenario, config=config, max_time=4 * config.round_duration + 60
+    )
+
+
+def test_succeeds_at_high_bandwidth_with_higher_latency_than_current():
+    scenario = build_scenario(relay_count=2000, bandwidth_mbps=100.0, seed=21)
+    sync_result = run_sync(scenario)
+    current_result = run_protocol("current", scenario, config=CONFIG, max_time=700)
+    assert sync_result.success and current_result.success
+    # Packing every list into the vote makes the synchronous protocol slower.
+    assert sync_result.latency > current_result.latency
+
+
+def test_uses_much_more_bandwidth_than_current():
+    scenario = build_scenario(relay_count=2000, bandwidth_mbps=100.0, seed=21)
+    sync_result = run_sync(scenario)
+    current_result = run_protocol("current", scenario, config=CONFIG, max_time=700)
+    assert (
+        sync_result.stats.total_bytes_delivered
+        > 3 * current_result.stats.total_bytes_delivered
+    )
+
+
+def test_fails_at_lower_relay_count_than_current():
+    # At 10 Mbit/s the synchronous protocol collapses around 2,000+ relays
+    # while the current protocol still works (Figure 10's key ordering).
+    scenario = build_scenario(relay_count=4000, bandwidth_mbps=10.0, seed=22)
+    assert not run_sync(scenario).success
+    assert run_protocol("current", scenario, config=CONFIG, max_time=700).success
+
+
+def test_fails_under_ddos_residual_bandwidth():
+    scenario = build_scenario(relay_count=1000, bandwidth_mbps=0.5, seed=23)
+    assert not run_sync(scenario).success
+
+
+def test_successful_run_agrees_on_single_digest():
+    scenario = build_scenario(relay_count=1000, bandwidth_mbps=100.0, seed=24)
+    result = run_sync(scenario)
+    assert result.success
+    digests = {
+        outcome.consensus_digest for outcome in result.outcomes.values() if outcome.success
+    }
+    assert len(digests) == 1

@@ -1,0 +1,105 @@
+"""Bandwidth schedule tests, including property-based integration checks."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simnet.bandwidth import BandwidthSchedule
+from repro.utils.units import mbps_to_bytes_per_s
+
+
+def test_constant_schedule():
+    schedule = BandwidthSchedule.constant_mbps(10)
+    assert schedule.rate_at(0) == pytest.approx(1.25e6)
+    assert schedule.rate_at(1e6) == pytest.approx(1.25e6)
+    assert schedule.next_change_after(0) is None
+
+
+def test_window_application():
+    schedule = BandwidthSchedule.constant_mbps(250).with_window_mbps(100, 400, 0.5)
+    assert schedule.rate_at(0) == pytest.approx(mbps_to_bytes_per_s(250))
+    assert schedule.rate_at(100) == pytest.approx(mbps_to_bytes_per_s(0.5))
+    assert schedule.rate_at(399.9) == pytest.approx(mbps_to_bytes_per_s(0.5))
+    assert schedule.rate_at(400) == pytest.approx(mbps_to_bytes_per_s(250))
+
+
+def test_next_change_after():
+    schedule = BandwidthSchedule.constant_mbps(250).with_window_mbps(100, 400, 0.5)
+    assert schedule.next_change_after(0) == 100
+    assert schedule.next_change_after(100) == 400
+    assert schedule.next_change_after(400) is None
+
+
+def test_capacity_between_integrates_windows():
+    schedule = BandwidthSchedule.constant(100.0).with_window(10, 20, 0.0)
+    assert schedule.capacity_between(0, 30) == pytest.approx(100.0 * 20)
+    assert schedule.capacity_between(10, 20) == pytest.approx(0.0)
+
+
+def test_time_to_transfer_constant_rate():
+    schedule = BandwidthSchedule.constant(1000.0)
+    assert schedule.time_to_transfer(5000, start=2.0) == pytest.approx(7.0)
+    assert schedule.time_to_transfer(0, start=2.0) == 2.0
+
+
+def test_time_to_transfer_across_throttle_window():
+    # 1000 B/s normally, zero during [5, 10): 3000 bytes sent from t=4 need
+    # 1 s before the window, then wait, then 2 s after it.
+    schedule = BandwidthSchedule.constant(1000.0).with_window(5, 10, 0.0)
+    assert schedule.time_to_transfer(3000, start=4.0) == pytest.approx(12.0)
+
+
+def test_time_to_transfer_infinite_when_rate_zero_forever():
+    schedule = BandwidthSchedule.constant(0.0)
+    assert schedule.time_to_transfer(1, start=0.0) == math.inf
+
+
+def test_invalid_schedules_rejected():
+    with pytest.raises(Exception):
+        BandwidthSchedule([1.0], [10.0])  # must start at 0
+    with pytest.raises(Exception):
+        BandwidthSchedule([0.0, 0.0], [1.0, 2.0])  # non-increasing breakpoints
+    with pytest.raises(Exception):
+        BandwidthSchedule([0.0], [-1.0])  # negative rate
+    with pytest.raises(Exception):
+        BandwidthSchedule.constant(5.0).with_window(10, 5, 1.0)  # end before start
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rate=st.floats(min_value=10.0, max_value=1e7),
+    window_start=st.floats(min_value=0.0, max_value=500.0),
+    window_length=st.floats(min_value=1.0, max_value=500.0),
+    window_rate=st.floats(min_value=0.0, max_value=1e6),
+    nbytes=st.floats(min_value=1.0, max_value=1e8),
+    start=st.floats(min_value=0.0, max_value=1000.0),
+)
+def test_transfer_finish_time_consistent_with_capacity(
+    rate, window_start, window_length, window_rate, nbytes, start
+):
+    schedule = BandwidthSchedule.constant(rate).with_window(
+        window_start, window_start + window_length, window_rate
+    )
+    finish = schedule.time_to_transfer(nbytes, start=start)
+    if finish == math.inf:
+        return
+    assert finish >= start
+    # The capacity moved by the finish time covers the bytes (within tolerance)
+    # and the capacity shortly before the finish time does not.
+    moved = schedule.capacity_between(start, finish)
+    assert moved == pytest.approx(nbytes, rel=1e-6, abs=1e-3)
+    if finish - start > 1e-3:
+        earlier = schedule.capacity_between(start, finish - 1e-3)
+        assert earlier <= nbytes + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rate=st.floats(min_value=1.0, max_value=1e6),
+    times=st.lists(st.floats(min_value=0, max_value=1e4), min_size=1, max_size=10),
+)
+def test_rate_at_never_negative_and_piecewise_constant(rate, times):
+    schedule = BandwidthSchedule.constant(rate).with_window(10, 20, rate / 2)
+    for time in times:
+        assert schedule.rate_at(time) >= 0

@@ -1,0 +1,100 @@
+"""Event-loop tests."""
+
+import pytest
+
+from repro.simnet.engine import SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(5.0, order.append, "late")
+    sim.schedule(1.0, order.append, "early")
+    sim.schedule(3.0, order.append, "middle")
+    sim.run_until_idle()
+    assert order == ["early", "middle", "late"]
+    assert sim.now == 5.0
+
+
+def test_ties_break_by_scheduling_order():
+    sim = Simulator()
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.schedule(1.0, order.append, tag)
+    sim.run_until_idle()
+    assert order == ["first", "second", "third"]
+
+
+def test_schedule_in_uses_relative_delay():
+    sim = Simulator()
+    seen = []
+    sim.schedule_in(2.0, lambda: sim.schedule_in(3.0, lambda: seen.append(sim.now)))
+    sim.run_until_idle()
+    assert seen == [5.0]
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run_until_idle()
+    with pytest.raises(SimulationError):
+        sim.schedule(5.0, lambda: None)
+    with pytest.raises(Exception):
+        sim.schedule_in(-1.0, lambda: None)
+
+
+def test_cancelled_events_are_skipped():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "cancelled")
+    sim.schedule(2.0, fired.append, "kept")
+    handle.cancel()
+    sim.run_until_idle()
+    assert fired == ["kept"]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(10.0, fired.append, "b")
+    stop_time = sim.run(until=5.0)
+    assert fired == ["a"]
+    assert stop_time == 5.0
+    sim.run_until_idle()
+    assert fired == ["a", "b"]
+
+
+def test_events_scheduled_during_execution_run():
+    sim = Simulator()
+    seen = []
+
+    def chain(depth):
+        seen.append(depth)
+        if depth < 3:
+            sim.schedule_in(1.0, chain, depth + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run_until_idle()
+    assert seen == [0, 1, 2, 3]
+    assert sim.processed_events == 4
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule_in(0.001, forever)
+
+    sim.schedule(0.0, forever)
+    with pytest.raises(SimulationError):
+        sim.run(until=None, max_events=100)
+
+
+def test_pending_event_count():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    handle.cancel()
+    assert sim.pending_events == 1

@@ -1,0 +1,24 @@
+"""Message envelope tests."""
+
+import pytest
+
+from repro.simnet.message import CONTROL_MESSAGE_OVERHEAD_BYTES, Message
+
+
+def test_defaults_and_ids_unique():
+    a = Message(msg_type="VOTE")
+    b = Message(msg_type="VOTE")
+    assert a.size_bytes == CONTROL_MESSAGE_OVERHEAD_BYTES
+    assert a.msg_id != b.msg_id
+
+
+def test_validation():
+    with pytest.raises(Exception):
+        Message(msg_type="")
+    with pytest.raises(Exception):
+        Message(msg_type="VOTE", size_bytes=-1)
+
+
+def test_annotated_merges_metadata_and_chains():
+    message = Message(msg_type="VOTE").annotated(round=1).annotated(retry=True)
+    assert message.metadata == {"round": 1, "retry": True}

@@ -1,0 +1,167 @@
+"""Flow-transport tests: bandwidth sharing, latency, timeouts, DDoS windows."""
+
+import pytest
+
+from repro.simnet.bandwidth import BandwidthSchedule
+from repro.simnet.message import Message
+from repro.simnet.network import LinkConfig, SimNetwork, UnknownNodeError
+from repro.simnet.node import ProtocolNode
+from repro.utils.validation import ValidationError
+
+
+class Recorder(ProtocolNode):
+    """Node that records every delivery."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.received = []
+
+    def on_message(self, message, now):
+        self.received.append((message.msg_type, message.sender, now, message.size_bytes))
+
+
+def make_network(node_names, mbps=8.0, latency=0.0, scheduling="fair"):
+    network = SimNetwork(scheduling=scheduling, default_latency_s=latency)
+    nodes = {}
+    for name in node_names:
+        node = Recorder(name)
+        network.add_node(node, LinkConfig.symmetric_mbps(mbps))
+        nodes[name] = node
+    return network, nodes
+
+
+def test_single_transfer_time_matches_bandwidth():
+    # 8 Mbit/s = 1 MB/s; a 2 MB message takes 2 seconds plus latency.
+    network, nodes = make_network(["a", "b"], mbps=8.0, latency=0.5)
+    network.send("a", "b", Message(msg_type="DOC", size_bytes=2_000_000))
+    network.run()
+    (_type, sender, arrival, _size) = nodes["b"].received[0]
+    assert sender == "a"
+    assert arrival == pytest.approx(2.5, abs=1e-6)
+
+
+def test_zero_size_message_takes_only_latency():
+    network, nodes = make_network(["a", "b"], mbps=8.0, latency=0.25)
+    network.send("a", "b", Message(msg_type="PING", size_bytes=0))
+    network.run()
+    assert nodes["b"].received[0][2] == pytest.approx(0.25)
+
+
+def test_fair_sharing_splits_uplink():
+    # Two concurrent 1 MB transfers over a 1 MB/s uplink finish together at ~2 s.
+    network, nodes = make_network(["a", "b", "c"], mbps=8.0)
+    network.send("a", "b", Message(msg_type="DOC", size_bytes=1_000_000))
+    network.send("a", "c", Message(msg_type="DOC", size_bytes=1_000_000))
+    network.run()
+    assert nodes["b"].received[0][2] == pytest.approx(2.0, abs=1e-6)
+    assert nodes["c"].received[0][2] == pytest.approx(2.0, abs=1e-6)
+
+
+def test_fifo_serves_uplink_in_order():
+    network, nodes = make_network(["a", "b", "c"], mbps=8.0, scheduling="fifo")
+    network.send("a", "b", Message(msg_type="DOC", size_bytes=1_000_000))
+    network.send("a", "c", Message(msg_type="DOC", size_bytes=1_000_000))
+    network.run()
+    assert nodes["b"].received[0][2] == pytest.approx(1.0, abs=1e-6)
+    assert nodes["c"].received[0][2] == pytest.approx(2.0, abs=1e-6)
+
+
+def test_downlink_is_also_a_bottleneck():
+    # Two senders into one receiver share the receiver's downlink.
+    network, nodes = make_network(["a", "b", "c"], mbps=8.0)
+    network.send("a", "c", Message(msg_type="DOC", size_bytes=1_000_000))
+    network.send("b", "c", Message(msg_type="DOC", size_bytes=1_000_000))
+    network.run()
+    arrivals = sorted(record[2] for record in nodes["c"].received)
+    assert arrivals[-1] == pytest.approx(2.0, abs=1e-6)
+
+
+def test_flow_timeout_aborts_and_notifies_sender():
+    network, nodes = make_network(["a", "b"], mbps=0.008)  # 1 kB/s
+    timed_out = []
+    network.send(
+        "a",
+        "b",
+        Message(msg_type="DOC", size_bytes=1_000_000),
+        timeout=5.0,
+        on_timeout=lambda message, dst: timed_out.append(dst),
+    )
+    network.run()
+    assert timed_out == ["b"]
+    assert nodes["b"].received == []
+    assert network.stats.messages_timed_out == 1
+
+
+def test_ddos_window_stalls_then_recovers():
+    # 1 MB at 1 MB/s, but the sender is throttled to ~zero during [0, 10):
+    # the transfer completes shortly after the window lifts.
+    network = SimNetwork(default_latency_s=0.0)
+    attacked = BandwidthSchedule.constant(1_000_000.0).with_window(0, 10, 1.0)
+    sender, receiver = Recorder("a"), Recorder("b")
+    network.add_node(sender, LinkConfig.symmetric(attacked))
+    network.add_node(receiver, LinkConfig.symmetric_mbps(8.0))
+    network.send("a", "b", Message(msg_type="DOC", size_bytes=1_000_000))
+    network.run()
+    arrival = receiver.received[0][2]
+    assert 10.0 < arrival < 11.1
+
+
+def test_on_delivered_callback_and_stats():
+    network, nodes = make_network(["a", "b"], mbps=8.0)
+    delivered = []
+    network.send(
+        "a",
+        "b",
+        Message(msg_type="DOC", size_bytes=500_000),
+        on_delivered=lambda message, dst, when: delivered.append((dst, when)),
+    )
+    network.run()
+    assert delivered and delivered[0][0] == "b"
+    assert network.stats.messages_sent == 1
+    assert network.stats.messages_delivered == 1
+    assert network.stats.bytes_delivered["a"] == 500_000
+    assert network.stats.bytes_by_type["DOC"] == 500_000
+
+
+def test_pairwise_latency_override():
+    network, nodes = make_network(["a", "b"], mbps=8.0, latency=0.05)
+    network.set_latency("a", "b", 0.4)
+    network.send("a", "b", Message(msg_type="PING", size_bytes=0))
+    network.run()
+    assert nodes["b"].received[0][2] == pytest.approx(0.4)
+
+
+def test_errors_for_bad_usage():
+    network, nodes = make_network(["a", "b"])
+    with pytest.raises(UnknownNodeError):
+        network.send("a", "zzz", Message(msg_type="X", size_bytes=1))
+    with pytest.raises(UnknownNodeError):
+        network.send("zzz", "a", Message(msg_type="X", size_bytes=1))
+    with pytest.raises(ValidationError):
+        network.send("a", "a", Message(msg_type="X", size_bytes=1))
+    with pytest.raises(ValidationError):
+        network.add_node(Recorder("a"), LinkConfig.symmetric_mbps(1))
+    with pytest.raises(ValidationError):
+        SimNetwork(scheduling="weighted")
+
+
+def test_broadcast_helper_sends_to_all_peers():
+    network, nodes = make_network(["a", "b", "c", "d"], mbps=80.0)
+    count = nodes["a"].broadcast(lambda dst: Message(msg_type="HELLO", size_bytes=1000))
+    network.run()
+    assert count == 3
+    for name in ("b", "c", "d"):
+        assert len(nodes[name].received) == 1
+
+
+def test_set_link_mid_run_affects_future_transfers():
+    network, nodes = make_network(["a", "b"], mbps=8.0)
+    network.send("a", "b", Message(msg_type="DOC", size_bytes=1_000_000))
+    network.run()
+    first_arrival = nodes["b"].received[0][2]
+    # Throttle and send again: the second transfer is much slower.
+    network.set_link("a", LinkConfig.symmetric_mbps(0.8))
+    network.send("a", "b", Message(msg_type="DOC", size_bytes=1_000_000))
+    network.run()
+    second_arrival = nodes["b"].received[1][2]
+    assert second_arrival - first_arrival > 9.0

@@ -1,0 +1,87 @@
+"""Protocol-node base class tests."""
+
+import pytest
+
+from repro.simnet.message import Message
+from repro.simnet.network import LinkConfig, SimNetwork
+from repro.simnet.node import NodeNotAttachedError, ProtocolNode
+
+
+class Echoer(ProtocolNode):
+    """Replies PONG to every PING and counts timer firings."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.received = []
+        self.timer_fired = 0
+
+    def on_start(self):
+        self.log("notice", "started")
+
+    def on_message(self, message, now):
+        self.received.append(message.msg_type)
+        if message.msg_type == "PING":
+            self.send(message.sender, Message(msg_type="PONG", size_bytes=10))
+
+    def bump(self):
+        self.timer_fired += 1
+
+
+def make_pair():
+    network = SimNetwork(default_latency_s=0.01)
+    a, b = Echoer("a"), Echoer("b")
+    network.add_node(a, LinkConfig.symmetric_mbps(10))
+    network.add_node(b, LinkConfig.symmetric_mbps(10))
+    return network, a, b
+
+
+def test_detached_node_raises():
+    node = Echoer("lonely")
+    with pytest.raises(NodeNotAttachedError):
+        node.send("other", Message(msg_type="X", size_bytes=1))
+    with pytest.raises(NodeNotAttachedError):
+        _ = node.now
+
+
+def test_request_response_round_trip():
+    network, a, b = make_pair()
+    a.send("b", Message(msg_type="PING", size_bytes=10))
+    network.run()
+    assert b.received == ["PING"]
+    assert a.received == ["PONG"]
+
+
+def test_on_start_called_by_network_start():
+    network, a, b = make_pair()
+    network.start()
+    network.run()
+    assert network.trace.contains("started", node="a")
+    assert network.trace.contains("started", node="b")
+
+
+def test_timers_and_cancellation():
+    network, a, b = make_pair()
+    keep = a.set_timer(1.0, a.bump)
+    cancel = a.set_timer(2.0, a.bump)
+    a.cancel_timer(cancel)
+    a.set_timer_at(3.0, a.bump)
+    network.run()
+    assert a.timer_fired == 2
+    assert keep is not None
+
+
+def test_unimplemented_on_message_raises():
+    node = ProtocolNode("base")
+    with pytest.raises(NotImplementedError):
+        node.on_message(Message(msg_type="X", size_bytes=1), 0.0)
+
+
+def test_broadcast_targets_subset():
+    network, a, b = make_pair()
+    c = Echoer("c")
+    network.add_node(c, LinkConfig.symmetric_mbps(10))
+    sent = a.broadcast(lambda dst: Message(msg_type="PING", size_bytes=10), targets=["c"])
+    network.run()
+    assert sent == 1
+    assert c.received == ["PING"]
+    assert b.received == []

@@ -1,0 +1,46 @@
+"""Trace log tests (Figure 1 rendering)."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.simnet.trace import TraceLog, TraceRecord
+
+
+def test_record_and_filter_by_node_and_level():
+    log = TraceLog()
+    log.record(1.0, "auth-0", "info", "hello")
+    log.record(2.0, "auth-0", "warn", "problem")
+    log.record(3.0, "auth-1", "notice", "other node")
+    assert len(log) == 3
+    assert len(log.records(node="auth-0")) == 2
+    assert len(log.records(min_level="warn")) == 1
+    assert len(log.records(node="auth-0", min_level="notice")) == 1
+
+
+def test_predicate_filter_and_contains():
+    log = TraceLog()
+    log.record(1.0, "auth-0", "notice", "We're missing votes from 5 authorities")
+    assert log.contains("missing votes")
+    assert not log.contains("missing votes", node="auth-1")
+    assert len(log.records(predicate=lambda r: "5 authorities" in r.message)) == 1
+
+
+def test_unknown_level_rejected():
+    with pytest.raises(ValueError):
+        TraceLog().record(0.0, "auth-0", "verbose", "nope")
+
+
+def test_format_matches_tor_log_style():
+    record = TraceRecord(time=30.011, node="auth-0", level="notice", message="Time to vote.")
+    line = record.format(epoch=datetime(2025, 1, 1, 1, 24, 0))
+    assert line == "Jan 01 01:24:30.011 [notice] Time to vote."
+
+
+def test_format_filters_info_by_default():
+    log = TraceLog()
+    log.record(0.5, "auth-0", "debug", "low level detail")
+    log.record(1.0, "auth-0", "notice", "Time to vote.")
+    text = log.format(node="auth-0")
+    assert "Time to vote." in text
+    assert "low level detail" not in text

@@ -1,0 +1,72 @@
+"""Deterministic RNG tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import DeterministicRNG, derive_seed
+
+
+def test_same_seed_same_sequence():
+    a = DeterministicRNG(42)
+    b = DeterministicRNG(42)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a = DeterministicRNG(1)
+    b = DeterministicRNG(2)
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_child_streams_are_independent_and_reproducible():
+    parent = DeterministicRNG(7)
+    child_a1 = parent.child("relays")
+    child_a2 = DeterministicRNG(7).child("relays")
+    child_b = DeterministicRNG(7).child("topology")
+    seq_a1 = [child_a1.random() for _ in range(5)]
+    seq_a2 = [child_a2.random() for _ in range(5)]
+    seq_b = [child_b.random() for _ in range(5)]
+    assert seq_a1 == seq_a2
+    assert seq_a1 != seq_b
+
+
+def test_derive_seed_stability():
+    assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+    assert derive_seed(1, "a") != derive_seed(1, "b")
+
+
+def test_choice_rejects_empty():
+    with pytest.raises(ValueError):
+        DeterministicRNG(0).choice([])
+
+
+def test_sample_and_shuffle_preserve_elements():
+    rng = DeterministicRNG(3)
+    items = list(range(20))
+    sampled = rng.sample(items, 5)
+    assert len(sampled) == 5 and set(sampled) <= set(items)
+    shuffled = rng.shuffle(items)
+    assert sorted(shuffled) == items
+    assert items == list(range(20)), "shuffle must not mutate its input"
+
+
+def test_hex_string_format():
+    value = DeterministicRNG(9).hex_string(40)
+    assert len(value) == 40
+    assert all(c in "0123456789ABCDEF" for c in value)
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.floats(min_value=0, max_value=1))
+def test_bernoulli_extremes(seed, p):
+    rng = DeterministicRNG(seed)
+    if p == 0:
+        assert rng.bernoulli(0.0) is False
+    if p == 1:
+        assert rng.bernoulli(1.0) is True
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=0, max_value=100))
+def test_randint_in_range(seed, high):
+    rng = DeterministicRNG(seed)
+    value = rng.randint(0, high)
+    assert 0 <= value <= high

@@ -1,0 +1,70 @@
+"""Statistics helper tests (the aggregation algorithm depends on these)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.stats import at_least_half, majority_value, mean, median, strict_majority
+
+
+def test_median_odd():
+    assert median([3, 1, 2]) == 2
+
+
+def test_median_even_uses_low_median():
+    # Tor uses the low median so the consensus bandwidth equals a submitted value.
+    assert median([1, 2, 3, 4]) == 2
+
+
+def test_median_single():
+    assert median([7]) == 7
+
+
+def test_median_empty_raises():
+    with pytest.raises(ValueError):
+        median([])
+
+
+def test_mean_and_empty():
+    assert mean([1, 2, 3]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_strict_majority():
+    assert strict_majority(5, 9)
+    assert not strict_majority(4, 9)
+    assert not strict_majority(4, 8)
+    assert strict_majority(5, 8)
+
+
+def test_at_least_half():
+    assert at_least_half(4, 9)      # floor(9/2) = 4
+    assert not at_least_half(3, 9)
+    assert at_least_half(4, 8)
+
+
+def test_majority_thresholds_reject_bad_total():
+    with pytest.raises(ValueError):
+        strict_majority(1, 0)
+    with pytest.raises(ValueError):
+        at_least_half(1, 0)
+
+
+def test_majority_value_returns_all_tied():
+    assert set(majority_value(["a", "b", "a", "b"])) == {"a", "b"}
+    assert majority_value(["x", "x", "y"]) == ["x"]
+    assert majority_value([]) == []
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1))
+def test_median_is_an_element_and_central(values):
+    result = median(values)
+    assert result in values
+    below = sum(1 for value in values if value <= result)
+    assert below * 2 >= len(values)
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), min_size=1))
+def test_mean_bounded_by_extremes(values):
+    result = mean(values)
+    assert min(values) - 1e-6 <= result <= max(values) + 1e-6

@@ -1,0 +1,74 @@
+"""Unit-conversion tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.units import (
+    Bandwidth,
+    bits_to_bytes,
+    bytes_per_s_to_mbps,
+    bytes_to_bits,
+    bytes_to_mib,
+    hours,
+    mbps_to_bytes_per_s,
+    minutes,
+    seconds,
+)
+
+
+def test_ten_mbps_is_one_point_two_five_megabytes_per_second():
+    # The paper states 10 Mbit/s = 1.25 MB/s explicitly.
+    assert mbps_to_bytes_per_s(10) == pytest.approx(1.25e6)
+
+
+def test_bits_bytes_round_trip():
+    assert bits_to_bytes(bytes_to_bits(123.0)) == pytest.approx(123.0)
+
+
+def test_bytes_to_mib():
+    assert bytes_to_mib(1024 * 1024) == pytest.approx(1.0)
+
+
+def test_time_helpers():
+    assert seconds(5) == 5.0
+    assert minutes(2.5) == 150.0
+    assert hours(3) == 10800.0
+
+
+def test_bandwidth_from_mbps_round_trip():
+    bandwidth = Bandwidth.from_mbps(250)
+    assert bandwidth.mbps == pytest.approx(250.0)
+    assert bandwidth.bytes_per_s == pytest.approx(31.25e6)
+
+
+def test_bandwidth_transfer_time():
+    bandwidth = Bandwidth.from_mbps(8)  # 1 MB/s
+    assert bandwidth.transfer_time(2_000_000) == pytest.approx(2.0)
+
+
+def test_zero_bandwidth_never_finishes():
+    assert Bandwidth.from_bytes_per_s(0).transfer_time(1) == math.inf
+
+
+def test_negative_bandwidth_rejected():
+    with pytest.raises(ValueError):
+        Bandwidth(-1.0)
+
+
+def test_bandwidth_ordering():
+    assert Bandwidth.from_mbps(1) < Bandwidth.from_mbps(2)
+    assert Bandwidth.from_mbps(2) <= Bandwidth.from_mbps(2)
+
+
+@given(st.floats(min_value=0.001, max_value=1e5))
+def test_mbps_conversion_round_trip(mbps):
+    assert bytes_per_s_to_mbps(mbps_to_bytes_per_s(mbps)) == pytest.approx(mbps)
+
+
+@given(st.floats(min_value=0, max_value=1e9), st.floats(min_value=0.01, max_value=1e4))
+def test_transfer_time_scales_inversely_with_rate(nbytes, mbps):
+    slow = Bandwidth.from_mbps(mbps)
+    fast = Bandwidth.from_mbps(mbps * 2)
+    assert fast.transfer_time(nbytes) <= slow.transfer_time(nbytes)

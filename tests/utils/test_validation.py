@@ -1,0 +1,52 @@
+"""Validation helper tests."""
+
+import pytest
+
+from repro.utils.validation import (
+    ReproError,
+    ValidationError,
+    ensure,
+    ensure_in_range,
+    ensure_non_negative,
+    ensure_positive,
+    ensure_type,
+)
+
+
+def test_ensure_passes_and_fails():
+    ensure(True, "never raised")
+    with pytest.raises(ValidationError, match="boom"):
+        ensure(False, "boom")
+
+
+def test_validation_error_is_repro_error_and_value_error():
+    assert issubclass(ValidationError, ReproError)
+    assert issubclass(ValidationError, ValueError)
+
+
+def test_ensure_type():
+    ensure_type(5, int, "value")
+    with pytest.raises(ValidationError):
+        ensure_type("5", int, "value")
+
+
+def test_ensure_positive():
+    ensure_positive(0.1, "x")
+    with pytest.raises(ValidationError):
+        ensure_positive(0, "x")
+    with pytest.raises(ValidationError):
+        ensure_positive(-1, "x")
+
+
+def test_ensure_non_negative():
+    ensure_non_negative(0, "x")
+    with pytest.raises(ValidationError):
+        ensure_non_negative(-0.001, "x")
+
+
+def test_ensure_in_range():
+    ensure_in_range(5, 0, 10, "x")
+    ensure_in_range(0, 0, 10, "x")
+    ensure_in_range(10, 0, 10, "x")
+    with pytest.raises(ValidationError):
+        ensure_in_range(11, 0, 10, "x")
