@@ -10,9 +10,11 @@ from repro.experiments.ablations import (
 
 
 @pytest.mark.paper_artifact("ablation-scheduling")
-def test_bench_scheduling_ablation(benchmark):
+def test_bench_scheduling_ablation(benchmark, sweep_executor):
     cells = benchmark.pedantic(
-        lambda: run_scheduling_ablation(relay_count=4000, bandwidth_mbps=20.0),
+        lambda: run_scheduling_ablation(
+            relay_count=4000, bandwidth_mbps=20.0, executor=sweep_executor
+        ),
         rounds=1,
         iterations=1,
     )
@@ -26,9 +28,11 @@ def test_bench_scheduling_ablation(benchmark):
 
 
 @pytest.mark.paper_artifact("ablation-engine")
-def test_bench_engine_ablation(benchmark):
+def test_bench_engine_ablation(benchmark, sweep_executor):
     cells = benchmark.pedantic(
-        lambda: run_engine_ablation(relay_count=4000, bandwidth_mbps=20.0),
+        lambda: run_engine_ablation(
+            relay_count=4000, bandwidth_mbps=20.0, executor=sweep_executor
+        ),
         rounds=1,
         iterations=1,
     )

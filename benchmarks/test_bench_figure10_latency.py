@@ -9,9 +9,13 @@ RELAY_COUNTS = (1000, 4000, 7000, 10000)
 
 
 @pytest.mark.paper_artifact("figure-10")
-def test_bench_figure10_latency(benchmark):
+def test_bench_figure10_latency(benchmark, sweep_executor):
     grid = benchmark.pedantic(
-        lambda: run_figure10(bandwidths_mbps=FIGURE10_BANDWIDTHS, relay_counts=RELAY_COUNTS),
+        lambda: run_figure10(
+            bandwidths_mbps=FIGURE10_BANDWIDTHS,
+            relay_counts=RELAY_COUNTS,
+            executor=sweep_executor,
+        ),
         rounds=1,
         iterations=1,
     )

@@ -8,9 +8,11 @@ RELAY_COUNTS = (1000, 4000, 7000, 10000)
 
 
 @pytest.mark.paper_artifact("figure-11")
-def test_bench_figure11_ddos_recovery(benchmark):
+def test_bench_figure11_ddos_recovery(benchmark, sweep_executor):
     results = benchmark.pedantic(
-        lambda: run_figure11(relay_counts=RELAY_COUNTS, include_baselines=True),
+        lambda: run_figure11(
+            relay_counts=RELAY_COUNTS, include_baselines=True, executor=sweep_executor
+        ),
         rounds=1,
         iterations=1,
     )

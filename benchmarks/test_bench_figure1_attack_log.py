@@ -6,9 +6,11 @@ from repro.experiments import run_attack_demo
 
 
 @pytest.mark.paper_artifact("figure-1")
-def test_bench_figure1_attack_log(benchmark):
+def test_bench_figure1_attack_log(benchmark, sweep_executor):
     demo = benchmark.pedantic(
-        lambda: run_attack_demo(relay_count=8000), rounds=1, iterations=1
+        lambda: run_attack_demo(relay_count=8000, executor=sweep_executor),
+        rounds=1,
+        iterations=1,
     )
     print("\n=== Figure 1: authority log under attack (observer: %s) ===" % demo.observer_authority)
     print(demo.log_text)

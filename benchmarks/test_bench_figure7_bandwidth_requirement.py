@@ -9,9 +9,11 @@ RELAY_COUNTS = (1000, 2000, 4000, 6000, 8000, 10000)
 
 
 @pytest.mark.paper_artifact("figure-7")
-def test_bench_figure7_bandwidth_requirement(benchmark):
+def test_bench_figure7_bandwidth_requirement(benchmark, sweep_executor):
     results = benchmark.pedantic(
-        lambda: run_figure7(relay_counts=RELAY_COUNTS), rounds=1, iterations=1
+        lambda: run_figure7(relay_counts=RELAY_COUNTS, executor=sweep_executor),
+        rounds=1,
+        iterations=1,
     )
     print("\n" + render_figure7(results))
 

@@ -74,3 +74,29 @@ def test_bench_transport_many_flows(benchmark):
 
     delivered = benchmark(run_once)
     assert delivered == 90
+
+
+def test_bench_spec_hashing(benchmark):
+    from repro.runtime import RunSpec
+
+    spec = RunSpec(protocol="ours", relay_count=8000, bandwidth_mbps=10.0)
+    digest = benchmark(spec.spec_hash)
+    assert len(digest) == 64
+
+
+def test_bench_result_cache_hit(benchmark, tmp_path):
+    from repro.protocols.runner import execute_spec
+    from repro.runtime import ResultCache, RunSpec, SweepExecutor
+
+    spec = RunSpec(protocol="current", relay_count=150, max_time=900.0)
+    cache = ResultCache(tmp_path)
+    cache.put(spec, execute_spec(spec).summary())
+
+    def warm_run():
+        executor = SweepExecutor(cache=cache)
+        results = executor.run([spec])
+        assert executor.executed_runs == 0
+        return results
+
+    results = benchmark(warm_run)
+    assert results[0].success

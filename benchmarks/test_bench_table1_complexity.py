@@ -6,9 +6,11 @@ from repro.experiments import render_table1, run_table1
 
 
 @pytest.mark.paper_artifact("table-1")
-def test_bench_table1_complexity(benchmark):
+def test_bench_table1_complexity(benchmark, sweep_executor):
     rows = benchmark.pedantic(
-        lambda: run_table1(relay_count=1000, measure=True), rounds=1, iterations=1
+        lambda: run_table1(relay_count=1000, measure=True, executor=sweep_executor),
+        rounds=1,
+        iterations=1,
     )
     print("\n" + render_table1(rows))
 

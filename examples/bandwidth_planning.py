@@ -7,20 +7,25 @@ simulation against the closed-form model, and derives the attacker's cost for
 each operating point.  This is the analysis an authority operator (or an
 attacker) would run to size links and attacks.
 
+Every binary-search probe goes through one shared ``SweepExecutor`` whose
+results land in ``.sweep-cache/``, so re-running the planning sweep is free.
+
 Run with:  python examples/bandwidth_planning.py
 """
 
 from repro.analysis.bandwidth import analytic_required_bandwidth_mbps, required_bandwidth_mbps
 from repro.analysis.reporting import format_table
 from repro.attack import AttackCostModel
+from repro.runtime import ResultCache, SweepExecutor
 
 RELAY_COUNTS = (1000, 4000, 8000)
 
 
 def main() -> None:
+    executor = SweepExecutor(cache=ResultCache(".sweep-cache"))
     rows = []
     for relay_count in RELAY_COUNTS:
-        result = required_bandwidth_mbps(relay_count, tolerance_mbps=1.0)
+        result = required_bandwidth_mbps(relay_count, tolerance_mbps=1.0, executor=executor)
         analytic = analytic_required_bandwidth_mbps(relay_count)
         cost = AttackCostModel(required_bandwidth_mbps=result.required_mbps)
         rows.append(
@@ -45,6 +50,10 @@ def main() -> None:
             title="Bandwidth requirements of the current protocol and the matching attack cost",
         )
     )
+    print()
+    print("(%d probe runs executed, %d served from .sweep-cache/)" % (
+        executor.executed_runs, executor.cache_hits,
+    ))
     print()
     print("A host under volumetric DDoS retains about 0.5 Mbit/s of usable bandwidth,")
     print("far below every requirement above - which is why the attack always works.")

@@ -7,8 +7,10 @@ Reproduces Section 4 of the paper end to end:
 2. apply the DDoS model (5 authorities throttled to 0.5 Mbit/s for 300 s);
 3. run the current directory protocol and show it fails, printing the
    Figure-1-style authority log;
-4. run the paper's partial-synchrony protocol on the same attacked network
-   and show it produces a consensus seconds after the attack ends;
+4. run the paper's partial-synchrony protocol on the same attacked network —
+   expressed as a frozen ``RunSpec`` carrying the attack as bandwidth
+   overrides — and show it produces a consensus seconds after the attack
+   ends;
 5. print the stressor-service cost of sustaining the attack ($53.28/month).
 
 Run with:  python examples/ddos_attack_demo.py
@@ -16,14 +18,14 @@ Run with:  python examples/ddos_attack_demo.py
 
 from repro.attack import AttackCostModel, majority_attack_plan
 from repro.experiments import run_attack_demo
-from repro.protocols import DirectoryProtocolConfig, build_scenario, run_protocol
+from repro.runtime import RunSpec, SweepExecutor
 
 
 def main() -> None:
-    config = DirectoryProtocolConfig()
+    executor = SweepExecutor()
 
     print("=== Step 1-3: the current protocol under attack (Figure 1) ===")
-    demo = run_attack_demo(relay_count=8000)
+    demo = run_attack_demo(relay_count=8000, executor=executor)
     print("Attack: %d authorities throttled to %.1f Mbit/s for %.0f s" % (
         demo.attack.target_count,
         demo.attack.residual_bandwidth_mbps,
@@ -36,10 +38,15 @@ def main() -> None:
     print()
 
     print("=== Step 4: the partial-synchrony protocol under the same attack ===")
-    scenario = build_scenario(relay_count=8000, bandwidth_mbps=250.0, seed=7)
     attack = majority_attack_plan(residual_bandwidth_mbps=0.05)
-    attacked = scenario.with_bandwidth_schedules(attack.schedules())
-    ours = run_protocol("ours", attacked, config=config, max_time=attack.end + 900)
+    spec = RunSpec(
+        protocol="ours",
+        relay_count=8000,
+        bandwidth_mbps=250.0,
+        seed=7,
+        max_time=attack.end + 900,
+    ).with_overrides(*attack.bandwidth_overrides())
+    ours = executor.run_one(spec)
     recovery = ours.latency_from(attack.end)
     print("Partial-synchrony protocol success: %s" % ours.success)
     if recovery is not None:

@@ -5,18 +5,29 @@ Runs the three directory protocols over a small bandwidth × relay-count grid
 and prints one table per bandwidth, marking the configurations where each
 protocol fails — the condensed version of the paper's Figure 10 panels.
 
+The grid fans out over a 2-worker process pool and its results land in an
+on-disk cache under ``.sweep-cache/``: run the script twice and the second
+run executes zero simulations.
+
 Run with:  python examples/protocol_comparison.py
 """
 
 from repro.experiments import render_figure10, run_figure10
+from repro.runtime import ResultCache, SweepExecutor
 
 
 def main() -> None:
+    executor = SweepExecutor(workers=2, cache=ResultCache(".sweep-cache"))
     grid = run_figure10(
         bandwidths_mbps=(50.0, 10.0, 0.5),
         relay_counts=(1000, 8000),
+        executor=executor,
     )
     print(render_figure10(grid))
+    print()
+    print("(%d cells executed, %d served from .sweep-cache/)" % (
+        executor.executed_runs, executor.cache_hits,
+    ))
     print()
     print("Reading the tables: the current protocol fails once vote transfers no")
     print("longer fit its connection timeouts, the synchronous protocol fails much")

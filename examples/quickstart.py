@@ -1,20 +1,30 @@
 #!/usr/bin/env python3
 """Quickstart: run all three Tor directory protocols on a simulated network.
 
-This script builds a 9-authority scenario with an 8,000-relay workload (the
-size of today's Tor network), runs the current v3 protocol, Luo et al.'s
-synchronous protocol, and the paper's partial-synchrony protocol under benign
-conditions, and prints each run's outcome and latency.
+This script describes a 9-authority, 8,000-relay run (the size of today's Tor
+network) as three frozen ``RunSpec`` instances — one per protocol — and
+executes them through the ``SweepExecutor``, printing each run's outcome and
+latency.  ``workers=2`` fans the runs out over a process pool; results are
+bit-identical to a serial run.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.protocols import DirectoryProtocolConfig, build_scenario, run_protocol
+from repro.protocols.runner import scenario_from_spec
+from repro.runtime import RunSpec, SweepExecutor
+
+LABELS = {
+    "current": "Current Tor directory protocol (v3)",
+    "synchronous": "Synchronous protocol (Luo et al.)",
+    "ours": "Partial-synchrony protocol (this paper)",
+}
 
 
 def main() -> None:
-    config = DirectoryProtocolConfig()
-    scenario = build_scenario(relay_count=8000, bandwidth_mbps=250.0, seed=7)
+    base = RunSpec(
+        protocol="current", relay_count=8000, bandwidth_mbps=250.0, seed=7, max_time=1800.0
+    )
+    scenario = scenario_from_spec(base)
     print("Scenario: %d authorities, %d relays, vote size %.2f MB, 250 Mbit/s links" % (
         len(scenario.authorities),
         scenario.relay_count,
@@ -22,16 +32,13 @@ def main() -> None:
     ))
     print()
 
-    for protocol, label in (
-        ("current", "Current Tor directory protocol (v3)"),
-        ("synchronous", "Synchronous protocol (Luo et al.)"),
-        ("ours", "Partial-synchrony protocol (this paper)"),
-    ):
-        result = run_protocol(protocol, scenario, config=config, max_time=1800.0)
+    specs = [base.derive(protocol=protocol) for protocol in LABELS]
+    executor = SweepExecutor(workers=2)
+    for spec, result in zip(specs, executor.run(specs)):
         status = "succeeded" if result.success else "FAILED"
         latency = "%.1f s" % result.latency if result.latency is not None else "n/a"
         print("%-45s %s  (latency: %s, authorities signing: %d/9)" % (
-            label, status, latency, len(result.successful_authorities),
+            LABELS[spec.protocol], status, latency, len(result.successful_authorities),
         ))
 
     print()

@@ -12,23 +12,28 @@ The library has three layers:
   the simulator (:mod:`repro.protocols`): the current v3 protocol, Luo et
   al.'s synchronous protocol, and the new partial-synchrony protocol;
 * **evaluation** — the DDoS attack and cost models (:mod:`repro.attack`),
-  analyses (:mod:`repro.analysis`), and one module per paper figure/table
-  (:mod:`repro.experiments`).
+  analyses (:mod:`repro.analysis`), one module per paper figure/table
+  (:mod:`repro.experiments`), and the run-orchestration layer
+  (:mod:`repro.runtime`): frozen :class:`~repro.runtime.spec.RunSpec`
+  descriptions of runs, a serial/parallel
+  :class:`~repro.runtime.executor.SweepExecutor`, and a content-addressed
+  on-disk :class:`~repro.runtime.cache.ResultCache`.
 
 Quick start::
 
-    from repro.protocols import build_scenario, run_protocol
+    from repro.runtime import RunSpec, SweepExecutor
     from repro.attack import majority_attack_plan
 
-    scenario = build_scenario(relay_count=8000, bandwidth_mbps=250)
     attack = majority_attack_plan()                      # 5 of 9 authorities, 300 s
-    attacked = scenario.with_bandwidth_schedules(attack.schedules())
+    spec = RunSpec(protocol="current", relay_count=8000, max_time=660.0)
+    attacked = spec.with_overrides(*attack.bandwidth_overrides())
 
-    print(run_protocol("current", attacked).success)     # False: the attack works
-    print(run_protocol("ours", attacked).success)        # True: ICPS recovers
+    executor = SweepExecutor(workers=2)
+    for result in executor.run([attacked, attacked.derive(protocol="ours")]):
+        print(result.protocol, result.success)           # current fails, ours recovers
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.core import ICPSConfig, ICPSNode, ICPSOutput, Document
 from repro.protocols import (
@@ -36,7 +41,16 @@ from repro.protocols import (
     ProtocolRunResult,
     Scenario,
     build_scenario,
+    execute_spec,
     run_protocol,
+    scenario_from_spec,
+)
+from repro.runtime import (
+    BandwidthOverride,
+    ResultCache,
+    RunSpec,
+    SweepExecutor,
+    SweepSpec,
 )
 from repro.attack import AttackCostModel, DDoSAttackPlan, majority_attack_plan
 
@@ -50,7 +64,14 @@ __all__ = [
     "ProtocolRunResult",
     "Scenario",
     "build_scenario",
+    "execute_spec",
     "run_protocol",
+    "scenario_from_spec",
+    "BandwidthOverride",
+    "ResultCache",
+    "RunSpec",
+    "SweepExecutor",
+    "SweepSpec",
     "AttackCostModel",
     "DDoSAttackPlan",
     "majority_attack_plan",

@@ -15,6 +15,7 @@
 from repro.analysis.bandwidth import (
     BandwidthRequirementResult,
     analytic_required_bandwidth_mbps,
+    bandwidth_requirement_sweep,
     required_bandwidth_mbps,
 )
 from repro.analysis.complexity import (
@@ -24,12 +25,13 @@ from repro.analysis.complexity import (
     complexity_comparison_table,
     round_complexity_table,
 )
-from repro.analysis.latency import LatencyCell, LatencyGrid, sweep_latency
+from repro.analysis.latency import LatencyCell, LatencyGrid, latency_sweep_spec, sweep_latency
 from repro.analysis.reporting import format_series, format_table
 
 __all__ = [
     "BandwidthRequirementResult",
     "analytic_required_bandwidth_mbps",
+    "bandwidth_requirement_sweep",
     "required_bandwidth_mbps",
     "ComplexityRow",
     "RoundComplexityRow",
@@ -38,6 +40,7 @@ __all__ = [
     "round_complexity_table",
     "LatencyCell",
     "LatencyGrid",
+    "latency_sweep_spec",
     "sweep_latency",
     "format_series",
     "format_table",

@@ -4,10 +4,13 @@ Figure 7 answers: *how much usable bandwidth must an attacked authority keep
 for the directory protocol to survive?*  The paper measures this on Shadow by
 throttling 5 of the 9 authorities and sweeping the throttle until the
 protocol fails.  :func:`required_bandwidth_mbps` does the same on our
-simulator with a binary search; :func:`analytic_required_bandwidth_mbps` is
-the closed-form first-order model (eight concurrent vote transfers must fit
-inside the directory connection timeout) used to cross-check the simulation
-and to pick search bounds.
+simulator with a binary search whose probes are
+:class:`~repro.runtime.spec.RunSpec` instances executed through a
+:class:`~repro.runtime.executor.SweepExecutor` (so a warm
+:class:`~repro.runtime.cache.ResultCache` makes repeated searches free);
+:func:`analytic_required_bandwidth_mbps` is the closed-form first-order model
+(eight concurrent vote transfers must fit inside the directory connection
+timeout) used to cross-check the simulation and to pick search bounds.
 """
 
 from __future__ import annotations
@@ -17,8 +20,9 @@ from typing import List, Optional, Sequence
 
 from repro.directory.vote import VOTE_HEADER_BYTES
 from repro.protocols.base import DirectoryProtocolConfig
-from repro.protocols.runner import Scenario, build_scenario, run_protocol
-from repro.simnet.bandwidth import BandwidthSchedule
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import SweepExecutor
+from repro.runtime.spec import RunSpec, overrides_from_config
 from repro.utils.units import bytes_per_s_to_mbps
 from repro.utils.validation import ensure
 
@@ -50,13 +54,6 @@ def analytic_required_bandwidth_mbps(
     return bytes_per_s_to_mbps(bytes_per_second)
 
 
-def _attacked_scenario(scenario: Scenario, attacked_ids: Sequence[int], mbps: float) -> Scenario:
-    overrides = {
-        authority_id: BandwidthSchedule.constant_mbps(mbps) for authority_id in attacked_ids
-    }
-    return scenario.with_bandwidth_schedules(overrides)
-
-
 def required_bandwidth_mbps(
     relay_count: int,
     attacked_count: int = 5,
@@ -65,22 +62,29 @@ def required_bandwidth_mbps(
     tolerance_mbps: float = 0.5,
     max_iterations: int = 12,
     seed: int = 7,
-    scenario: Optional[Scenario] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> BandwidthRequirementResult:
     """Binary-search the minimum bandwidth of the attacked authorities.
 
     ``attacked_count`` authorities are limited to the candidate bandwidth
     while the rest keep ``baseline_bandwidth_mbps``; the search returns the
     smallest bandwidth (within ``tolerance_mbps``) at which the current
-    protocol still produces a majority-signed consensus.
+    protocol still produces a majority-signed consensus.  Each probe is a
+    :class:`RunSpec` executed through ``executor`` (a fresh serial executor
+    by default), so an attached cache is consulted per probe.
     """
     ensure(relay_count >= 1, "relay_count must be positive")
     config = config or DirectoryProtocolConfig()
-    if scenario is None:
-        scenario = build_scenario(
-            relay_count=relay_count, bandwidth_mbps=baseline_bandwidth_mbps, seed=seed
-        )
-    attacked_ids = [auth.authority_id for auth in scenario.authorities[:attacked_count]]
+    executor = executor or SweepExecutor()
+    base_spec = RunSpec(
+        protocol="current",
+        relay_count=relay_count,
+        bandwidth_mbps=baseline_bandwidth_mbps,
+        seed=seed,
+        max_time=4 * config.round_duration + 60,
+        config_overrides=overrides_from_config(config),
+    )
+    attacked_ids = tuple(range(attacked_count))
 
     analytic = analytic_required_bandwidth_mbps(
         relay_count, connection_timeout=config.connection_timeout
@@ -89,9 +93,8 @@ def required_bandwidth_mbps(
     high = max(4.0 * analytic, 2.0)
 
     def succeeds(mbps: float) -> bool:
-        candidate = _attacked_scenario(scenario, attacked_ids, mbps)
-        result = run_protocol("current", candidate, config=config, max_time=4 * config.round_duration + 60)
-        return result.success
+        probe = base_spec.with_attacked_bandwidth(attacked_ids, mbps)
+        return executor.run_one(probe).success
 
     # Widen the bracket if needed.
     iterations = 0
@@ -122,11 +125,22 @@ def bandwidth_requirement_sweep(
     attacked_count: int = 5,
     config: Optional[DirectoryProtocolConfig] = None,
     seed: int = 7,
+    executor: Optional[SweepExecutor] = None,
+    cache: Optional[ResultCache] = None,
 ) -> List[BandwidthRequirementResult]:
-    """Run the Figure 7 search for every relay count in ``relay_counts``."""
+    """Run the Figure 7 search for every relay count in ``relay_counts``.
+
+    The searches share one executor (binary-search probes are sequential
+    within a relay count, but every probe lands in the shared cache).
+    """
+    executor = executor or SweepExecutor(cache=cache)
     return [
         required_bandwidth_mbps(
-            relay_count, attacked_count=attacked_count, config=config, seed=seed
+            relay_count,
+            attacked_count=attacked_count,
+            config=config,
+            seed=seed,
+            executor=executor,
         )
         for relay_count in relay_counts
     ]

@@ -1,9 +1,12 @@
 """Latency sweeps across bandwidths, relay counts, and protocols (Figures 10/11).
 
-:func:`sweep_latency` runs a grid of (protocol × bandwidth × relay count)
-simulations and collects each cell's success flag and latency, using the same
-latency accounting as the paper: summed per-round network time for the two
-lock-step protocols, wall-clock time to a majority-signed consensus for ours.
+:func:`sweep_latency` reifies the (protocol × bandwidth × relay count) grid
+as a :class:`~repro.runtime.spec.SweepSpec` and hands it to a
+:class:`~repro.runtime.executor.SweepExecutor` (serial, or parallel via
+``workers``, cached via ``cache``), collecting each cell's success flag and
+latency with the same accounting as the paper: summed per-round network time
+for the two lock-step protocols, wall-clock time to a majority-signed
+consensus for ours.
 """
 
 from __future__ import annotations
@@ -12,7 +15,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.protocols.base import DirectoryProtocolConfig
-from repro.protocols.runner import build_scenario, run_protocol
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import SweepExecutor
+from repro.runtime.spec import SweepSpec, overrides_from_config
 from repro.utils.validation import ensure
 
 
@@ -64,6 +69,31 @@ class LatencyGrid:
         return sorted({cell.bandwidth_mbps for cell in self.cells})
 
 
+def latency_sweep_spec(
+    protocols: Sequence[str] = ("current", "synchronous", "ours"),
+    bandwidths_mbps: Sequence[float] = (50.0, 20.0, 10.0, 1.0, 0.5),
+    relay_counts: Sequence[int] = (1000, 4000, 7000, 10000),
+    config: Optional[DirectoryProtocolConfig] = None,
+    max_time: float = 2000.0,
+    seed: int = 7,
+    engine: str = "hotstuff",
+    scheduling: str = "fair",
+) -> SweepSpec:
+    """The Figure 10 grid as a reified sweep specification."""
+    ensure(len(protocols) > 0, "need at least one protocol")
+    return SweepSpec.grid(
+        "figure10-latency",
+        protocols=protocols,
+        bandwidths_mbps=bandwidths_mbps,
+        relay_counts=relay_counts,
+        seed=seed,
+        engine=engine,
+        scheduling=scheduling,
+        max_time=max_time,
+        config_overrides=overrides_from_config(config),
+    )
+
+
 def sweep_latency(
     protocols: Sequence[str] = ("current", "synchronous", "ours"),
     bandwidths_mbps: Sequence[float] = (50.0, 20.0, 10.0, 1.0, 0.5),
@@ -73,30 +103,31 @@ def sweep_latency(
     seed: int = 7,
     engine: str = "hotstuff",
     scheduling: str = "fair",
+    executor: Optional[SweepExecutor] = None,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> LatencyGrid:
-    """Run the Figure 10 grid and return the collected latencies."""
-    ensure(len(protocols) > 0, "need at least one protocol")
-    config = config or DirectoryProtocolConfig()
+    """Run the Figure 10 grid through the sweep executor and collect latencies."""
+    sweep = latency_sweep_spec(
+        protocols=protocols,
+        bandwidths_mbps=bandwidths_mbps,
+        relay_counts=relay_counts,
+        config=config,
+        max_time=max_time,
+        seed=seed,
+        engine=engine,
+        scheduling=scheduling,
+    )
+    executor = executor or SweepExecutor(workers=workers, cache=cache)
     grid = LatencyGrid()
-    for bandwidth in bandwidths_mbps:
-        for relay_count in relay_counts:
-            scenario = build_scenario(
-                relay_count=relay_count,
-                bandwidth_mbps=bandwidth,
-                seed=seed,
-                scheduling=scheduling,
+    for spec, result in zip(sweep.runs, executor.run(sweep)):
+        grid.add(
+            LatencyCell(
+                protocol=spec.protocol,
+                bandwidth_mbps=spec.bandwidth_mbps,
+                relay_count=spec.relay_count,
+                success=result.success,
+                latency_s=result.latency,
             )
-            for protocol in protocols:
-                result = run_protocol(
-                    protocol, scenario, config=config, max_time=max_time, engine=engine
-                )
-                grid.add(
-                    LatencyCell(
-                        protocol=protocol,
-                        bandwidth_mbps=bandwidth,
-                        relay_count=relay_count,
-                        success=result.success,
-                        latency_s=result.latency,
-                    )
-                )
+        )
     return grid

@@ -5,7 +5,12 @@ The paper's attack needs only three parameters: *which* authorities to flood
 300 seconds), and *how hard* (enough to leave less usable bandwidth than the
 directory protocol needs; Jansen et al. measure ~0.5 Mbit/s of residual
 capacity on a flooded host).  :class:`DDoSAttackPlan` captures those and
-converts them into per-authority bandwidth schedules for the simulator.
+converts them into per-authority bandwidth schedules for the simulator —
+either directly (:meth:`DDoSAttackPlan.schedules`) or as declarative
+:class:`~repro.runtime.spec.BandwidthOverride` entries
+(:meth:`DDoSAttackPlan.bandwidth_overrides`) so an attacked run can be
+expressed as a frozen :class:`~repro.runtime.spec.RunSpec` and executed,
+cached, and parallelised by the :mod:`repro.runtime` layer.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from repro.runtime.spec import BandwidthOverride
 from repro.simnet.bandwidth import BandwidthSchedule
 from repro.utils.validation import ensure
 
@@ -73,6 +79,21 @@ class DDoSAttackPlan:
         """Per-authority schedule overrides to merge into a scenario."""
         schedule = self.schedule_for_target()
         return {authority_id: schedule for authority_id in self.target_authority_ids}
+
+    def bandwidth_overrides(self) -> Tuple[BandwidthOverride, ...]:
+        """This attack as declarative RunSpec bandwidth overrides.
+
+        Attach with ``spec.with_overrides(*plan.bandwidth_overrides())`` to
+        get a frozen, cacheable description of the attacked run.
+        """
+        return tuple(
+            BandwidthOverride(
+                authority_id=authority_id,
+                base_mbps=self.baseline_bandwidth_mbps,
+                windows=((self.start, self.end, self.residual_bandwidth_mbps),),
+            )
+            for authority_id in self.target_authority_ids
+        )
 
     def attack_traffic_mbps(self, required_bandwidth_mbps: float) -> float:
         """Flood volume needed per target to push usable bandwidth below requirement.

@@ -38,6 +38,11 @@ TOR_AUTHORITY_NICKNAMES: Tuple[str, ...] = (
 )
 
 
+def authority_node_name(authority_id: int) -> str:
+    """Simulator node name of authority ``authority_id`` (the one naming rule)."""
+    return "auth-%d" % authority_id
+
+
 @dataclass(frozen=True)
 class DirectoryAuthority:
     """Identity of one directory authority.
@@ -69,7 +74,7 @@ class DirectoryAuthority:
     @property
     def name(self) -> str:
         """Stable string identifier used as the simulator node name."""
-        return "auth-%d" % self.authority_id
+        return authority_node_name(self.authority_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return "DirectoryAuthority(%d, %s)" % (self.authority_id, self.nickname)

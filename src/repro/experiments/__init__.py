@@ -6,6 +6,12 @@ reports.  The benchmark suite under ``benchmarks/`` calls these functions so
 that ``pytest benchmarks/ --benchmark-only`` regenerates every artefact; the
 examples under ``examples/`` reuse them for human-readable walkthroughs.
 
+Every module that executes protocol runs (Figures 1/7/10/11, Table 1, the
+ablations) describes them as :class:`~repro.runtime.spec.RunSpec` grids and
+routes them through a :class:`~repro.runtime.executor.SweepExecutor`; pass
+``executor=`` (or ``workers=`` / ``cache=`` where exposed) to parallelise
+grids across processes and reuse cached cells between artefacts.
+
 Index (see DESIGN.md for the full experiment table):
 
 ========  =====================================================  =========================

@@ -9,6 +9,9 @@ worth sweeping explicitly:
 * the **agreement engine** used by the new protocol (HotStuff, PBFT,
   Tendermint) — the paper argues any view-based BFT protocol works; the
   ablation confirms the end-to-end latency is similar for all three.
+
+Both ablations are spec grids executed through the shared
+:class:`~repro.runtime.executor.SweepExecutor`.
 """
 
 from __future__ import annotations
@@ -18,7 +21,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.protocols.base import DirectoryProtocolConfig
-from repro.protocols.runner import build_scenario, run_protocol
+from repro.runtime.executor import SweepExecutor
+from repro.runtime.spec import RunSpec, overrides_from_config
 
 
 @dataclass(frozen=True)
@@ -37,28 +41,33 @@ def run_scheduling_ablation(
     protocols: Sequence[str] = ("current", "ours"),
     config: Optional[DirectoryProtocolConfig] = None,
     seed: int = 7,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[AblationCell]:
     """Compare fair-share and FIFO link scheduling."""
-    config = config or DirectoryProtocolConfig()
-    cells: List[AblationCell] = []
-    for scheduling in ("fair", "fifo"):
-        scenario = build_scenario(
+    executor = executor or SweepExecutor()
+    config_overrides = overrides_from_config(config)
+    specs = [
+        RunSpec(
+            protocol=protocol,
             relay_count=relay_count,
             bandwidth_mbps=bandwidth_mbps,
             seed=seed,
             scheduling=scheduling,
+            max_time=1800.0,
+            config_overrides=config_overrides,
         )
-        for protocol in protocols:
-            result = run_protocol(protocol, scenario, config=config, max_time=1800.0)
-            cells.append(
-                AblationCell(
-                    variant="scheduling=%s" % scheduling,
-                    protocol=protocol,
-                    success=result.success,
-                    latency_s=result.latency,
-                )
-            )
-    return cells
+        for scheduling in ("fair", "fifo")
+        for protocol in protocols
+    ]
+    return [
+        AblationCell(
+            variant="scheduling=%s" % spec.scheduling,
+            protocol=spec.protocol,
+            success=result.success,
+            latency_s=result.latency,
+        )
+        for spec, result in zip(specs, executor.run(specs))
+    ]
 
 
 def run_engine_ablation(
@@ -67,22 +76,32 @@ def run_engine_ablation(
     engines: Sequence[str] = ("hotstuff", "pbft", "tendermint"),
     config: Optional[DirectoryProtocolConfig] = None,
     seed: int = 7,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[AblationCell]:
     """Compare the three agreement engines inside the new protocol."""
-    config = config or DirectoryProtocolConfig()
-    scenario = build_scenario(relay_count=relay_count, bandwidth_mbps=bandwidth_mbps, seed=seed)
-    cells: List[AblationCell] = []
-    for engine in engines:
-        result = run_protocol("ours", scenario, config=config, max_time=1800.0, engine=engine)
-        cells.append(
-            AblationCell(
-                variant="engine=%s" % engine,
-                protocol="ours",
-                success=result.success,
-                latency_s=result.latency,
-            )
+    executor = executor or SweepExecutor()
+    config_overrides = overrides_from_config(config)
+    specs = [
+        RunSpec(
+            protocol="ours",
+            relay_count=relay_count,
+            bandwidth_mbps=bandwidth_mbps,
+            seed=seed,
+            engine=engine,
+            max_time=1800.0,
+            config_overrides=config_overrides,
         )
-    return cells
+        for engine in engines
+    ]
+    return [
+        AblationCell(
+            variant="engine=%s" % spec.engine,
+            protocol="ours",
+            success=result.success,
+            latency_s=result.latency,
+        )
+        for spec, result in zip(specs, executor.run(specs))
+    ]
 
 
 def render_ablation(cells: Sequence[AblationCell], title: str) -> str:

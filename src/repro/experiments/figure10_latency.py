@@ -7,6 +7,10 @@ count exceeds what its connection timeouts allow at the given bandwidth, the
 synchronous protocol fails much earlier (its vote packages are ~n× larger),
 and ours keeps producing a consensus all the way down to 0.5 Mbit/s, merely
 taking longer.
+
+The grid routes through :class:`~repro.runtime.executor.SweepExecutor`: pass
+``workers`` to fan the cells out over a process pool and/or ``cache`` to skip
+cells whose results are already on disk.
 """
 
 from __future__ import annotations
@@ -16,6 +20,8 @@ from typing import Optional, Sequence
 from repro.analysis.latency import LatencyGrid, sweep_latency
 from repro.analysis.reporting import format_table
 from repro.protocols.base import DirectoryProtocolConfig
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import SweepExecutor
 
 #: Bandwidth panels of Figure 10 (Mbit/s).
 FIGURE10_BANDWIDTHS = (50.0, 20.0, 10.0, 1.0, 0.5)
@@ -31,8 +37,11 @@ def run_figure10(
     config: Optional[DirectoryProtocolConfig] = None,
     engine: str = "hotstuff",
     seed: int = 7,
+    executor: Optional[SweepExecutor] = None,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> LatencyGrid:
-    """Run the Figure 10 grid."""
+    """Run the Figure 10 grid through the sweep executor."""
     return sweep_latency(
         protocols=protocols,
         bandwidths_mbps=bandwidths_mbps,
@@ -40,6 +49,9 @@ def run_figure10(
         config=config,
         engine=engine,
         seed=seed,
+        executor=executor,
+        workers=workers,
+        cache=cache,
     )
 
 

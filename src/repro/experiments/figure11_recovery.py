@@ -6,6 +6,12 @@ protocol produces a consensus within seconds of the attack ending, while the
 two synchronous protocols fail the run entirely and have to wait for the
 fallback re-run — 25 minutes until the next scheduled attempt plus the
 10-minute protocol, i.e. 2,100 seconds.
+
+Every attacked run (ours plus the two baselines, per relay count) is a frozen
+:class:`~repro.runtime.spec.RunSpec` carrying the attack as bandwidth
+overrides; the whole grid executes through one
+:class:`~repro.runtime.executor.SweepExecutor`, so it parallelises and caches
+like any other sweep.
 """
 
 from __future__ import annotations
@@ -16,7 +22,9 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.reporting import format_table
 from repro.attack.ddos import DDoSAttackPlan
 from repro.protocols.base import DirectoryProtocolConfig, ProtocolRunResult
-from repro.protocols.runner import build_scenario, run_protocol
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import SweepExecutor
+from repro.runtime.spec import RunSpec, overrides_from_config
 
 #: Latency of the synchronous protocols' fallback path (25 min wait + 10 min run).
 FALLBACK_LATENCY_SECONDS = 2100.0
@@ -48,47 +56,58 @@ def run_figure11(
     include_baselines: bool = True,
     engine: str = "hotstuff",
     seed: int = 7,
+    executor: Optional[SweepExecutor] = None,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[Figure11Result]:
     """Run the full-DDoS recovery experiment for each relay count."""
     config = config or DirectoryProtocolConfig()
+    executor = executor or SweepExecutor(workers=workers, cache=cache)
+    config_overrides = overrides_from_config(config)
+    attack = DDoSAttackPlan(
+        target_authority_ids=tuple(range(attacked_count)),
+        start=0.0,
+        duration=attack_duration,
+        residual_bandwidth_mbps=residual_bandwidth_mbps,
+        baseline_bandwidth_mbps=baseline_bandwidth_mbps,
+    )
+    baseline_max_time = 4 * config.round_duration + 60
+
+    specs: List[RunSpec] = []
+    for relay_count in relay_counts:
+        base = RunSpec(
+            protocol="ours",
+            relay_count=relay_count,
+            bandwidth_mbps=baseline_bandwidth_mbps,
+            seed=seed,
+            engine=engine,
+            max_time=attack.end + 1200.0,
+            config_overrides=config_overrides,
+            bandwidth_overrides=attack.bandwidth_overrides(),
+        )
+        specs.append(base)
+        if include_baselines:
+            for protocol in ("current", "synchronous"):
+                specs.append(base.derive(protocol=protocol, max_time=baseline_max_time))
+
+    runs = executor.run(specs)
+    by_key = {
+        (spec.relay_count, spec.protocol): run for spec, run in zip(specs, runs)
+    }
+
     results: List[Figure11Result] = []
     for relay_count in relay_counts:
-        scenario = build_scenario(
-            relay_count=relay_count, bandwidth_mbps=baseline_bandwidth_mbps, seed=seed
-        )
-        attack = DDoSAttackPlan(
-            target_authority_ids=tuple(
-                auth.authority_id for auth in scenario.authorities[:attacked_count]
-            ),
-            start=0.0,
-            duration=attack_duration,
-            residual_bandwidth_mbps=residual_bandwidth_mbps,
-            baseline_bandwidth_mbps=baseline_bandwidth_mbps,
-        )
-        attacked = scenario.with_bandwidth_schedules(attack.schedules())
-
-        ours = run_protocol(
-            "ours", attacked, config=config, max_time=attack.end + 1200.0, engine=engine
-        )
-        current_success = synchronous_success = False
-        if include_baselines:
-            current = run_protocol(
-                "current", attacked, config=config, max_time=4 * config.round_duration + 60
-            )
-            synchronous = run_protocol(
-                "synchronous", attacked, config=config, max_time=4 * config.round_duration + 60
-            )
-            current_success = current.success
-            synchronous_success = synchronous.success
-
+        ours = by_key[(relay_count, "ours")]
+        current = by_key.get((relay_count, "current"))
+        synchronous = by_key.get((relay_count, "synchronous"))
         results.append(
             Figure11Result(
                 relay_count=relay_count,
                 attack_end=attack.end,
                 ours_success=ours.success,
                 ours_latency_after_attack=ours.latency_from(attack.end),
-                current_success=current_success,
-                synchronous_success=synchronous_success,
+                current_success=current.success if current is not None else False,
+                synchronous_success=synchronous.success if synchronous is not None else False,
             )
         )
     return results

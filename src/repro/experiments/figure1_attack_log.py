@@ -6,6 +6,11 @@ extracts one *unattacked* authority's Tor-style log, which reproduces the
 "We're missing votes from 5 authorities … Asking every other authority for a
 copy", "Giving up downloading votes from …", and "We don't have enough votes
 to generate a consensus" notices of Figure 1.
+
+The attacked run is a :class:`~repro.runtime.spec.RunSpec` executed through
+:meth:`~repro.runtime.executor.SweepExecutor.run_one` in *full* mode: this is
+the one experiment that needs the run's trace log, which compact cached
+summaries deliberately drop.
 """
 
 from __future__ import annotations
@@ -14,8 +19,10 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.attack.ddos import DDoSAttackPlan, majority_attack_plan
+from repro.directory.authority import authority_node_name
 from repro.protocols.base import DirectoryProtocolConfig, ProtocolRunResult
-from repro.protocols.runner import build_scenario, run_protocol
+from repro.runtime.executor import SweepExecutor
+from repro.runtime.spec import RunSpec, overrides_from_config
 
 
 @dataclass
@@ -41,28 +48,33 @@ def run_attack_demo(
     attack_duration: float = 300.0,
     config: Optional[DirectoryProtocolConfig] = None,
     seed: int = 7,
+    executor: Optional[SweepExecutor] = None,
 ) -> AttackDemoResult:
     """Run the headline attack against the current protocol and collect the log."""
     config = config or DirectoryProtocolConfig()
-    scenario = build_scenario(
-        relay_count=relay_count, bandwidth_mbps=baseline_bandwidth_mbps, seed=seed
-    )
+    executor = executor or SweepExecutor()
     attack = DDoSAttackPlan(
-        target_authority_ids=tuple(
-            auth.authority_id for auth in scenario.authorities[:attacked_count]
-        ),
+        target_authority_ids=tuple(range(attacked_count)),
         start=0.0,
         duration=attack_duration,
         residual_bandwidth_mbps=residual_bandwidth_mbps,
         baseline_bandwidth_mbps=baseline_bandwidth_mbps,
     )
-    attacked_scenario = scenario.with_bandwidth_schedules(attack.schedules())
-    result = run_protocol(
-        "current", attacked_scenario, config=config, max_time=4 * config.round_duration + 60
+    spec = RunSpec(
+        protocol="current",
+        relay_count=relay_count,
+        bandwidth_mbps=baseline_bandwidth_mbps,
+        seed=seed,
+        max_time=4 * config.round_duration + 60,
+        config_overrides=overrides_from_config(config),
+        bandwidth_overrides=attack.bandwidth_overrides(),
     )
+    # Full mode keeps the trace log, which this experiment exists to print.
+    result = executor.run_one(spec, full=True)
 
-    # Observe from an authority that is NOT under attack (as in Figure 1).
-    observer = scenario.authorities[-1].name
+    # Observe from an authority that is NOT under attack (as in Figure 1):
+    # targets are the first ``attacked_count`` ids, so the last one is clean.
+    observer = authority_node_name(spec.authority_count - 1)
     log_text = result.trace.format(node=observer, min_level="info")
     return AttackDemoResult(
         run=result, attack=attack, observer_authority=observer, log_text=log_text

@@ -19,6 +19,8 @@ from repro.analysis.bandwidth import (
 from repro.analysis.reporting import format_table
 from repro.attack.ddos import ATTACK_RESIDUAL_BANDWIDTH_MBPS
 from repro.protocols.base import DirectoryProtocolConfig
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import SweepExecutor
 
 #: Relay counts reported in the paper's sweep.
 DEFAULT_RELAY_COUNTS = (1000, 2000, 4000, 6000, 8000, 10000)
@@ -29,10 +31,21 @@ def run_figure7(
     attacked_count: int = 5,
     config: Optional[DirectoryProtocolConfig] = None,
     seed: int = 7,
+    executor: Optional[SweepExecutor] = None,
+    cache: Optional[ResultCache] = None,
 ) -> List[BandwidthRequirementResult]:
-    """Run the bandwidth-requirement search over ``relay_counts``."""
+    """Run the bandwidth-requirement search over ``relay_counts``.
+
+    Every binary-search probe executes through the shared sweep executor, so
+    an attached cache makes re-running the figure free.
+    """
     return bandwidth_requirement_sweep(
-        relay_counts, attacked_count=attacked_count, config=config, seed=seed
+        relay_counts,
+        attacked_count=attacked_count,
+        config=config,
+        seed=seed,
+        executor=executor,
+        cache=cache,
     )
 
 

@@ -3,8 +3,12 @@
 The analytic column instantiates the paper's big-O expressions; the measured
 column comes from running each protocol on the simulator (at a modest relay
 count so the synchronous protocol still succeeds) and summing the bytes the
-transport delivered.  The benchmark checks the *ordering* the paper claims:
-synchronous ≫ ours > current in document traffic, with ours close to current.
+transport delivered.  The three measurement runs are one
+:class:`~repro.runtime.spec.SweepSpec` executed through the shared
+:class:`~repro.runtime.executor.SweepExecutor` — byte accounting survives the
+compact summary round-trip, so cached and parallel runs measure identically.
+The benchmark checks the *ordering* the paper claims: synchronous ≫ ours >
+current in document traffic, with ours close to current.
 """
 
 from __future__ import annotations
@@ -14,7 +18,9 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.complexity import ComplexityRow, complexity_comparison_table
 from repro.analysis.reporting import format_table
 from repro.protocols.base import DirectoryProtocolConfig
-from repro.protocols.runner import build_scenario, run_protocol
+from repro.protocols.runner import scenario_from_spec
+from repro.runtime.executor import SweepExecutor
+from repro.runtime.spec import RunSpec, SweepSpec, overrides_from_config
 
 
 def measure_protocol_bytes(
@@ -22,26 +28,41 @@ def measure_protocol_bytes(
     bandwidth_mbps: float = 250.0,
     config: Optional[DirectoryProtocolConfig] = None,
     seed: int = 7,
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[str, float]:
     """Total delivered bytes per protocol at one configuration."""
-    config = config or DirectoryProtocolConfig()
-    scenario = build_scenario(relay_count=relay_count, bandwidth_mbps=bandwidth_mbps, seed=seed)
-    measured: Dict[str, float] = {}
-    for protocol in ("current", "synchronous", "ours"):
-        result = run_protocol(protocol, scenario, config=config, max_time=1800.0)
-        measured[protocol] = result.stats.total_bytes_delivered
-    return measured
+    executor = executor or SweepExecutor()
+    sweep = SweepSpec.grid(
+        "table1-traffic",
+        protocols=("current", "synchronous", "ours"),
+        bandwidths_mbps=(bandwidth_mbps,),
+        relay_counts=(relay_count,),
+        seed=seed,
+        max_time=1800.0,
+        config_overrides=overrides_from_config(config),
+    )
+    return {
+        spec.protocol: result.stats.total_bytes_delivered
+        for spec, result in zip(sweep.runs, executor.run(sweep))
+    }
 
 
 def run_table1(
     relay_count: int = 1000,
     measure: bool = True,
     seed: int = 7,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[ComplexityRow]:
     """Build Table 1 rows, optionally annotated with measured traffic."""
-    scenario = build_scenario(relay_count=relay_count, seed=seed)
+    scenario = scenario_from_spec(
+        RunSpec(protocol="current", relay_count=relay_count, seed=seed)
+    )
     document_bytes = scenario.votes[0].size_bytes
-    measured = measure_protocol_bytes(relay_count=relay_count, seed=seed) if measure else None
+    measured = (
+        measure_protocol_bytes(relay_count=relay_count, seed=seed, executor=executor)
+        if measure
+        else None
+    )
     return complexity_comparison_table(
         n=len(scenario.authorities), document_bytes=document_bytes, measured=measured
     )

@@ -15,7 +15,10 @@ evaluation (Figure 10, Table 1):
 
 :mod:`repro.protocols.runner` builds simulator scenarios (authorities, votes,
 link schedules, attacks) and runs any of the three, returning a uniform
-:class:`~repro.protocols.base.ProtocolRunResult`.
+:class:`~repro.protocols.base.ProtocolRunResult`.  Runs are usually described
+by a frozen :class:`~repro.runtime.spec.RunSpec` and executed through
+:func:`~repro.protocols.runner.execute_spec` (directly or via the
+:class:`~repro.runtime.executor.SweepExecutor`).
 """
 
 from repro.protocols.base import (
@@ -26,7 +29,14 @@ from repro.protocols.base import (
 from repro.protocols.current_v3 import CurrentProtocolAuthority
 from repro.protocols.synchronous_luo import SynchronousLuoAuthority
 from repro.protocols.partialsync import PartialSyncAuthority
-from repro.protocols.runner import PROTOCOL_NAMES, Scenario, build_scenario, run_protocol
+from repro.protocols.runner import (
+    PROTOCOL_NAMES,
+    Scenario,
+    build_scenario,
+    execute_spec,
+    run_protocol,
+    scenario_from_spec,
+)
 
 __all__ = [
     "AuthorityOutcome",
@@ -38,5 +48,7 @@ __all__ = [
     "PROTOCOL_NAMES",
     "Scenario",
     "build_scenario",
+    "execute_spec",
     "run_protocol",
+    "scenario_from_spec",
 ]

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.crypto.keys import KeyRing
 from repro.directory.aggregate import AggregationConfig, aggregate_votes
@@ -77,6 +77,10 @@ class AuthorityOutcome:
     failure_reason: Optional[str] = None
 
 
+#: Format version of :meth:`ProtocolRunResult.summary` payloads.
+RESULT_SUMMARY_VERSION = 1
+
+
 @dataclass
 class ProtocolRunResult:
     """Aggregate result of one directory-protocol run on the simulator."""
@@ -106,6 +110,74 @@ class ProtocolRunResult:
         if not times:
             return None
         return sum(times) / len(times)
+
+    # -- compact serialization --------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """A compact, JSON-serializable summary of this run.
+
+        Keeps every per-authority outcome and the byte/message accounting
+        (what the figures and Table 1 consume) but drops the trace log, which
+        is what makes summaries cheap to cache on disk and to ship across
+        process boundaries from sweep workers.
+        """
+        return {
+            "version": RESULT_SUMMARY_VERSION,
+            "protocol": self.protocol,
+            "success": self.success,
+            "latency": self.latency,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "relay_count": self.relay_count,
+            "outcomes": [
+                asdict(self.outcomes[authority_id]) for authority_id in sorted(self.outcomes)
+            ],
+            "stats": {
+                "bytes_sent": dict(self.stats.bytes_sent),
+                "bytes_delivered": dict(self.stats.bytes_delivered),
+                "bytes_by_type": dict(self.stats.bytes_by_type),
+                "messages_sent": self.stats.messages_sent,
+                "messages_delivered": self.stats.messages_delivered,
+                "messages_timed_out": self.stats.messages_timed_out,
+            },
+        }
+
+    @classmethod
+    def from_summary(cls, data: Dict[str, Any]) -> "ProtocolRunResult":
+        """Rebuild a result from :meth:`summary` output.
+
+        The reconstruction round-trips everything except the trace log, which
+        comes back empty (use ``SweepExecutor.run_one(spec, full=True)`` when
+        a run's log is needed).
+        """
+        version = data.get("version")
+        ensure(
+            version == RESULT_SUMMARY_VERSION,
+            "unsupported result summary version %r" % (version,),
+        )
+        outcomes = {
+            int(entry["authority_id"]): AuthorityOutcome(**entry)
+            for entry in data["outcomes"]
+        }
+        stats_data = data["stats"]
+        stats = TransferStats(
+            bytes_sent=dict(stats_data["bytes_sent"]),
+            bytes_delivered=dict(stats_data["bytes_delivered"]),
+            bytes_by_type=dict(stats_data["bytes_by_type"]),
+            messages_sent=stats_data["messages_sent"],
+            messages_delivered=stats_data["messages_delivered"],
+            messages_timed_out=stats_data["messages_timed_out"],
+        )
+        return cls(
+            protocol=data["protocol"],
+            success=data["success"],
+            latency=data["latency"],
+            outcomes=outcomes,
+            stats=stats,
+            trace=TraceLog(),
+            start_time=data["start_time"],
+            end_time=data["end_time"],
+            relay_count=data.get("relay_count", 0),
+        )
 
 
 class DirectoryAuthorityNode(ProtocolNode):

@@ -1,11 +1,20 @@
 """Scenario construction and protocol execution on the network simulator.
 
-A :class:`Scenario` bundles everything one directory-protocol run needs:
-authority identities and keys, one vote per authority, pairwise latencies,
-and a bandwidth schedule per authority (constant for plain sweeps, windowed
-for DDoS experiments).  :func:`run_protocol` instantiates the requested
-protocol's authority nodes on a fresh simulator, runs it, and returns a
-:class:`~repro.protocols.base.ProtocolRunResult`.
+The module has two halves, split so run configuration can be reified:
+
+* **Scenario construction** (pure, spec-driven): a :class:`Scenario` bundles
+  everything one directory-protocol run needs — authority identities and
+  keys, one vote per authority, pairwise latencies, and a bandwidth schedule
+  per authority (constant for plain sweeps, windowed for DDoS experiments).
+  :func:`build_scenario` assembles one from explicit arguments;
+  :func:`scenario_from_spec` is the factory that derives the same thing from
+  a frozen :class:`~repro.runtime.spec.RunSpec`, applying its declarative
+  bandwidth overrides.
+* **Execution**: :func:`run_protocol` instantiates the requested protocol's
+  authority nodes on a fresh simulator, runs it, and returns a
+  :class:`~repro.protocols.base.ProtocolRunResult`; :func:`execute_spec` is
+  the spec-level composition (``scenario_from_spec`` + ``run_protocol``) that
+  :class:`~repro.runtime.executor.SweepExecutor` workers call.
 
 Large sweeps (Figures 7 and 10 go up to 10,000 relays) materialise a capped
 sample of relays per vote and use ``padded_relay_count`` so the bandwidth
@@ -28,15 +37,10 @@ from repro.protocols.base import DirectoryProtocolConfig, ProtocolRunResult
 from repro.protocols.current_v3 import CurrentProtocolAuthority
 from repro.protocols.partialsync import PartialSyncAuthority
 from repro.protocols.synchronous_luo import SynchronousLuoAuthority
+from repro.runtime.spec import DEFAULT_CONTENT_RELAY_CAP, PROTOCOL_NAMES, RunSpec
 from repro.simnet.bandwidth import BandwidthSchedule
 from repro.simnet.network import LinkConfig, SimNetwork
 from repro.utils.validation import ValidationError, ensure
-
-#: Names accepted by :func:`run_protocol`, matching the paper's legend.
-PROTOCOL_NAMES = ("current", "synchronous", "ours")
-
-#: Default cap on how many relays are materialised per vote in large sweeps.
-DEFAULT_CONTENT_RELAY_CAP = 120
 
 
 @dataclass
@@ -94,6 +98,44 @@ def build_scenario(
         bandwidth_schedules=schedules,
         relay_count=relay_count,
         scheduling=scheduling,
+    )
+
+
+def scenario_from_spec(spec: RunSpec) -> Scenario:
+    """Build the :class:`Scenario` a :class:`~repro.runtime.spec.RunSpec` describes.
+
+    Pure with respect to the spec: equal specs produce identical scenarios
+    (every stochastic input derives from ``spec.seed``), which is what makes
+    spec hashes valid cache keys.
+    """
+    scenario = build_scenario(
+        relay_count=spec.relay_count,
+        bandwidth_mbps=spec.bandwidth_mbps,
+        authority_count=spec.authority_count,
+        seed=spec.seed,
+        content_relay_cap=spec.content_relay_cap,
+        scheduling=spec.scheduling,
+    )
+    if spec.bandwidth_overrides:
+        scenario = scenario.with_bandwidth_schedules(
+            {
+                override.authority_id: override.schedule()
+                for override in spec.bandwidth_overrides
+            }
+        )
+    return scenario
+
+
+def execute_spec(spec: RunSpec) -> ProtocolRunResult:
+    """Run the protocol instance ``spec`` describes, end to end."""
+    return run_protocol(
+        spec.protocol,
+        scenario_from_spec(spec),
+        config=spec.protocol_config(),
+        max_time=spec.max_time,
+        engine=spec.engine,
+        delta=spec.delta,
+        view_timeout=spec.view_timeout,
     )
 
 

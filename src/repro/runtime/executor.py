@@ -1,0 +1,137 @@
+"""Sweep execution: serial or multi-process fan-out of RunSpec grids.
+
+:class:`SweepExecutor` is the single entry point every experiment, analysis
+sweep, benchmark, and example routes protocol runs through:
+
+* **cache first** — with a :class:`~repro.runtime.cache.ResultCache` attached,
+  cells whose spec hash is already on disk are never re-executed;
+* **deterministic parallelism** — cache misses fan out over a
+  ``multiprocessing`` pool; every stochastic input of a run is derived from
+  its spec (notably ``spec.seed``), so results are bit-identical regardless
+  of worker count or completion order, and are always returned in submission
+  order;
+* **cheap transport** — workers return compact
+  ``ProtocolRunResult.summary()`` dicts rather than full results (which drag
+  a whole trace log across the process boundary).
+
+Duplicate specs inside one sweep are executed once and fanned back out to
+every position that requested them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.spec import RunSpec, SweepSpec
+from repro.utils.validation import ensure
+
+Sweep = Union[SweepSpec, Sequence[RunSpec]]
+
+
+def execute_spec_summary(spec: RunSpec) -> Dict[str, Any]:
+    """Execute one run and return its compact summary (the pool worker).
+
+    Imports the protocol layer lazily: the runtime package must stay
+    importable without it, and ``fork`` workers inherit the parent's modules
+    anyway.
+    """
+    from repro.protocols.runner import execute_spec
+
+    return execute_spec(spec).summary()
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (cheap, inherits loaded modules); fall back to default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class SweepExecutor:
+    """Executes RunSpec grids serially or across a worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; 1 executes in-process (no pool, no pickling).
+    cache:
+        Optional :class:`ResultCache`.  Hits skip execution entirely; misses
+        are stored after execution, so a repeated sweep is pure cache reads.
+
+    The counters ``executed_runs`` / ``cache_hits`` accumulate across calls
+    (a warm-cache re-run is asserted as ``executed_runs == 0`` in the tests).
+    """
+
+    def __init__(self, workers: int = 1, cache: Optional[ResultCache] = None) -> None:
+        ensure(workers >= 1, "workers must be at least 1")
+        self.workers = workers
+        self.cache = cache
+        self.executed_runs = 0
+        self.cache_hits = 0
+
+    # -- public API --------------------------------------------------------
+    def run(self, sweep: Sweep) -> List["ProtocolRunResult"]:
+        """Execute ``sweep`` and return results in submission order."""
+        from repro.protocols.base import ProtocolRunResult
+
+        return [
+            ProtocolRunResult.from_summary(summary)
+            for summary in self.run_summaries(sweep)
+        ]
+
+    def run_one(self, spec: RunSpec, full: bool = False) -> "ProtocolRunResult":
+        """Execute a single spec.
+
+        With ``full=True`` the run always executes in-process and the
+        returned result keeps its trace log and live stats (needed by the
+        Figure 1 log extraction); the compact summary is still written to the
+        cache so later sweeps hit it.
+        """
+        from repro.protocols.base import ProtocolRunResult
+
+        if full:
+            from repro.protocols.runner import execute_spec
+
+            result = execute_spec(spec)
+            self.executed_runs += 1
+            if self.cache is not None:
+                self.cache.put(spec, result.summary())
+            return result
+        return ProtocolRunResult.from_summary(self.run_summaries([spec])[0])
+
+    def run_summaries(self, sweep: Sweep) -> List[Dict[str, Any]]:
+        """Like :meth:`run` but returns the raw summary dicts."""
+        specs = list(sweep.runs) if isinstance(sweep, SweepSpec) else list(sweep)
+        results: List[Optional[Dict[str, Any]]] = [None] * len(specs)
+
+        # Resolve cache hits and collapse duplicate specs to one execution.
+        pending: Dict[RunSpec, List[int]] = {}
+        for index, spec in enumerate(specs):
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                results[index] = cached
+                self.cache_hits += 1
+            else:
+                pending.setdefault(spec, []).append(index)
+
+        if pending:
+            unique = list(pending)
+            summaries = self._execute(unique)
+            self.executed_runs += len(unique)
+            for spec, summary in zip(unique, summaries):
+                if self.cache is not None:
+                    self.cache.put(spec, summary)
+                for index in pending[spec]:
+                    results[index] = summary
+        return results  # type: ignore[return-value]
+
+    # -- internals ---------------------------------------------------------
+    def _execute(self, specs: List[RunSpec]) -> List[Dict[str, Any]]:
+        if self.workers == 1 or len(specs) == 1:
+            return [execute_spec_summary(spec) for spec in specs]
+        context = _pool_context()
+        with context.Pool(processes=min(self.workers, len(specs))) as pool:
+            return pool.map(execute_spec_summary, specs, chunksize=1)

@@ -1,0 +1,323 @@
+"""Run specifications: frozen, hashable descriptions of protocol runs.
+
+Every figure/table of the paper is a grid of *independent* protocol runs, so
+run configuration is reified into data:
+
+* :class:`RunSpec` — everything one run needs (protocol, engine, relay count,
+  bandwidth, seed, scheduling, timeout overrides, per-authority bandwidth
+  overrides).  Specs are frozen dataclasses: hashable, picklable across
+  process boundaries, and content-addressable via :meth:`RunSpec.spec_hash`.
+* :class:`BandwidthOverride` — a declarative replacement of one authority's
+  bandwidth schedule (baseline rate plus throttling windows), which is how
+  DDoS attacks and the Figure 7 search are expressed at the spec level.
+* :class:`SweepSpec` — a named grid of RunSpecs, built with
+  :meth:`SweepSpec.grid` in the (bandwidth × relay count × protocol) order
+  the paper's figures use.
+
+The module deliberately imports nothing from :mod:`repro.protocols` at module
+level (the protocol runner imports *us*); the only lazy touch point is
+:meth:`RunSpec.protocol_config`, which materialises a
+``DirectoryProtocolConfig`` from the spec's override pairs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.simnet.bandwidth import BandwidthSchedule
+from repro.utils.validation import ensure
+
+#: Names accepted by the protocol runner, matching the paper's legend.
+PROTOCOL_NAMES = ("current", "synchronous", "ours")
+
+#: Default cap on how many relays are materialised per vote in large sweeps.
+DEFAULT_CONTENT_RELAY_CAP = 120
+
+#: Serialization format version written by :meth:`RunSpec.to_dict`.
+SPEC_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BandwidthOverride:
+    """Declarative replacement of one authority's bandwidth schedule.
+
+    Attributes
+    ----------
+    authority_id:
+        The authority whose link this override replaces.
+    base_mbps:
+        Baseline link capacity outside all windows (Mbit/s).
+    windows:
+        ``(start, end, mbps)`` throttling windows applied on top of the
+        baseline — the spec-level form of a DDoS attack window.
+    """
+
+    authority_id: int
+    base_mbps: float
+    windows: Tuple[Tuple[float, float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        ensure(self.authority_id >= 0, "authority_id must be non-negative")
+        ensure(self.base_mbps > 0, "base_mbps must be positive")
+        object.__setattr__(
+            self,
+            "windows",
+            tuple(tuple(float(part) for part in window) for window in self.windows),
+        )
+
+    def schedule(self) -> BandwidthSchedule:
+        """Materialise this override as a simulator bandwidth schedule."""
+        schedule = BandwidthSchedule.constant_mbps(self.base_mbps)
+        for start, end, mbps in self.windows:
+            schedule = schedule.with_window_mbps(start, end, mbps)
+        return schedule
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form."""
+        return {
+            "authority_id": self.authority_id,
+            "base_mbps": self.base_mbps,
+            "windows": [list(window) for window in self.windows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BandwidthOverride":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            authority_id=int(data["authority_id"]),
+            base_mbps=float(data["base_mbps"]),
+            windows=tuple(tuple(window) for window in data.get("windows", ())),
+        )
+
+
+def _canonical_value(value: Any) -> Any:
+    """Normalize a config-override value for hashing.
+
+    ``DirectoryProtocolConfig(connection_timeout=30)`` and ``...=30.0``
+    compare equal, so their specs must hash equally too: ints and floats
+    collapse to float (bools excepted — they are ints but mean flags).
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return float(value)
+    return value
+
+
+def overrides_from_config(config: Any) -> Tuple[Tuple[str, Any], ...]:
+    """Reduce a ``DirectoryProtocolConfig`` to its non-default field pairs.
+
+    The pairs are sorted by field name so that two configs with the same
+    values always produce the same spec hash.  ``None`` maps to no overrides.
+    """
+    if config is None:
+        return ()
+    default = type(config)()
+    return tuple(
+        sorted(
+            (field_.name, getattr(config, field_.name))
+            for field_ in dataclasses.fields(config)
+            if getattr(config, field_.name) != getattr(default, field_.name)
+        )
+    )
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A frozen, hashable description of one directory-protocol run.
+
+    Two equal specs describe bit-identical simulations: the runner derives
+    every stochastic input from ``seed`` and the spec fields, so a spec's
+    content hash can address a cached result.
+    """
+
+    protocol: str
+    relay_count: int
+    bandwidth_mbps: float = 250.0
+    seed: int = 7
+    engine: str = "hotstuff"
+    scheduling: str = "fair"
+    authority_count: int = 9
+    content_relay_cap: int = DEFAULT_CONTENT_RELAY_CAP
+    max_time: float = 3600.0
+    delta: float = 30.0
+    view_timeout: float = 30.0
+    config_overrides: Tuple[Tuple[str, Any], ...] = ()
+    bandwidth_overrides: Tuple[BandwidthOverride, ...] = ()
+
+    def __post_init__(self) -> None:
+        ensure(
+            self.protocol in PROTOCOL_NAMES,
+            "unknown protocol %r; expected one of %r" % (self.protocol, PROTOCOL_NAMES),
+        )
+        ensure(self.relay_count >= 1, "relay_count must be at least 1")
+        ensure(self.bandwidth_mbps > 0, "bandwidth_mbps must be positive")
+        ensure(self.authority_count >= 1, "authority_count must be at least 1")
+        ensure(self.max_time > 0, "max_time must be positive")
+        object.__setattr__(
+            self,
+            "config_overrides",
+            tuple(sorted((str(name), value) for name, value in self.config_overrides)),
+        )
+        object.__setattr__(self, "bandwidth_overrides", tuple(self.bandwidth_overrides))
+
+    # -- derived configuration --------------------------------------------
+    def protocol_config(self):
+        """The ``DirectoryProtocolConfig`` this spec's overrides describe."""
+        from repro.protocols.base import DirectoryProtocolConfig
+
+        return DirectoryProtocolConfig(**dict(self.config_overrides))
+
+    # -- spec derivation ---------------------------------------------------
+    def derive(self, **changes: Any) -> "RunSpec":
+        """Return a copy with the given fields replaced (validated anew)."""
+        return replace(self, **changes)
+
+    def with_config(self, config: Any) -> "RunSpec":
+        """Return a copy whose config overrides mirror ``config``."""
+        return replace(self, config_overrides=overrides_from_config(config))
+
+    def with_overrides(self, *overrides: BandwidthOverride) -> "RunSpec":
+        """Return a copy with extra per-authority bandwidth overrides appended."""
+        return replace(
+            self, bandwidth_overrides=self.bandwidth_overrides + tuple(overrides)
+        )
+
+    def with_attacked_bandwidth(
+        self, authority_ids: Sequence[int], mbps: float
+    ) -> "RunSpec":
+        """Return a copy where ``authority_ids`` get a constant ``mbps`` link."""
+        return self.with_overrides(
+            *(
+                BandwidthOverride(authority_id=authority_id, base_mbps=mbps)
+                for authority_id in authority_ids
+            )
+        )
+
+    # -- hashing and serialization ----------------------------------------
+    def key(self) -> Tuple:
+        """Canonical tuple of everything that defines this run."""
+        return (
+            self.protocol,
+            self.relay_count,
+            float(self.bandwidth_mbps),
+            self.seed,
+            self.engine,
+            self.scheduling,
+            self.authority_count,
+            self.content_relay_cap,
+            float(self.max_time),
+            float(self.delta),
+            float(self.view_timeout),
+            tuple((name, _canonical_value(value)) for name, value in self.config_overrides),
+            tuple(
+                (o.authority_id, float(o.base_mbps), o.windows)
+                for o in self.bandwidth_overrides
+            ),
+        )
+
+    def spec_hash(self) -> str:
+        """Stable content hash: equal specs hash equally across processes."""
+        material = repr(self.key()).encode("utf-8")
+        return hashlib.sha256(material).hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {
+            "format": SPEC_FORMAT_VERSION,
+            "protocol": self.protocol,
+            "relay_count": self.relay_count,
+            "bandwidth_mbps": self.bandwidth_mbps,
+            "seed": self.seed,
+            "engine": self.engine,
+            "scheduling": self.scheduling,
+            "authority_count": self.authority_count,
+            "content_relay_cap": self.content_relay_cap,
+            "max_time": self.max_time,
+            "delta": self.delta,
+            "view_timeout": self.view_timeout,
+            "config_overrides": [[name, value] for name, value in self.config_overrides],
+            "bandwidth_overrides": [o.to_dict() for o in self.bandwidth_overrides],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(
+            protocol=data["protocol"],
+            relay_count=int(data["relay_count"]),
+            bandwidth_mbps=float(data["bandwidth_mbps"]),
+            seed=int(data["seed"]),
+            engine=data["engine"],
+            scheduling=data["scheduling"],
+            authority_count=int(data["authority_count"]),
+            content_relay_cap=int(data["content_relay_cap"]),
+            max_time=float(data["max_time"]),
+            delta=float(data["delta"]),
+            view_timeout=float(data["view_timeout"]),
+            config_overrides=tuple(
+                (name, value) for name, value in data.get("config_overrides", ())
+            ),
+            bandwidth_overrides=tuple(
+                BandwidthOverride.from_dict(entry)
+                for entry in data.get("bandwidth_overrides", ())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named grid of :class:`RunSpec` instances."""
+
+    name: str
+    runs: Tuple[RunSpec, ...]
+
+    def __post_init__(self) -> None:
+        ensure(bool(self.name), "sweep needs a name")
+        object.__setattr__(self, "runs", tuple(self.runs))
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __iter__(self) -> Iterator[RunSpec]:
+        return iter(self.runs)
+
+    def sweep_hash(self) -> str:
+        """Content hash over the ordered member specs."""
+        material = repr(tuple(spec.spec_hash() for spec in self.runs)).encode("utf-8")
+        return hashlib.sha256(material).hexdigest()
+
+    @classmethod
+    def grid(
+        cls,
+        name: str,
+        protocols: Sequence[str],
+        bandwidths_mbps: Sequence[float],
+        relay_counts: Sequence[int],
+        **common: Any,
+    ) -> "SweepSpec":
+        """Build the (bandwidth × relay count × protocol) product grid.
+
+        The iteration order matches the paper's figure loops: bandwidth
+        outermost, relay count next, protocol innermost.  ``common`` keyword
+        arguments are forwarded to every :class:`RunSpec`.
+        """
+        ensure(len(protocols) > 0, "need at least one protocol")
+        ensure(len(bandwidths_mbps) > 0, "need at least one bandwidth")
+        ensure(len(relay_counts) > 0, "need at least one relay count")
+        runs: List[RunSpec] = []
+        for bandwidth in bandwidths_mbps:
+            for relay_count in relay_counts:
+                for protocol in protocols:
+                    runs.append(
+                        RunSpec(
+                            protocol=protocol,
+                            relay_count=relay_count,
+                            bandwidth_mbps=bandwidth,
+                            **common,
+                        )
+                    )
+        return cls(name=name, runs=tuple(runs))

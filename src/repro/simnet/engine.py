@@ -29,7 +29,7 @@ class SimulationError(ReproError):
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; supports cancellation."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_owner", "_executed")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., None], args: Tuple):
         self.time = time
@@ -37,10 +37,20 @@ class EventHandle:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._owner: "Optional[Simulator]" = None
+        self._executed = False
 
     def cancel(self) -> None:
-        """Cancel the event; cancelled events are skipped by the loop."""
+        """Cancel the event; cancelled events are skipped by the loop.
+
+        Idempotent, and a no-op once the event has executed — in both cases
+        the owning simulator's pending counter is only ever decremented once.
+        """
+        if self.cancelled or self._executed:
+            return
         self.cancelled = True
+        if self._owner is not None:
+            self._owner._pending -= 1
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -58,6 +68,7 @@ class Simulator:
         self._heap: List[EventHandle] = []
         self._seq = itertools.count()
         self._processed_events = 0
+        self._pending = 0
 
     # -- time --------------------------------------------------------------
     @property
@@ -72,8 +83,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of non-cancelled events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of non-cancelled events still queued (O(1): kept incrementally)."""
+        return self._pending
 
     # -- scheduling ----------------------------------------------------------
     def schedule(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
@@ -83,7 +94,9 @@ class Simulator:
                 "cannot schedule event at %.6f, current time is %.6f" % (time, self._now)
             )
         handle = EventHandle(max(time, self._now), next(self._seq), callback, args)
+        handle._owner = self
         heapq.heappush(self._heap, handle)
+        self._pending += 1
         return handle
 
     def schedule_in(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
@@ -97,40 +110,49 @@ class Simulator:
             handle.cancel()
 
     # -- execution -------------------------------------------------------------
+    def _peek_next(self) -> Optional[EventHandle]:
+        """The next live event, discarding cancelled heap entries on the way.
+
+        The single place cancelled events are skipped; both :meth:`step` and
+        :meth:`run` go through it.
+        """
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
     def step(self) -> bool:
         """Execute the next pending event.  Returns False when the queue is empty."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
-            self._now = handle.time
-            self._processed_events += 1
-            handle.callback(*handle.args)
-            return True
-        return False
+        handle = self._peek_next()
+        if handle is None:
+            return False
+        heapq.heappop(self._heap)
+        handle._executed = True
+        self._pending -= 1
+        self._now = handle.time
+        self._processed_events += 1
+        handle.callback(*handle.args)
+        return True
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
         """Run events until the queue empties or virtual time passes ``until``.
 
-        Returns the virtual time at which the run stopped.  ``max_events``
-        protects against runaway protocols in tests.
+        Returns the virtual time at which the run stopped.  ``max_events`` is
+        an exact bound protecting against runaway protocols in tests: at most
+        ``max_events`` events execute, and the error is raised only when a
+        further live event is still due.
         """
         executed = 0
-        while self._heap:
-            # Peek at the next non-cancelled event.
-            while self._heap and self._heap[0].cancelled:
-                heapq.heappop(self._heap)
-            if not self._heap:
+        while True:
+            handle = self._peek_next()
+            if handle is None:
                 break
-            next_time = self._heap[0].time
-            if until is not None and next_time > until:
+            if until is not None and handle.time > until:
                 self._now = until
                 return self._now
-            if not self.step():
-                break
-            executed += 1
-            if executed > max_events:
+            if executed >= max_events:
                 raise SimulationError("exceeded max_events=%d; runaway simulation?" % max_events)
+            self.step()
+            executed += 1
         if until is not None and self._now < until:
             self._now = until
         return self._now

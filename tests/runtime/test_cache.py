@@ -1,0 +1,61 @@
+"""ResultCache tests: hit/miss round-trips and corruption tolerance."""
+
+import json
+
+from repro.protocols.base import ProtocolRunResult
+from repro.protocols.runner import execute_spec
+from repro.runtime.cache import ResultCache
+from repro.runtime.spec import RunSpec
+
+SPEC = RunSpec(protocol="current", relay_count=200, max_time=700.0)
+
+
+def test_miss_then_hit_round_trip(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    assert cache.get(SPEC) is None
+    assert SPEC not in cache
+
+    result = execute_spec(SPEC)
+    cache.put(SPEC, result.summary())
+    assert SPEC in cache
+    assert len(cache) == 1
+
+    restored = ProtocolRunResult.from_summary(cache.get(SPEC))
+    assert restored.success == result.success
+    assert restored.latency == result.latency
+    assert restored.relay_count == result.relay_count
+    assert restored.stats.total_bytes_delivered == result.stats.total_bytes_delivered
+    assert restored.stats.bytes_by_type == result.stats.bytes_by_type
+    assert {aid: o.completion_time for aid, o in restored.outcomes.items()} == {
+        aid: o.completion_time for aid, o in result.outcomes.items()
+    }
+    # The trace is deliberately not cached.
+    assert len(restored.trace) == 0
+
+
+def test_different_specs_use_different_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    other = SPEC.derive(seed=99)
+    assert cache.path_for(SPEC) != cache.path_for(other)
+    cache.put(SPEC, {"version": 1, "marker": "a"})
+    assert cache.get(other) is None
+
+
+def test_corrupted_and_mismatched_entries_read_as_misses(tmp_path):
+    cache = ResultCache(tmp_path)
+    path = cache.path_for(SPEC)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("{not json", encoding="utf-8")
+    assert cache.get(SPEC) is None
+    path.write_text(json.dumps({"format": 999, "summary": {}}), encoding="utf-8")
+    assert cache.get(SPEC) is None
+
+
+def test_clear_removes_all_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(SPEC, {"k": 1})
+    cache.put(SPEC.derive(seed=8), {"k": 2})
+    assert len(cache) == 2
+    assert cache.clear() == 2
+    assert len(cache) == 0
+    assert cache.get(SPEC) is None

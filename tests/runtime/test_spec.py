@@ -1,0 +1,141 @@
+"""RunSpec/SweepSpec tests: hashing stability, serialization, grid building."""
+
+import pytest
+
+from repro.protocols.base import DirectoryProtocolConfig
+from repro.runtime.spec import (
+    BandwidthOverride,
+    RunSpec,
+    SweepSpec,
+    overrides_from_config,
+)
+from repro.utils.units import mbps_to_bytes_per_s
+
+
+def test_specs_are_frozen_hashable_and_comparable():
+    a = RunSpec(protocol="current", relay_count=1000)
+    b = RunSpec(protocol="current", relay_count=1000)
+    c = RunSpec(protocol="ours", relay_count=1000)
+    assert a == b and hash(a) == hash(b)
+    assert a != c
+    with pytest.raises(Exception):
+        a.protocol = "ours"
+
+
+def test_spec_hash_is_stable_and_sensitive_to_every_field():
+    base = RunSpec(protocol="current", relay_count=1000)
+    assert base.spec_hash() == RunSpec(protocol="current", relay_count=1000).spec_hash()
+    # Recorded digest: guards the derivation against accidental changes that
+    # would silently invalidate (or worse, alias) existing on-disk caches.
+    assert base.spec_hash() == (
+        "11b2d73dad7f87a932bad4248ec3f5ca3eb4e89ca448380ab0f269a19d79692d"
+    )
+    variants = [
+        base.derive(protocol="ours"),
+        base.derive(relay_count=2000),
+        base.derive(bandwidth_mbps=10.0),
+        base.derive(seed=8),
+        base.derive(engine="pbft"),
+        base.derive(scheduling="fifo"),
+        base.derive(max_time=60.0),
+        base.derive(config_overrides=(("connection_timeout", 30.0),)),
+        base.with_attacked_bandwidth((0, 1), 0.5),
+    ]
+    digests = {spec.spec_hash() for spec in variants} | {base.spec_hash()}
+    assert len(digests) == len(variants) + 1
+
+
+def test_config_override_int_and_float_values_hash_equally():
+    as_int = RunSpec(
+        protocol="current", relay_count=1000, config_overrides=(("connection_timeout", 30),)
+    )
+    as_float = RunSpec(
+        protocol="current", relay_count=1000, config_overrides=(("connection_timeout", 30.0),)
+    )
+    assert as_int == as_float
+    assert as_int.spec_hash() == as_float.spec_hash()
+
+
+def test_config_override_order_does_not_change_the_hash():
+    a = RunSpec(
+        protocol="current",
+        relay_count=1000,
+        config_overrides=(("round_duration", 100.0), ("connection_timeout", 30.0)),
+    )
+    b = RunSpec(
+        protocol="current",
+        relay_count=1000,
+        config_overrides=(("connection_timeout", 30.0), ("round_duration", 100.0)),
+    )
+    assert a.spec_hash() == b.spec_hash()
+
+
+def test_to_dict_round_trip_preserves_hash():
+    spec = RunSpec(
+        protocol="ours",
+        relay_count=4000,
+        bandwidth_mbps=20.0,
+        engine="tendermint",
+        config_overrides=(("connection_timeout", 30.0),),
+        bandwidth_overrides=(
+            BandwidthOverride(authority_id=0, base_mbps=250.0, windows=((0.0, 300.0, 0.5),)),
+        ),
+    )
+    rebuilt = RunSpec.from_dict(spec.to_dict())
+    assert rebuilt == spec
+    assert rebuilt.spec_hash() == spec.spec_hash()
+
+
+def test_overrides_from_config_only_keeps_non_defaults():
+    assert overrides_from_config(None) == ()
+    assert overrides_from_config(DirectoryProtocolConfig()) == ()
+    config = DirectoryProtocolConfig(connection_timeout=30.0)
+    assert overrides_from_config(config) == (("connection_timeout", 30.0),)
+    spec = RunSpec(protocol="current", relay_count=100).with_config(config)
+    assert spec.protocol_config() == config
+
+
+def test_invalid_specs_rejected():
+    with pytest.raises(Exception):
+        RunSpec(protocol="carrier-pigeon", relay_count=100)
+    with pytest.raises(Exception):
+        RunSpec(protocol="current", relay_count=0)
+    with pytest.raises(Exception):
+        RunSpec(protocol="current", relay_count=100, bandwidth_mbps=0.0)
+    with pytest.raises(Exception):
+        RunSpec(protocol="current", relay_count=100, max_time=0.0)
+
+
+def test_bandwidth_override_schedule_applies_windows():
+    override = BandwidthOverride(
+        authority_id=3, base_mbps=250.0, windows=((100.0, 400.0, 0.5),)
+    )
+    schedule = override.schedule()
+    assert schedule.rate_at(0.0) == pytest.approx(mbps_to_bytes_per_s(250.0))
+    assert schedule.rate_at(200.0) == pytest.approx(mbps_to_bytes_per_s(0.5))
+    assert schedule.rate_at(500.0) == pytest.approx(mbps_to_bytes_per_s(250.0))
+
+
+def test_sweep_grid_order_matches_figure_loops():
+    sweep = SweepSpec.grid(
+        "g",
+        protocols=("current", "ours"),
+        bandwidths_mbps=(50.0, 10.0),
+        relay_counts=(1000, 2000),
+        seed=3,
+    )
+    assert len(sweep) == 8
+    assert [(s.bandwidth_mbps, s.relay_count, s.protocol) for s in sweep][:4] == [
+        (50.0, 1000, "current"),
+        (50.0, 1000, "ours"),
+        (50.0, 2000, "current"),
+        (50.0, 2000, "ours"),
+    ]
+    assert all(spec.seed == 3 for spec in sweep)
+    assert sweep.sweep_hash() == SweepSpec.grid(
+        "g",
+        protocols=("current", "ours"),
+        bandwidths_mbps=(50.0, 10.0),
+        relay_counts=(1000, 2000),
+        seed=3,
+    ).sweep_hash()

@@ -98,3 +98,58 @@ def test_pending_event_count():
     assert sim.pending_events == 2
     handle.cancel()
     assert sim.pending_events == 1
+
+
+def test_pending_count_is_maintained_incrementally():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+    assert sim.pending_events == 4
+    handles[0].cancel()
+    handles[0].cancel()  # idempotent: no double decrement
+    assert sim.pending_events == 3
+    sim.step()  # executes the event at t=2
+    assert sim.pending_events == 2
+    sim.run_until_idle()
+    assert sim.pending_events == 0
+
+
+def test_cancel_after_execution_does_not_corrupt_pending_count():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.step()
+    handle.cancel()  # already executed: must be a no-op
+    assert sim.pending_events == 1
+    sim.run_until_idle()
+    assert sim.pending_events == 0
+
+
+def test_max_events_is_an_exact_bound():
+    sim = Simulator()
+    fired = []
+    for i in range(6):
+        sim.schedule(float(i), fired.append, i)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=5)
+    # Exactly max_events executed before the guard tripped.
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.processed_events == 5
+
+
+def test_max_events_allows_exactly_that_many_events():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i), fired.append, i)
+    sim.run(max_events=5)  # queue drains exactly at the bound: no error
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_cancelled_events_do_not_count_against_max_events():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i), fired.append, i).cancel()
+    sim.schedule(10.0, fired.append, "live")
+    sim.run(max_events=1)
+    assert fired == ["live"]
