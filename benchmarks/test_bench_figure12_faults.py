@@ -1,0 +1,42 @@
+"""Figure 12: consensus and recovery latency under injected fault mixes."""
+
+import pytest
+
+from repro.experiments import default_fault_mixes, render_figure12, run_figure12
+
+
+@pytest.mark.paper_artifact("figure-12")
+def test_bench_figure12_fault_mixes(benchmark, sweep_executor):
+    results = benchmark.pedantic(
+        lambda: run_figure12(executor=sweep_executor),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_figure12(results))
+
+    by_cell = {(result.mix, result.protocol): result for result in results}
+    mixes = {mix.name for mix in default_fault_mixes()}
+    assert len(mixes) >= 4 and {m for m, _ in by_cell} == mixes
+
+    # The paper's protocol rides out churn, a healing minority partition,
+    # lossy links, and Byzantine authorities.
+    for mix in ("authority-churn", "minority-partition", "lossy-links", "byzantine"):
+        ours = by_cell[(mix, "ours")]
+        assert ours.success
+        assert ours.recovery_latency is not None and ours.recovery_latency < 120.0
+
+    # A vote equivocator plus a withholder break both deployed baselines:
+    # their vote sets diverge, so no consensus digest gathers a majority.
+    assert not by_cell[("byzantine", "current")].success
+    assert not by_cell[("byzantine", "synchronous")].success
+
+    # A total drop-typed flood of a majority stalls every protocol: unlike
+    # the bandwidth-throttle form of Figure 11, dropped dissemination is
+    # never retransmitted.
+    for protocol in ("current", "synchronous", "ours"):
+        assert not by_cell[("flash-flood", protocol)].success
+
+    # Fault accounting flows through the executor and cache unharmed.
+    assert by_cell[("lossy-links", "ours")].messages_dropped > 0
+    assert by_cell[("minority-partition", "ours")].partition_seconds == 360.0
+    assert by_cell[("authority-churn", "ours")].authority_down_seconds == 360.0

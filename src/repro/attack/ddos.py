@@ -16,8 +16,9 @@ cached, and parallelised by the :mod:`repro.runtime` layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.faults.plan import FaultPlan, LinkFault
 from repro.runtime.spec import BandwidthOverride
 from repro.simnet.bandwidth import BandwidthSchedule
 from repro.utils.validation import ensure
@@ -93,6 +94,37 @@ class DDoSAttackPlan:
                 windows=((self.start, self.end, self.residual_bandwidth_mbps),),
             )
             for authority_id in self.target_authority_ids
+        )
+
+    def fault_plan(self, drop_probability: Optional[float] = None) -> FaultPlan:
+        """This attack re-expressed as a declarative :class:`FaultPlan`.
+
+        Where :meth:`bandwidth_overrides` models the flood as capacity
+        starvation (transfers crawl but survive the window), the fault-plan
+        form models it as *packet loss*: a total flood (zero residual
+        bandwidth) partitions each target for the attack window, a partial
+        flood drops each message within the window with the fraction of
+        capacity the flood consumes.  ``drop_probability`` overrides that
+        derived loss rate.  Attach with ``spec.with_faults(plan.fault_plan())``;
+        both forms are frozen, hashable, and cache-addressable.
+        """
+        if self.residual_bandwidth_mbps <= 0.0:
+            return FaultPlan.partition(self.target_authority_ids, self.start, self.end)
+        if drop_probability is None:
+            drop_probability = max(
+                0.0, 1.0 - self.residual_bandwidth_mbps / self.baseline_bandwidth_mbps
+            )
+        if drop_probability <= 0.0:  # residual ≥ baseline: the flood is harmless
+            return FaultPlan()
+        return FaultPlan(
+            link_faults=tuple(
+                LinkFault(
+                    authority_id=authority_id,
+                    drop_probability=drop_probability,
+                    loss_windows=((self.start, self.end),),
+                )
+                for authority_id in self.target_authority_ids
+            )
         )
 
     def attack_traffic_mbps(self, required_bandwidth_mbps: float) -> float:

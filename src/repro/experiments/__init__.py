@@ -24,6 +24,8 @@ Figure 7  Bandwidth required by the current protocol vs relays    figure7_bandwi
 Figure 10 Latency of Current / Synchronous / Ours across          figure10_latency
           bandwidths and relay counts
 Figure 11 Recovery latency of Ours after a 5-minute DDoS          figure11_recovery
+Figure 12 Recovery latency under declarative fault mixes          figure12_faults
+          (churn, partitions, loss, crash/Byzantine authorities)
 Table 1   Design comparison and communication complexity          table1_complexity
 Table 2   Round complexity of the sub-protocols                   table2_rounds
 (extra)   Ablations: link scheduling policy, agreement engine     ablations
@@ -35,6 +37,13 @@ from repro.experiments.figure6_relay_counts import run_figure6, render_figure6
 from repro.experiments.figure7_bandwidth import run_figure7, render_figure7
 from repro.experiments.figure10_latency import run_figure10, render_figure10
 from repro.experiments.figure11_recovery import Figure11Result, run_figure11, render_figure11
+from repro.experiments.figure12_faults import (
+    FaultMix,
+    Figure12Result,
+    default_fault_mixes,
+    run_figure12,
+    render_figure12,
+)
 from repro.experiments.table1_complexity import run_table1, render_table1
 from repro.experiments.table2_rounds import run_table2, render_table2
 from repro.experiments.cost_table import run_cost_analysis, render_cost_analysis
@@ -52,6 +61,11 @@ __all__ = [
     "Figure11Result",
     "run_figure11",
     "render_figure11",
+    "FaultMix",
+    "Figure12Result",
+    "default_fault_mixes",
+    "run_figure12",
+    "render_figure12",
     "run_table1",
     "render_table1",
     "run_table2",

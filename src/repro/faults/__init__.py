@@ -1,0 +1,58 @@
+"""Declarative fault injection: plans, enforcement, Byzantine rewriting.
+
+The package splits cleanly into a *plan* half and an *enforcement* half:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`LinkFault` /
+  :class:`AuthorityFault`: frozen, hashable descriptions of adversity
+  (partition windows, message loss, latency jitter, crash/restart windows,
+  Byzantine vote equivocation and withholding).  Plans attach to
+  :class:`~repro.runtime.spec.RunSpec` exactly like bandwidth overrides do,
+  participate in spec hashing, and therefore round-trip through the
+  :class:`~repro.runtime.cache.ResultCache`.  This module has no simulator
+  dependencies, so the runtime layer can import it freely.
+* :mod:`repro.faults.injector` / :mod:`repro.faults.byzantine` — the
+  :class:`FaultInjector` that enforces a plan at the
+  :class:`~repro.simnet.network.SimNetwork` seam (send initiation, delivery
+  instant, timer firing) with seeded, replayable randomness, plus the
+  equivocation message rewriter.
+
+See ``DESIGN-faults.md`` for the semantics and the cache-hashing
+implications.
+"""
+
+from repro.faults.plan import (
+    BYZANTINE_MODES,
+    EMPTY_FAULT_PLAN,
+    AuthorityFault,
+    FaultPlan,
+    LinkFault,
+)
+
+#: Enforcement-half names resolved lazily (PEP 562) so that importing the
+#: plan layer — which `repro.runtime.spec` does on every runtime import —
+#: does not drag the simulator/document/crypto layers in with it.
+_LAZY_EXPORTS = {
+    "FaultInjector": "repro.faults.injector",
+    "EquivocationRewriter": "repro.faults.byzantine",
+    "build_rewriters": "repro.faults.byzantine",
+}
+
+__all__ = [
+    "BYZANTINE_MODES",
+    "EMPTY_FAULT_PLAN",
+    "AuthorityFault",
+    "FaultPlan",
+    "LinkFault",
+    "FaultInjector",
+    "EquivocationRewriter",
+    "build_rewriters",
+]
+
+
+def __getattr__(name):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError("module %r has no attribute %r" % (__name__, name))
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

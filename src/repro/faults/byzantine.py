@@ -1,0 +1,217 @@
+"""Byzantine message rewriting for equivocating and withholding authorities.
+
+An ``"equivocate"`` :class:`~repro.faults.plan.AuthorityFault` makes an
+authority present *different* vote content to different peers — the classic
+attack of Luo et al. that the paper's dissemination proofs are designed to
+expose.  Enforcement is protocol-agnostic and happens at the network seam:
+the :class:`~repro.faults.injector.FaultInjector` hands every outgoing
+message of an equivocator to an :class:`EquivocationRewriter`, which swaps
+the equivocator's own vote for a pre-generated alternate whenever the
+destination falls in the second half of the (sorted) peer set.
+
+The rewriter understands the vote-bearing payload shapes of all three
+protocols:
+
+* a bare :class:`~repro.directory.vote.VoteDocument` (``V3/VOTE``,
+  ``LUO/LIST``);
+* tuples of vote documents (``V3/VOTE_FETCH_RESPONSE``);
+* Luo vote packages ``(sender_id, {authority_id: vote})``;
+* ICPS ``DOCUMENT`` messages, whose alternate is re-signed with the
+  equivocator's own keypair so honest trackers accept it and later detect
+  the conflicting claims;
+* ICPS ``FETCH_RESPONSE`` document maps.
+
+Messages it does not understand (agreement votes, signature exchanges,
+Dolev–Strong relays) pass through untouched — an equivocator misbehaves
+about its *vote*, not about everything.
+
+``"withhold"`` needs no rewriting: the injector simply suppresses every
+outgoing message of a withholding authority.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.documents import Document
+from repro.core.icps import ICPSMessage
+from repro.core.proofs import sign_claim
+from repro.crypto.keys import KeyPair
+from repro.directory.vote import VoteDocument
+from repro.simnet.message import Message
+from repro.utils.validation import ensure
+
+
+def alternate_document_for(vote: VoteDocument) -> Document:
+    """Wrap an alternate vote the way :class:`PartialSyncAuthority` wraps its own."""
+    return Document(
+        data=vote.serialize().encode("utf-8"),
+        label="vote-%d" % vote.authority_id,
+        payload=vote,
+        size_override=vote.size_bytes,
+    )
+
+
+class EquivocationRewriter:
+    """Rewrites one equivocating authority's vote-bearing messages.
+
+    Parameters
+    ----------
+    node_name:
+        Simulator name of the equivocating authority.
+    authority_id:
+        Its integer authority id (vote payloads are matched on it).
+    alternate_vote:
+        The conflicting vote presented to the second half of the peers; must
+        differ from the authority's genuine vote.
+    keypair:
+        The equivocator's keypair, used to produce a *valid* signature over
+        the alternate ICPS document (equivocation with invalid signatures
+        would just be discarded, not detected).
+    all_node_names:
+        Names of every node in the run; the lexicographically larger half of
+        the *other* nodes receives the alternate vote.
+    """
+
+    def __init__(
+        self,
+        node_name: str,
+        authority_id: int,
+        alternate_vote: VoteDocument,
+        keypair: KeyPair,
+        all_node_names: Sequence[str],
+    ) -> None:
+        ensure(node_name in all_node_names, "equivocator %r not among run nodes" % node_name)
+        self.node_name = node_name
+        self.authority_id = authority_id
+        self.alternate_vote = alternate_vote
+        self.keypair = keypair
+        peers = sorted(name for name in all_node_names if name != node_name)
+        self._alternate_side = frozenset(peers[len(peers) // 2 :])
+        self._alternate_document = alternate_document_for(alternate_vote)
+        self._alternate_signature = sign_claim(
+            keypair, node_name, self._alternate_document.digest()
+        )
+
+    def uses_alternate(self, destination: str) -> bool:
+        """True when ``destination`` is served the alternate vote."""
+        return destination in self._alternate_side
+
+    # -- rewriting ---------------------------------------------------------
+    def rewrite(self, destination: str, message: Message) -> Message:
+        """The message ``destination`` should actually see.
+
+        Returns ``message`` itself when the destination gets the genuine
+        vote or the payload carries no vote of ours; otherwise builds a fresh
+        :class:`Message` (broadcasts share payload objects, so the original
+        is never mutated).
+        """
+        if not self.uses_alternate(destination):
+            return message
+        rewritten = self._rewrite_payload(message.payload)
+        if rewritten is None:
+            return message
+        payload, size_bytes = rewritten
+        clone = Message(
+            msg_type=message.msg_type,
+            sender=message.sender,
+            payload=payload,
+            size_bytes=size_bytes,
+            metadata=dict(message.metadata),
+        )
+        return clone
+
+    def _rewrite_payload(self, payload) -> Optional[Tuple[object, int]]:
+        """(new payload, new wire size), or None when nothing needed swapping."""
+        if isinstance(payload, VoteDocument):
+            if payload.authority_id != self.authority_id:
+                return None
+            return self.alternate_vote, self.alternate_vote.size_bytes
+        if isinstance(payload, (tuple, list)) and any(
+            isinstance(entry, VoteDocument) for entry in payload
+        ):
+            return self._rewrite_vote_tuple(payload)
+        if self._is_vote_package(payload):
+            return self._rewrite_vote_package(payload)
+        if isinstance(payload, ICPSMessage):
+            return self._rewrite_icps(payload)
+        return None
+
+    def _rewrite_vote_tuple(self, payload) -> Optional[Tuple[object, int]]:
+        swapped = False
+        votes = []
+        for entry in payload:
+            if isinstance(entry, VoteDocument) and entry.authority_id == self.authority_id:
+                votes.append(self.alternate_vote)
+                swapped = True
+            else:
+                votes.append(entry)
+        if not swapped:
+            return None
+        size = sum(v.size_bytes for v in votes if isinstance(v, VoteDocument))
+        return tuple(votes), size
+
+    @staticmethod
+    def _is_vote_package(payload) -> bool:
+        return (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and isinstance(payload[0], int)
+            and isinstance(payload[1], dict)
+        )
+
+    def _rewrite_vote_package(self, payload) -> Optional[Tuple[object, int]]:
+        sender_id, package = payload
+        if self.authority_id not in package:
+            return None
+        replaced = dict(package)
+        replaced[self.authority_id] = self.alternate_vote
+        size = sum(vote.size_bytes for vote in replaced.values())
+        return (sender_id, replaced), size
+
+    def _rewrite_icps(self, inner: ICPSMessage) -> Optional[Tuple[object, int]]:
+        if inner.msg_type == "DOCUMENT" and inner.sender == self.node_name:
+            clone = ICPSMessage(
+                msg_type="DOCUMENT",
+                sender=inner.sender,
+                payload={
+                    "document": self._alternate_document,
+                    "signature": self._alternate_signature,
+                },
+            )
+            return clone, clone.size_bytes
+        if inner.msg_type == "FETCH_RESPONSE" and isinstance(inner.payload, dict):
+            if self.node_name not in inner.payload:
+                return None
+            documents = dict(inner.payload)
+            documents[self.node_name] = self._alternate_document
+            clone = ICPSMessage(
+                msg_type="FETCH_RESPONSE", sender=inner.sender, payload=documents
+            )
+            return clone, clone.size_bytes
+        return None
+
+
+def build_rewriters(
+    equivocator_ids: Sequence[int],
+    authority_names: Mapping[int, str],
+    alternate_votes: Mapping[int, VoteDocument],
+    keypairs: Mapping[int, KeyPair],
+    all_node_names: Sequence[str],
+) -> Dict[str, EquivocationRewriter]:
+    """One :class:`EquivocationRewriter` per equivocating authority, by node name."""
+    rewriters: Dict[str, EquivocationRewriter] = {}
+    for authority_id in equivocator_ids:
+        ensure(
+            authority_id in alternate_votes,
+            "no alternate vote prepared for equivocator %d" % authority_id,
+        )
+        name = authority_names[authority_id]
+        rewriters[name] = EquivocationRewriter(
+            node_name=name,
+            authority_id=authority_id,
+            alternate_vote=alternate_votes[authority_id],
+            keypair=keypairs[authority_id],
+            all_node_names=all_node_names,
+        )
+    return rewriters

@@ -78,7 +78,8 @@ class AuthorityOutcome:
 
 
 #: Format version of :meth:`ProtocolRunResult.summary` payloads.
-RESULT_SUMMARY_VERSION = 1
+#: Version 2 added fault accounting (``stats.messages_dropped`` + ``faults``).
+RESULT_SUMMARY_VERSION = 2
 
 
 @dataclass
@@ -94,6 +95,11 @@ class ProtocolRunResult:
     start_time: float
     end_time: float
     relay_count: int = 0
+    #: Fault accounting from the run's :class:`~repro.faults.injector.FaultInjector`
+    #: (empty for fault-free runs): messages dropped (with a by-cause
+    #: breakdown), partition and crash authority-seconds, and which
+    #: authorities were crashed / Byzantine.
+    fault_summary: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def successful_authorities(self) -> List[int]:
@@ -138,7 +144,9 @@ class ProtocolRunResult:
                 "messages_sent": self.stats.messages_sent,
                 "messages_delivered": self.stats.messages_delivered,
                 "messages_timed_out": self.stats.messages_timed_out,
+                "messages_dropped": self.stats.messages_dropped,
             },
+            "faults": dict(self.fault_summary),
         }
 
     @classmethod
@@ -166,6 +174,7 @@ class ProtocolRunResult:
             messages_sent=stats_data["messages_sent"],
             messages_delivered=stats_data["messages_delivered"],
             messages_timed_out=stats_data["messages_timed_out"],
+            messages_dropped=stats_data.get("messages_dropped", 0),
         )
         return cls(
             protocol=data["protocol"],
@@ -177,6 +186,7 @@ class ProtocolRunResult:
             start_time=data["start_time"],
             end_time=data["end_time"],
             relay_count=data.get("relay_count", 0),
+            fault_summary=dict(data.get("faults", {})),
         )
 
 

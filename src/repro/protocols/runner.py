@@ -9,7 +9,8 @@ The module has two halves, split so run configuration can be reified:
   :func:`build_scenario` assembles one from explicit arguments;
   :func:`scenario_from_spec` is the factory that derives the same thing from
   a frozen :class:`~repro.runtime.spec.RunSpec`, applying its declarative
-  bandwidth overrides.
+  bandwidth overrides and fault plan (including pre-generating the
+  conflicting votes any equivocating authorities will present).
 * **Execution**: :func:`run_protocol` instantiates the requested protocol's
   authority nodes on a fresh simulator, runs it, and returns a
   :class:`~repro.protocols.base.ProtocolRunResult`; :func:`execute_spec` is
@@ -30,6 +31,9 @@ from typing import Dict, List, Optional, Sequence
 from repro.crypto.keys import KeyRing
 from repro.directory.authority import DirectoryAuthority, make_authorities
 from repro.directory.vote import VoteDocument
+from repro.faults.byzantine import build_rewriters
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import EMPTY_FAULT_PLAN, FaultPlan
 from repro.netgen.relaygen import RelayPopulationConfig, generate_population
 from repro.netgen.topology_gen import AuthorityTopology, generate_topology
 from repro.netgen.views import AuthorityViewConfig, generate_authority_votes
@@ -41,6 +45,9 @@ from repro.runtime.spec import DEFAULT_CONTENT_RELAY_CAP, PROTOCOL_NAMES, RunSpe
 from repro.simnet.bandwidth import BandwidthSchedule
 from repro.simnet.network import LinkConfig, SimNetwork
 from repro.utils.validation import ValidationError, ensure
+
+#: Seed offset used to derive an equivocator's conflicting alternate vote.
+_ALTERNATE_VOTE_SEED_OFFSET = 7919
 
 
 @dataclass
@@ -54,6 +61,11 @@ class Scenario:
     bandwidth_schedules: Dict[int, BandwidthSchedule]
     relay_count: int
     scheduling: str = "fair"
+    seed: int = 7
+    fault_plan: FaultPlan = EMPTY_FAULT_PLAN
+    #: Conflicting votes presented by equivocating authorities (authority id →
+    #: alternate vote); populated only when the fault plan declares equivocators.
+    alternate_votes: Dict[int, VoteDocument] = field(default_factory=dict)
 
     def with_bandwidth_schedules(self, schedules: Dict[int, BandwidthSchedule]) -> "Scenario":
         """Return a copy with some authorities' bandwidth schedules replaced."""
@@ -70,10 +82,12 @@ def build_scenario(
     content_relay_cap: int = DEFAULT_CONTENT_RELAY_CAP,
     scheduling: str = "fair",
     view_config: Optional[AuthorityViewConfig] = None,
+    fault_plan: FaultPlan = EMPTY_FAULT_PLAN,
 ) -> Scenario:
     """Build a scenario with ``relay_count`` relays and uniform authority bandwidth."""
     ensure(relay_count >= 1, "relay_count must be at least 1")
     ensure(bandwidth_mbps > 0, "bandwidth_mbps must be positive")
+    fault_plan.validate_for(authority_count)
     authorities, ring = make_authorities(authority_count, seed=seed)
     materialised = min(relay_count, content_relay_cap)
     population = generate_population(
@@ -85,6 +99,18 @@ def build_scenario(
         config=view_config or AuthorityViewConfig(seed=seed),
         padded_relay_count=relay_count,
     )
+    alternate_votes: Dict[int, VoteDocument] = {}
+    equivocators = fault_plan.byzantine_authority_ids("equivocate")
+    if equivocators:
+        # A different view seed yields conflicting-but-plausible vote content
+        # for the equivocators to present to the second half of their peers.
+        conflicting = generate_authority_votes(
+            population,
+            authorities,
+            config=AuthorityViewConfig(seed=seed + _ALTERNATE_VOTE_SEED_OFFSET),
+            padded_relay_count=relay_count,
+        )
+        alternate_votes = {aid: conflicting[aid] for aid in equivocators}
     topology = generate_topology(authorities, bandwidth_mbps=bandwidth_mbps, seed=seed)
     schedules = {
         authority.authority_id: BandwidthSchedule.constant_mbps(bandwidth_mbps)
@@ -98,6 +124,9 @@ def build_scenario(
         bandwidth_schedules=schedules,
         relay_count=relay_count,
         scheduling=scheduling,
+        seed=seed,
+        fault_plan=fault_plan,
+        alternate_votes=alternate_votes,
     )
 
 
@@ -115,6 +144,7 @@ def scenario_from_spec(spec: RunSpec) -> Scenario:
         seed=spec.seed,
         content_relay_cap=spec.content_relay_cap,
         scheduling=spec.scheduling,
+        fault_plan=spec.fault_plan,
     )
     if spec.bandwidth_overrides:
         scenario = scenario.with_bandwidth_schedules(
@@ -194,6 +224,8 @@ def run_protocol(
                 a.name, b.name, scenario.topology.latency_between(a.authority_id, b.authority_id)
             )
 
+    injector = _install_fault_injector(scenario, network)
+
     network.start(at=0.0)
     end_time = network.run(until=max_time)
 
@@ -228,4 +260,34 @@ def run_protocol(
         start_time=0.0,
         end_time=end_time,
         relay_count=scenario.relay_count,
+        fault_summary=injector.fault_summary(end_time) if injector is not None else {},
     )
+
+
+def _install_fault_injector(
+    scenario: Scenario, network: SimNetwork
+) -> Optional[FaultInjector]:
+    """Build and attach the scenario's fault injector (None for empty plans).
+
+    With an empty plan no injector is attached at all, so fault-free runs
+    stay bit-identical to runs executed before the fault layer existed.
+    """
+    plan = scenario.fault_plan
+    if plan.is_empty:
+        return None
+    authority_names = {a.authority_id: a.name for a in scenario.authorities}
+    rewriters = build_rewriters(
+        plan.byzantine_authority_ids("equivocate"),
+        authority_names,
+        scenario.alternate_votes,
+        {a.authority_id: a.keypair for a in scenario.authorities},
+        [a.name for a in scenario.authorities],
+    )
+    injector = FaultInjector(
+        plan,
+        seed=scenario.seed,
+        authority_names=authority_names,
+        rewriters=rewriters,
+    )
+    injector.install(network)
+    return injector

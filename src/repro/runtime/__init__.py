@@ -17,6 +17,7 @@ protocol runs through this layer; it is also the seam future sharding or
 multi-backend execution plugs into.
 """
 
+from repro.faults.plan import AuthorityFault, FaultPlan, LinkFault
 from repro.runtime.spec import (
     DEFAULT_CONTENT_RELAY_CAP,
     PROTOCOL_NAMES,
@@ -31,7 +32,10 @@ from repro.runtime.executor import SweepExecutor, execute_spec_summary
 __all__ = [
     "DEFAULT_CONTENT_RELAY_CAP",
     "PROTOCOL_NAMES",
+    "AuthorityFault",
     "BandwidthOverride",
+    "FaultPlan",
+    "LinkFault",
     "RunSpec",
     "SweepSpec",
     "overrides_from_config",

@@ -23,7 +23,9 @@ from typing import Any, Dict, Iterator, Optional, Union
 from repro.runtime.spec import RunSpec
 
 #: On-disk entry format version; bump when the summary layout changes.
-CACHE_FORMAT_VERSION = 1
+#: Version 2: summaries carry fault accounting (``stats.messages_dropped``
+#: and the ``faults`` block) and specs serialize their fault plan.
+CACHE_FORMAT_VERSION = 2
 
 
 class ResultCache:

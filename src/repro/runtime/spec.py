@@ -10,6 +10,11 @@ run configuration is reified into data:
 * :class:`BandwidthOverride` — a declarative replacement of one authority's
   bandwidth schedule (baseline rate plus throttling windows), which is how
   DDoS attacks and the Figure 7 search are expressed at the spec level.
+* :class:`~repro.faults.plan.FaultPlan` (attached via ``fault_plan``) — the
+  declarative fault layer: partitions, message loss, latency jitter,
+  crash/restart windows, Byzantine authorities.  Plans participate in
+  :meth:`RunSpec.key` exactly like bandwidth overrides do, so a faulted run
+  hashes differently from its fault-free twin and caches independently.
 * :class:`SweepSpec` — a named grid of RunSpecs, built with
   :meth:`SweepSpec.grid` in the (bandwidth × relay count × protocol) order
   the paper's figures use.
@@ -27,8 +32,9 @@ import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
 
+from repro.faults.plan import EMPTY_FAULT_PLAN, FaultPlan
 from repro.simnet.bandwidth import BandwidthSchedule
-from repro.utils.validation import ensure
+from repro.utils.validation import ensure, ensure_type
 
 #: Names accepted by the protocol runner, matching the paper's legend.
 PROTOCOL_NAMES = ("current", "synchronous", "ours")
@@ -37,7 +43,8 @@ PROTOCOL_NAMES = ("current", "synchronous", "ours")
 DEFAULT_CONTENT_RELAY_CAP = 120
 
 #: Serialization format version written by :meth:`RunSpec.to_dict`.
-SPEC_FORMAT_VERSION = 1
+#: Version 2 added the declarative ``fault_plan``.
+SPEC_FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -62,11 +69,19 @@ class BandwidthOverride:
     def __post_init__(self) -> None:
         ensure(self.authority_id >= 0, "authority_id must be non-negative")
         ensure(self.base_mbps > 0, "base_mbps must be positive")
-        object.__setattr__(
-            self,
-            "windows",
-            tuple(tuple(float(part) for part in window) for window in self.windows),
+        windows = tuple(
+            tuple(float(part) for part in window) for window in self.windows
         )
+        for window in windows:
+            ensure(
+                len(window) == 3,
+                "bandwidth windows must be (start, end, mbps) triples, got %r" % (window,),
+            )
+            start, end, mbps = window
+            ensure(start >= 0, "bandwidth window start must be non-negative, got %r" % (start,))
+            ensure(end > start, "bandwidth window end must be after its start, got %r" % (window,))
+            ensure(mbps >= 0, "bandwidth window rate must be non-negative, got %r" % (mbps,))
+        object.__setattr__(self, "windows", windows)
 
     def schedule(self) -> BandwidthSchedule:
         """Materialise this override as a simulator bandwidth schedule."""
@@ -147,6 +162,7 @@ class RunSpec:
     view_timeout: float = 30.0
     config_overrides: Tuple[Tuple[str, Any], ...] = ()
     bandwidth_overrides: Tuple[BandwidthOverride, ...] = ()
+    fault_plan: FaultPlan = EMPTY_FAULT_PLAN
 
     def __post_init__(self) -> None:
         ensure(
@@ -163,6 +179,14 @@ class RunSpec:
             tuple(sorted((str(name), value) for name, value in self.config_overrides)),
         )
         object.__setattr__(self, "bandwidth_overrides", tuple(self.bandwidth_overrides))
+        for override in self.bandwidth_overrides:
+            ensure(
+                override.authority_id < self.authority_count,
+                "bandwidth override references unknown authority id %d (run has %d authorities)"
+                % (override.authority_id, self.authority_count),
+            )
+        ensure_type(self.fault_plan, FaultPlan, "fault_plan")
+        self.fault_plan.validate_for(self.authority_count)
 
     # -- derived configuration --------------------------------------------
     def protocol_config(self):
@@ -197,6 +221,10 @@ class RunSpec:
             )
         )
 
+    def with_faults(self, plan: FaultPlan) -> "RunSpec":
+        """Return a copy with ``plan`` merged into the existing fault plan."""
+        return replace(self, fault_plan=self.fault_plan.merged(plan))
+
     # -- hashing and serialization ----------------------------------------
     def key(self) -> Tuple:
         """Canonical tuple of everything that defines this run."""
@@ -217,6 +245,7 @@ class RunSpec:
                 (o.authority_id, float(o.base_mbps), o.windows)
                 for o in self.bandwidth_overrides
             ),
+            self.fault_plan.key(),
         )
 
     def spec_hash(self) -> str:
@@ -241,6 +270,7 @@ class RunSpec:
             "view_timeout": self.view_timeout,
             "config_overrides": [[name, value] for name, value in self.config_overrides],
             "bandwidth_overrides": [o.to_dict() for o in self.bandwidth_overrides],
+            "fault_plan": self.fault_plan.to_dict(),
         }
 
     @classmethod
@@ -265,6 +295,7 @@ class RunSpec:
                 BandwidthOverride.from_dict(entry)
                 for entry in data.get("bandwidth_overrides", ())
             ),
+            fault_plan=FaultPlan.from_dict(data.get("fault_plan", {})),
         )
 
 
@@ -277,7 +308,11 @@ class SweepSpec:
 
     def __post_init__(self) -> None:
         ensure(bool(self.name), "sweep needs a name")
-        object.__setattr__(self, "runs", tuple(self.runs))
+        runs = tuple(self.runs)
+        ensure(len(runs) >= 1, "sweep %r needs at least one run" % (self.name,))
+        for run in runs:
+            ensure_type(run, RunSpec, "sweep member")
+        object.__setattr__(self, "runs", runs)
 
     def __len__(self) -> int:
         return len(self.runs)

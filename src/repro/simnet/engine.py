@@ -109,6 +109,24 @@ class Simulator:
         if handle is not None:
             handle.cancel()
 
+    def schedule_window(
+        self,
+        start: float,
+        end: float,
+        on_enter: Callable[..., None],
+        on_exit: Callable[..., None],
+    ) -> Tuple[EventHandle, EventHandle]:
+        """Schedule a paired ``on_enter``/``on_exit`` over ``[start, end)``.
+
+        The fault-window primitive: crash windows, partition windows, and any
+        other "state holds for an interval" behaviour schedule their
+        transitions through here so both edges land on the event loop in
+        deterministic order.  Returns both handles for cancellation.
+        """
+        ensure(end > start, "window end must be after its start")
+        ensure(start >= self._now - 1e-12, "window must not start in the past")
+        return self.schedule(start, on_enter), self.schedule(end, on_exit)
+
     # -- execution -------------------------------------------------------------
     def _peek_next(self) -> Optional[EventHandle]:
         """The next live event, discarding cancelled heap entries on the way.

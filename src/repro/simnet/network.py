@@ -77,6 +77,7 @@ class TransferStats:
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_timed_out: int = 0
+    messages_dropped: int = 0
 
     def record_sent(self, sender: str, message: Message) -> None:
         """Account an attempted send."""
@@ -94,6 +95,10 @@ class TransferStats:
     def record_timeout(self) -> None:
         """Account an aborted transfer."""
         self.messages_timed_out += 1
+
+    def record_dropped(self) -> None:
+        """Account a message suppressed by the fault injector."""
+        self.messages_dropped += 1
 
     @property
     def total_bytes_sent(self) -> float:
@@ -178,6 +183,24 @@ class SimNetwork:
         self._flow_ids = itertools.count(1)
         self._last_update = 0.0
         self._pending_recompute: Optional[EventHandle] = None
+        self._fault_injector = None
+
+    # -- fault injection --------------------------------------------------------
+    def set_fault_injector(self, injector) -> None:
+        """Attach a fault injector (see :class:`repro.faults.injector.FaultInjector`).
+
+        The network consults it at send initiation (drop / rewrite), at the
+        delivery instant (drop), for extra delivery jitter, and when node
+        timers fire (crash suppression).  ``None`` detaches; with no injector
+        attached the transport behaves bit-identically to before the fault
+        layer existed.
+        """
+        self._fault_injector = injector
+
+    @property
+    def fault_injector(self):
+        """The attached fault injector, if any."""
+        return self._fault_injector
 
     # -- topology -------------------------------------------------------------
     def add_node(self, node: ProtocolNode, link: LinkConfig) -> None:
@@ -222,11 +245,38 @@ class SimNetwork:
         self._links[name] = link
         self._schedule_recompute(self.simulator.now)
 
+    # -- node timers ---------------------------------------------------------
+    def schedule_node_timer(
+        self, name: str, time: float, callback: Callable[..., None], *args
+    ) -> EventHandle:
+        """Schedule a protocol timer owned by node ``name`` at absolute ``time``.
+
+        Node timers route through here (rather than straight onto the
+        simulator) so the fault injector can suppress timers that fire while
+        their owner is crashed — a down process runs nothing.
+        """
+        return self.simulator.schedule(time, self._fire_node_timer, name, callback, args)
+
+    def _fire_node_timer(self, name: str, callback: Callable[..., None], args: Tuple) -> None:
+        if self._fault_injector is not None and self._fault_injector.timer_suppressed(
+            name, self.simulator.now
+        ):
+            return
+        callback(*args)
+
     # -- lifecycle -------------------------------------------------------------
     def start(self, at: float = 0.0) -> None:
-        """Schedule every node's ``on_start`` hook at virtual time ``at``."""
+        """Schedule every node's ``on_start`` hook at virtual time ``at``.
+
+        A node that the fault injector reports as crashed at ``at`` boots
+        late instead: its ``on_start`` is deferred to the end of the
+        covering crash window.
+        """
         for node in self._nodes.values():
-            self.simulator.schedule(at, node.on_start)
+            boot = at
+            if self._fault_injector is not None:
+                boot = self._fault_injector.boot_time(node.name, at)
+            self.schedule_node_timer(node.name, boot, node.on_start)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run the simulation (see :meth:`Simulator.run`)."""
@@ -244,7 +294,9 @@ class SimNetwork:
     ) -> int:
         """Initiate a transfer of ``message`` from ``sender`` to ``destination``.
 
-        Returns the flow id (0 for latency-only deliveries of empty messages).
+        Returns the flow id (0 when no flow was created: latency-only
+        deliveries of empty messages, or messages dropped by the fault
+        injector at send initiation).
         """
         if sender not in self._nodes:
             raise UnknownNodeError("unknown sender %r" % sender)
@@ -256,9 +308,18 @@ class SimNetwork:
         now = self.simulator.now
         self.stats.record_sent(sender, message)
 
+        if self._fault_injector is not None:
+            filtered = self._fault_injector.filter_send(sender, destination, message, now)
+            if filtered is None:
+                self.stats.record_dropped()
+                return 0
+            filtered.sender = sender
+            message = filtered
+
         if message.size_bytes <= 0:
             self.simulator.schedule_in(
-                self.latency(sender, destination), self._deliver, None, sender, destination, message, on_delivered
+                self._delivery_latency(sender, destination),
+                self._deliver, None, sender, destination, message, on_delivered,
             )
             return 0
 
@@ -282,6 +343,13 @@ class SimNetwork:
         """Number of in-flight transfers (mostly for tests and debugging)."""
         return len(self._flows)
 
+    def _delivery_latency(self, sender: str, destination: str) -> float:
+        """Propagation latency plus any fault-injected jitter for one delivery."""
+        latency = self.latency(sender, destination)
+        if self._fault_injector is not None:
+            latency += self._fault_injector.delivery_jitter(sender, destination)
+        return latency
+
     def _deliver(
         self,
         flow: Optional[_Flow],
@@ -290,6 +358,11 @@ class SimNetwork:
         message: Message,
         on_delivered: Optional[Callable[[Message, str, float], None]],
     ) -> None:
+        if self._fault_injector is not None and not self._fault_injector.filter_delivery(
+            sender, destination, message, self.simulator.now
+        ):
+            self.stats.record_dropped()
+            return
         self.stats.record_delivered(sender, message)
         if on_delivered is not None:
             on_delivered(message, destination, self.simulator.now)
@@ -344,7 +417,7 @@ class SimNetwork:
         for flow in completed:
             del self._flows[flow.flow_id]
             self.simulator.schedule_in(
-                self.latency(flow.src, flow.dst),
+                self._delivery_latency(flow.src, flow.dst),
                 self._deliver,
                 flow,
                 flow.src,

@@ -90,12 +90,19 @@ class ProtocolNode:
         return len(destinations)
 
     def set_timer(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` after ``delay`` seconds."""
-        return self._require_network().simulator.schedule_in(delay, callback, *args)
+        """Schedule ``callback(*args)`` after ``delay`` seconds.
+
+        Timers route through the network so a fault injector can suppress
+        them while this node is crashed.
+        """
+        network = self._require_network()
+        return network.schedule_node_timer(
+            self.name, network.simulator.now + delay, callback, *args
+        )
 
     def set_timer_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
-        return self._require_network().simulator.schedule(time, callback, *args)
+        return self._require_network().schedule_node_timer(self.name, time, callback, *args)
 
     def cancel_timer(self, handle: Optional[EventHandle]) -> None:
         """Cancel a timer created with :meth:`set_timer`."""

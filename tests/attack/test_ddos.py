@@ -49,3 +49,50 @@ def test_invalid_plans_rejected():
 def test_majority_plan_for_other_sizes():
     assert majority_attack_plan(authority_count=5).target_count == 3
     assert majority_attack_plan(authority_count=7).target_count == 4
+
+
+def test_total_flood_fault_plan_is_a_partition():
+    plan = DDoSAttackPlan(
+        target_authority_ids=(0, 1, 2), start=10.0, duration=290.0,
+        residual_bandwidth_mbps=0.0,
+    )
+    faults = plan.fault_plan()
+    assert faults.faulted_authority_ids() == (0, 1, 2)
+    for authority_id in (0, 1, 2):
+        fault = faults.link_fault_for(authority_id)
+        assert fault.partition_windows == ((10.0, 300.0),)
+        assert fault.drop_probability == 0.0
+
+
+def test_partial_flood_fault_plan_derives_windowed_loss():
+    plan = DDoSAttackPlan(
+        target_authority_ids=(0,), start=100.0, duration=50.0,
+        residual_bandwidth_mbps=25.0, baseline_bandwidth_mbps=250.0,
+    )
+    faults = plan.fault_plan()
+    fault = faults.link_fault_for(0)
+    assert fault.drop_probability == pytest.approx(0.9)
+    assert fault.partition_windows == ()
+    # Loss is confined to the attack window, like the bandwidth form.
+    assert fault.loss_windows == ((100.0, 150.0),)
+    assert fault.loss_probability_at(99.0) == 0.0
+    assert fault.loss_probability_at(100.0) == pytest.approx(0.9)
+    assert fault.loss_probability_at(150.0) == 0.0
+    assert faults.last_fault_end() == 150.0
+    # Explicit override wins.
+    assert plan.fault_plan(drop_probability=0.5).link_fault_for(0).drop_probability == 0.5
+    # A flood weaker than the link is a no-op plan.
+    harmless = DDoSAttackPlan(
+        target_authority_ids=(0,), residual_bandwidth_mbps=300.0,
+        baseline_bandwidth_mbps=250.0,
+    )
+    assert harmless.fault_plan().is_empty
+
+
+def test_fault_plan_attaches_to_a_spec_and_changes_its_hash():
+    from repro.runtime.spec import RunSpec
+
+    attack = majority_attack_plan()
+    base = RunSpec(protocol="ours", relay_count=500)
+    attacked = base.with_faults(attack.fault_plan())
+    assert attacked.spec_hash() != base.spec_hash()

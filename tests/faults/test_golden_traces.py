@@ -1,0 +1,67 @@
+"""Golden-trace regression: canonical run summaries must reproduce exactly.
+
+One small canonical :class:`RunSpec` per protocol (each carrying a modest
+fault plan, so fault semantics are pinned too) is committed under
+``tests/data/`` together with the byte-exact summary it produced.  Any
+refactor that changes simulation results — event ordering, float
+arithmetic, fault enforcement, accounting — fails these tests instead of
+silently shifting every figure.
+
+To intentionally re-baseline after a *deliberate* semantic change, rebuild
+the files:
+
+    PYTHONPATH=src python tests/faults/test_golden_traces.py regenerate
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.protocols.runner import execute_spec
+from repro.runtime.spec import RunSpec
+
+DATA_DIR = Path(__file__).resolve().parent.parent / "data"
+PROTOCOLS = ("current", "synchronous", "ours")
+
+
+def golden_path(protocol: str) -> Path:
+    return DATA_DIR / ("golden_%s.json" % protocol)
+
+
+def _canonical_specs():
+    from repro.faults.plan import FaultPlan
+
+    plan = FaultPlan.crash(1, [(60.0, 180.0)]) | FaultPlan.lossy_links(
+        (0,), 0.1, jitter_s=0.2
+    )
+    common = dict(relay_count=40, authority_count=5, seed=11, fault_plan=plan)
+    return {
+        "current": RunSpec(protocol="current", max_time=700.0, **common),
+        "synchronous": RunSpec(protocol="synchronous", max_time=700.0, **common),
+        "ours": RunSpec(protocol="ours", max_time=400.0, **common),
+    }
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_execute_spec_reproduces_the_golden_summary_exactly(protocol):
+    entry = json.loads(golden_path(protocol).read_text())
+    spec = RunSpec.from_dict(entry["spec"])
+    # The committed spec must be the canonical one (guards the data files).
+    assert spec == _canonical_specs()[protocol]
+    assert execute_spec(spec).summary() == entry["summary"]
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance entry point
+    for protocol, spec in _canonical_specs().items():
+        summary = execute_spec(spec).summary()
+        golden_path(protocol).write_text(
+            json.dumps({"spec": spec.to_dict(), "summary": summary}, indent=2, sort_keys=True)
+            + "\n"
+        )
+        print("rebaselined", golden_path(protocol))
+
+
+if __name__ == "__main__" and "regenerate" in sys.argv[1:]:  # pragma: no cover
+    regenerate()

@@ -1,0 +1,194 @@
+"""FaultInjector enforcement at the SimNetwork seam (unit level)."""
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import AuthorityFault, FaultPlan, LinkFault
+from repro.simnet.message import Message
+from repro.simnet.network import LinkConfig, SimNetwork
+from repro.simnet.node import ProtocolNode
+
+
+class Recorder(ProtocolNode):
+    """Node that records every delivery."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.received = []
+
+    def on_message(self, message, now):
+        self.received.append((message.msg_type, message.sender, now))
+
+
+def make_network(names=("a", "b", "c"), mbps=8.0, latency=0.0):
+    network = SimNetwork(default_latency_s=latency)
+    nodes = {}
+    for name in names:
+        node = Recorder(name)
+        network.add_node(node, LinkConfig.symmetric_mbps(mbps))
+        nodes[name] = node
+    return network, nodes
+
+
+def install(network, plan, seed=7, names=("a", "b", "c")):
+    injector = FaultInjector(plan, seed=seed, authority_names=dict(enumerate(names)))
+    injector.install(network)
+    return injector
+
+
+def test_certain_loss_drops_everything_and_accounts_it():
+    network, nodes = make_network()
+    plan = FaultPlan.lossy_links((0,), drop_probability=1.0)
+    injector = install(network, plan)
+    for _ in range(5):
+        network.send("a", "b", Message(msg_type="DOC", size_bytes=1000))
+    network.run()
+    assert nodes["b"].received == []
+    assert network.stats.messages_dropped == 5
+    assert network.stats.messages_sent == 5
+    assert injector.drops_by_cause["loss"] == 5
+
+
+def test_loss_applies_to_ingress_of_the_faulted_authority_too():
+    network, nodes = make_network()
+    injector = install(network, FaultPlan.lossy_links((0,), drop_probability=1.0))
+    network.send("b", "a", Message(msg_type="DOC", size_bytes=1000))
+    network.run()
+    assert nodes["a"].received == []
+    assert injector.messages_dropped == 1
+
+
+def test_partition_window_blocks_only_within_the_window():
+    network, nodes = make_network()
+    install(network, FaultPlan.partition((0,), start=10.0, end=20.0))
+    simulator = network.simulator
+    simulator.schedule(5.0, lambda: network.send("a", "b", Message(msg_type="EARLY", size_bytes=0)))
+    simulator.schedule(15.0, lambda: network.send("a", "b", Message(msg_type="MID", size_bytes=0)))
+    simulator.schedule(25.0, lambda: network.send("a", "b", Message(msg_type="LATE", size_bytes=0)))
+    network.run()
+    assert [entry[0] for entry in nodes["b"].received] == ["EARLY", "LATE"]
+    assert network.stats.messages_dropped == 1
+
+
+def test_partition_cuts_a_transfer_still_in_flight_at_delivery_time():
+    # 8 Mbit/s = 1 MB/s: a 5 MB transfer started at t=0 completes at t=5,
+    # inside the partition window, so it is cut at the delivery instant.
+    network, nodes = make_network(mbps=8.0)
+    injector = install(network, FaultPlan.partition((1,), start=2.0, end=10.0))
+    network.send("a", "b", Message(msg_type="DOC", size_bytes=5_000_000))
+    network.run()
+    assert nodes["b"].received == []
+    assert injector.drops_by_cause["partition"] == 1
+
+
+def test_jitter_delays_delivery_within_bound_and_is_deterministic():
+    def arrivals(seed):
+        network, nodes = make_network(latency=0.5)
+        install(network, FaultPlan.lossy_links((0,), drop_probability=0.0) | FaultPlan(
+            link_faults=(LinkFault(authority_id=0, jitter_s=2.0),)
+        ), seed=seed)
+        for _ in range(10):
+            network.send("a", "b", Message(msg_type="PING", size_bytes=0))
+        network.run()
+        return [entry[2] for entry in nodes["b"].received]
+
+    first = arrivals(seed=3)
+    assert first == arrivals(seed=3)
+    assert first != arrivals(seed=4)
+    assert all(0.5 <= arrival <= 2.5 for arrival in first)
+    assert len(set(first)) > 1  # actually jittered, not constant
+
+
+def test_crashed_authority_sends_receives_and_times_nothing():
+    network, nodes = make_network()
+    injector = install(network, FaultPlan.crash(1, [(10.0, 30.0)]))
+    fired = []
+    simulator = network.simulator
+    # b's timer fires inside its crash window: suppressed.
+    nodes["b"].set_timer_at(15.0, lambda: fired.append("down"))
+    # b's timer after restart: runs.
+    nodes["b"].set_timer_at(35.0, lambda: fired.append("up"))
+    # Ingress to b while down is dropped; egress from b while down is dropped.
+    simulator.schedule(12.0, lambda: network.send("a", "b", Message(msg_type="IN", size_bytes=0)))
+    simulator.schedule(14.0, lambda: network.send("b", "c", Message(msg_type="OUT", size_bytes=0)))
+    # After restart both directions work again.
+    simulator.schedule(40.0, lambda: network.send("a", "b", Message(msg_type="IN2", size_bytes=0)))
+    network.run()
+    assert fired == ["up"]
+    assert [entry[0] for entry in nodes["b"].received] == ["IN2"]
+    assert nodes["c"].received == []
+    assert injector.drops_by_cause["crash"] == 2
+
+
+def test_crashed_at_start_boots_late():
+    network, nodes = make_network()
+    booted = []
+    nodes["a"].on_start = lambda: booted.append(("a", network.simulator.now))
+    nodes["b"].on_start = lambda: booted.append(("b", network.simulator.now))
+    # Back-to-back windows: the deferred boot must skip through both.
+    install(network, FaultPlan.crash(0, [(0.0, 5.0), (5.0, 8.0)]))
+    network.start(at=0.0)
+    network.run()
+    assert booted == [("b", 0.0), ("a", 8.0)]
+
+
+def test_loss_windows_confine_the_drop_probability():
+    network, nodes = make_network()
+    injector = install(
+        network,
+        FaultPlan.lossy_links((0,), drop_probability=1.0, windows=[(10.0, 20.0)]),
+    )
+    simulator = network.simulator
+    for at, tag in ((5.0, "BEFORE"), (15.0, "DURING"), (25.0, "AFTER")):
+        simulator.schedule(
+            at, lambda tag=tag: network.send("a", "b", Message(msg_type=tag, size_bytes=0))
+        )
+    network.run()
+    assert [entry[0] for entry in nodes["b"].received] == ["BEFORE", "AFTER"]
+    assert injector.drops_by_cause["loss"] == 1
+
+
+def test_withholding_authority_sends_nothing_but_still_receives():
+    network, nodes = make_network()
+    injector = install(network, FaultPlan.byzantine(0, "withhold"))
+    network.send("a", "b", Message(msg_type="OUT", size_bytes=0))
+    network.send("b", "a", Message(msg_type="IN", size_bytes=0))
+    network.run()
+    assert nodes["b"].received == []
+    assert [entry[0] for entry in nodes["a"].received] == ["IN"]
+    assert injector.drops_by_cause["withhold"] == 1
+
+
+def test_fault_windows_appear_in_the_trace():
+    network, _nodes = make_network()
+    install(network, FaultPlan.crash(0, [(5.0, 10.0)]) | FaultPlan.partition((1,), 2.0, 4.0))
+    network.run()
+    trace = network.trace
+    assert trace.contains("authority crashed", node="a")
+    assert trace.contains("authority restarted", node="a")
+    assert trace.contains("partitioned from all peers", node="b")
+    assert trace.contains("partition healed", node="b")
+
+
+def test_injector_requires_names_for_every_faulted_authority():
+    from repro.utils.validation import ValidationError
+
+    with pytest.raises(ValidationError):
+        FaultInjector(FaultPlan.crash(5, [(0.0, 1.0)]), seed=1, authority_names={0: "a"})
+
+
+def test_fault_summary_reports_accounting():
+    network, _nodes = make_network()
+    injector = install(
+        network,
+        FaultPlan.crash(0, [(0.0, 10.0)])
+        | FaultPlan.partition((1,), 0.0, 20.0)
+        | FaultPlan.byzantine(2, "equivocate"),
+    )
+    network.run()
+    summary = injector.fault_summary(end_time=15.0)
+    assert summary["authority_down_seconds"] == 10.0
+    assert summary["partition_seconds"] == 15.0
+    assert summary["authorities_crashed"] == [0]
+    assert summary["authorities_equivocating"] == [2]
+    assert summary["authorities_withholding"] == []

@@ -1,0 +1,178 @@
+"""FaultPlan/LinkFault/AuthorityFault: validation, canonicalization, hashing."""
+
+import pytest
+
+from repro.faults.plan import (
+    EMPTY_FAULT_PLAN,
+    AuthorityFault,
+    FaultPlan,
+    LinkFault,
+)
+from repro.utils.validation import ValidationError
+
+
+# -- rejection of malformed faults (the validation-gap satellite) -------------
+
+def test_negative_drop_probability_is_rejected():
+    with pytest.raises(ValidationError):
+        LinkFault(authority_id=0, drop_probability=-0.1)
+
+
+def test_drop_probability_above_one_is_rejected():
+    with pytest.raises(ValidationError):
+        LinkFault(authority_id=0, drop_probability=1.5)
+
+
+def test_negative_jitter_is_rejected():
+    with pytest.raises(ValidationError):
+        LinkFault(authority_id=0, jitter_s=-1.0)
+
+
+def test_overlapping_crash_windows_are_rejected():
+    with pytest.raises(ValidationError):
+        AuthorityFault(authority_id=0, crash_windows=((0.0, 100.0), (50.0, 150.0)))
+
+
+def test_inverted_and_negative_windows_are_rejected():
+    with pytest.raises(ValidationError):
+        AuthorityFault(authority_id=0, crash_windows=((100.0, 50.0),))
+    with pytest.raises(ValidationError):
+        LinkFault(authority_id=0, partition_windows=((-5.0, 10.0),))
+
+
+def test_unknown_byzantine_mode_is_rejected():
+    with pytest.raises(ValidationError):
+        AuthorityFault(authority_id=0, byzantine="omit")
+
+
+def test_duplicate_fault_per_authority_is_rejected():
+    with pytest.raises(ValidationError):
+        FaultPlan(
+            link_faults=(
+                LinkFault(authority_id=1, drop_probability=0.1),
+                LinkFault(authority_id=1, jitter_s=0.5),
+            )
+        )
+
+
+def test_unknown_authority_id_is_rejected_by_validate_for():
+    plan = FaultPlan.crash(7, [(0.0, 10.0)])
+    with pytest.raises(ValidationError):
+        plan.validate_for(authority_count=5)
+    plan.validate_for(authority_count=9)  # id 7 exists in a 9-authority run
+
+
+# -- canonicalization and hashing --------------------------------------------
+
+def test_noop_faults_are_dropped_and_order_is_canonical():
+    noisy = FaultPlan(
+        link_faults=(
+            LinkFault(authority_id=3, drop_probability=0.2),
+            LinkFault(authority_id=1),  # no-op
+            LinkFault(authority_id=0, jitter_s=1.0),
+        ),
+        authority_faults=(AuthorityFault(authority_id=2),),  # no-op
+    )
+    tidy = FaultPlan(
+        link_faults=(
+            LinkFault(authority_id=0, jitter_s=1.0),
+            LinkFault(authority_id=3, drop_probability=0.2),
+        )
+    )
+    assert noisy == tidy
+    assert noisy.plan_hash() == tidy.plan_hash()
+    assert hash(noisy) == hash(tidy)
+
+
+def test_empty_plan_is_falsy_and_distinct_plans_hash_differently():
+    assert not EMPTY_FAULT_PLAN
+    assert EMPTY_FAULT_PLAN.is_empty
+    a = FaultPlan.partition((0, 1), 0.0, 10.0)
+    b = FaultPlan.partition((0, 1), 0.0, 20.0)
+    assert a and a.plan_hash() != b.plan_hash() != EMPTY_FAULT_PLAN.plan_hash()
+
+
+def test_windows_are_sorted_by_start():
+    fault = AuthorityFault(authority_id=0, crash_windows=((50.0, 60.0), (0.0, 10.0)))
+    assert fault.crash_windows == ((0.0, 10.0), (50.0, 60.0))
+
+
+# -- composition ---------------------------------------------------------------
+
+def test_merged_combines_disjoint_plans():
+    merged = FaultPlan.partition((0,), 0.0, 10.0) | FaultPlan.byzantine(1, "withhold")
+    assert merged.link_fault_for(0) is not None
+    assert merged.authority_fault_for(1).byzantine == "withhold"
+    assert merged.faulted_authority_ids() == (0, 1)
+
+
+def test_merged_rejects_colliding_authorities():
+    with pytest.raises(ValidationError):
+        FaultPlan.byzantine(1, "withhold").merged(FaultPlan.byzantine(1, "equivocate"))
+
+
+# -- time queries and accounting ----------------------------------------------
+
+def test_window_membership_is_half_open():
+    fault = LinkFault(authority_id=0, partition_windows=((10.0, 20.0),))
+    assert not fault.partitioned_at(9.999)
+    assert fault.partitioned_at(10.0)
+    assert fault.partitioned_at(19.999)
+    assert not fault.partitioned_at(20.0)
+
+
+def test_accounting_clips_windows_to_run_end():
+    plan = FaultPlan(
+        link_faults=(LinkFault(authority_id=0, partition_windows=((0.0, 300.0),)),),
+        authority_faults=(
+            AuthorityFault(authority_id=1, crash_windows=((100.0, 200.0), (250.0, 400.0))),
+        ),
+    )
+    assert plan.partition_seconds(until=150.0) == 150.0
+    assert plan.partition_seconds(until=1000.0) == 300.0
+    assert plan.down_seconds(until=300.0) == 100.0 + 50.0
+    assert plan.last_fault_end() == 400.0
+
+
+def test_byzantine_and_crash_rosters():
+    plan = (
+        FaultPlan.crash(2, [(0.0, 5.0)])
+        | FaultPlan.byzantine(0, "equivocate")
+        | FaultPlan.byzantine(1, "withhold")
+    )
+    assert plan.crashing_authority_ids() == (2,)
+    assert plan.byzantine_authority_ids("equivocate") == (0,)
+    assert plan.byzantine_authority_ids("withhold") == (1,)
+
+
+# -- serialization -------------------------------------------------------------
+
+def test_plan_round_trips_through_dict():
+    plan = FaultPlan(
+        link_faults=(
+            LinkFault(
+                authority_id=0,
+                partition_windows=((5.0, 25.0),),
+                drop_probability=0.25,
+                jitter_s=0.75,
+            ),
+        ),
+        authority_faults=(
+            AuthorityFault(authority_id=1, crash_windows=((10.0, 20.0),)),
+            AuthorityFault(authority_id=2, byzantine="equivocate"),
+        ),
+    )
+    clone = FaultPlan.from_dict(plan.to_dict())
+    assert clone == plan
+    assert clone.plan_hash() == plan.plan_hash()
+
+
+def test_loss_windows_require_a_drop_probability_and_join_key_and_dict():
+    with pytest.raises(ValidationError):
+        LinkFault(authority_id=0, loss_windows=((0.0, 10.0),))
+    fault = LinkFault(authority_id=0, drop_probability=0.5, loss_windows=((0.0, 10.0),))
+    bare = LinkFault(authority_id=0, drop_probability=0.5)
+    assert fault.key() != bare.key()
+    assert LinkFault.from_dict(fault.to_dict()) == fault
+    plan = FaultPlan(link_faults=(fault,))
+    assert plan.last_fault_end() == 10.0

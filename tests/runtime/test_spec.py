@@ -27,8 +27,9 @@ def test_spec_hash_is_stable_and_sensitive_to_every_field():
     assert base.spec_hash() == RunSpec(protocol="current", relay_count=1000).spec_hash()
     # Recorded digest: guards the derivation against accidental changes that
     # would silently invalidate (or worse, alias) existing on-disk caches.
+    # (Recomputed when the fault plan joined the key; CACHE_FORMAT_VERSION 2.)
     assert base.spec_hash() == (
-        "11b2d73dad7f87a932bad4248ec3f5ca3eb4e89ca448380ab0f269a19d79692d"
+        "77d77617e5f628d657be029d2ce3f072d0a6dd0e6888b79b20e04d75150e732f"
     )
     variants = [
         base.derive(protocol="ours"),
@@ -139,3 +140,81 @@ def test_sweep_grid_order_matches_figure_loops():
         relay_counts=(1000, 2000),
         seed=3,
     ).sweep_hash()
+
+
+# -- fault plans on specs (PR 2) ----------------------------------------------
+
+def test_fault_plan_participates_in_spec_hash_and_serialization():
+    from repro.faults.plan import FaultPlan
+
+    base = RunSpec(protocol="ours", relay_count=500)
+    faulted = base.with_faults(FaultPlan.partition((0, 1), 0.0, 300.0))
+    assert faulted.fault_plan
+    # A non-empty plan hashes differently from its fault-free twin...
+    assert faulted.spec_hash() != base.spec_hash()
+    # ...and differently from a different plan.
+    other = base.with_faults(FaultPlan.byzantine(0, "withhold"))
+    assert faulted.spec_hash() != other.spec_hash()
+    # Serialization round-trips the plan and the hash.
+    rebuilt = RunSpec.from_dict(faulted.to_dict())
+    assert rebuilt == faulted
+    assert rebuilt.spec_hash() == faulted.spec_hash()
+
+
+def test_with_faults_merges_into_the_existing_plan():
+    from repro.faults.plan import FaultPlan
+
+    spec = (
+        RunSpec(protocol="ours", relay_count=100)
+        .with_faults(FaultPlan.crash(1, [(10.0, 20.0)]))
+        .with_faults(FaultPlan.partition((2,), 0.0, 50.0))
+    )
+    assert spec.fault_plan.authority_fault_for(1) is not None
+    assert spec.fault_plan.link_fault_for(2) is not None
+
+
+def test_fault_plan_referencing_unknown_authority_is_rejected():
+    from repro.faults.plan import FaultPlan
+
+    with pytest.raises(Exception):
+        RunSpec(
+            protocol="current",
+            relay_count=100,
+            authority_count=5,
+            fault_plan=FaultPlan.crash(7, [(0.0, 10.0)]),
+        )
+
+
+def test_fault_plan_must_be_a_fault_plan_instance():
+    with pytest.raises(Exception):
+        RunSpec(protocol="current", relay_count=100, fault_plan={"link_faults": []})
+
+
+# -- validation gaps closed while testing the fault layer ---------------------
+
+def test_bandwidth_override_referencing_unknown_authority_is_rejected():
+    with pytest.raises(Exception):
+        RunSpec(
+            protocol="current",
+            relay_count=100,
+            authority_count=5,
+            bandwidth_overrides=(BandwidthOverride(authority_id=9, base_mbps=10.0),),
+        )
+
+
+def test_malformed_bandwidth_override_windows_are_rejected():
+    with pytest.raises(Exception):  # inverted window
+        BandwidthOverride(authority_id=0, base_mbps=250.0, windows=((300.0, 100.0, 0.5),))
+    with pytest.raises(Exception):  # negative start
+        BandwidthOverride(authority_id=0, base_mbps=250.0, windows=((-1.0, 100.0, 0.5),))
+    with pytest.raises(Exception):  # negative rate
+        BandwidthOverride(authority_id=0, base_mbps=250.0, windows=((0.0, 100.0, -0.5),))
+    with pytest.raises(Exception):  # not a triple
+        BandwidthOverride(authority_id=0, base_mbps=250.0, windows=((0.0, 100.0),))
+
+
+def test_sweeps_reject_empty_grids_and_non_spec_members():
+    with pytest.raises(Exception):
+        SweepSpec(name="empty", runs=())
+    with pytest.raises(Exception):
+        SweepSpec(name="bad", runs=("current",))
