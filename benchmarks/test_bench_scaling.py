@@ -1,0 +1,44 @@
+"""Scaling sweep: transport wall-clock cost at 10×-paper node counts.
+
+Unlike the figure benchmarks this one measures the *simulator itself*: the
+same consensus runs at 9, 30, and 90 authorities under the ``fair`` and
+``latency-only`` transports, timed cell by cell.  It deliberately bypasses
+the session sweep executor and its cache — a cache hit would report a
+near-zero wall clock and poison the comparison.
+
+The acceptance bar of the transport refactor is asserted here: at 10× the
+paper's node count the ``latency-only`` model must be at least 3× faster in
+wall-clock terms than the shared ``fair`` model.  The sweep's numbers are
+written to ``BENCH_scaling.json`` next to this run's working directory (a
+committed snapshot from the reference machine lives at the repo root).
+"""
+
+import pytest
+
+from repro.experiments.scaling_sweep import (
+    render_scaling,
+    run_scaling_sweep,
+    speedup_at,
+    write_bench_json,
+)
+
+#: The headline grid point: 10× the paper's nine authorities.
+TEN_X_PAPER = 90
+
+
+@pytest.mark.paper_artifact("scaling-sweep")
+def test_bench_scaling_sweep(benchmark, tmp_path):
+    cells = benchmark.pedantic(
+        lambda: run_scaling_sweep(authority_counts=(9, 30, TEN_X_PAPER)),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_scaling(cells))
+    out = write_bench_json(cells, tmp_path / "BENCH_scaling.json")
+    assert out.exists()
+
+    assert all(cell.success for cell in cells), "every scaling cell must reach consensus"
+    speedup = speedup_at(cells, TEN_X_PAPER)
+    assert speedup is not None
+    # The transport-refactor acceptance bar: >=3x at 10x-paper node count.
+    assert speedup >= 3.0, "latency-only speedup at N=%d was %.2fx" % (TEN_X_PAPER, speedup)

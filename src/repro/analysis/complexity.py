@@ -15,7 +15,7 @@ protocol's sub-protocols.  Both are reproduced two ways:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.consensus import ENGINE_REGISTRY
 from repro.crypto.signatures import SIGNATURE_SIZE_BYTES

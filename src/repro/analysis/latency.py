@@ -12,7 +12,7 @@ consensus for ours.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.protocols.base import DirectoryProtocolConfig
 from repro.runtime.cache import ResultCache
@@ -77,7 +77,7 @@ def latency_sweep_spec(
     max_time: float = 2000.0,
     seed: int = 7,
     engine: str = "hotstuff",
-    scheduling: str = "fair",
+    transport: str = "fair",
 ) -> SweepSpec:
     """The Figure 10 grid as a reified sweep specification."""
     ensure(len(protocols) > 0, "need at least one protocol")
@@ -88,7 +88,7 @@ def latency_sweep_spec(
         relay_counts=relay_counts,
         seed=seed,
         engine=engine,
-        scheduling=scheduling,
+        transport=transport,
         max_time=max_time,
         config_overrides=overrides_from_config(config),
     )
@@ -102,7 +102,7 @@ def sweep_latency(
     max_time: float = 2000.0,
     seed: int = 7,
     engine: str = "hotstuff",
-    scheduling: str = "fair",
+    transport: str = "fair",
     executor: Optional[SweepExecutor] = None,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
@@ -116,7 +116,7 @@ def sweep_latency(
         max_time=max_time,
         seed=seed,
         engine=engine,
-        scheduling=scheduling,
+        transport=transport,
     )
     executor = executor or SweepExecutor(workers=workers, cache=cache)
     grid = LatencyGrid()

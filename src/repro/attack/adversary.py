@@ -17,11 +17,10 @@ driver next to honest nodes:
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence
 
 from repro.consensus.interfaces import Action, SendAction
 from repro.core.documents import Document
-from repro.core.dissemination import DisseminationTracker
 from repro.core.icps import ICPSConfig, ICPSMessage, ICPSNode
 from repro.core.proofs import sign_claim
 from repro.crypto.keys import KeyPair, KeyRing

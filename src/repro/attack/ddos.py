@@ -15,8 +15,8 @@ cached, and parallelised by the :mod:`repro.runtime` layer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.faults.plan import FaultPlan, LinkFault
 from repro.runtime.spec import BandwidthOverride

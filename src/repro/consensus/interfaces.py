@@ -9,8 +9,8 @@ the exact same code run under the local driver and the network simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.utils.validation import ValidationError, ensure
 

@@ -22,7 +22,6 @@ from repro.consensus.interfaces import (
     ConsensusEngine,
     ConsensusMessage,
     EngineConfig,
-    SendAction,
     SetTimerAction,
 )
 from repro.consensus.values import value_digest

@@ -9,7 +9,7 @@ structure shared makes the safety tests uniform.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Optional
+from typing import FrozenSet, Optional
 
 from repro.utils.validation import ensure
 

@@ -9,7 +9,6 @@ those, keeping the core protocol decoupled from :mod:`repro.directory`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Union
 
 from repro.crypto.digest import sha256_digest
 from repro.utils.validation import ensure

@@ -19,8 +19,8 @@ agreement, value validity, common-set validity) — the property checkers in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.consensus import EngineConfig, make_engine
 from repro.consensus.interfaces import (

@@ -22,12 +22,12 @@ the consensus engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.digest import DIGEST_SIZE_BYTES
 from repro.crypto.keys import KeyPair, KeyRing
 from repro.crypto.signatures import SIGNATURE_SIZE_BYTES, Signature, sign, verify
-from repro.utils.validation import ValidationError, ensure
+from repro.utils.validation import ValidationError
 
 #: Signature context for digest claims.
 CLAIM_CONTEXT = "icps/digest-claim"

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable
 
 from repro.utils.validation import ValidationError, ensure

@@ -16,7 +16,7 @@ communication-complexity analysis (Ed25519 signature plus key material,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Tuple, Union
 
 from repro.crypto.keys import KeyPair, KeyRing
 

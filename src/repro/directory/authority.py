@@ -15,7 +15,7 @@ fingerprint for log output that mimics Figure 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.crypto.keys import KeyPair, KeyRing
 from repro.utils.rng import DeterministicRNG
@@ -122,7 +122,7 @@ def make_authorities(
                 authority_id=index,
                 nickname=nickname,
                 fingerprint=fingerprint,
-                address="100.0.0.%d:8080" % (index + 1),
+                address="100.0.%d.%d:8080" % (index // 250, index % 250 + 1),
                 keypair=pair,
                 is_bandwidth_authority=index < bandwidth_authority_count,
             )

@@ -12,7 +12,7 @@ documents, whose signatures do not add up).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.crypto.digest import digest_hex, sha256_digest
 from repro.crypto.keys import KeyPair, KeyRing

@@ -16,8 +16,8 @@ entry so that vote sizes per relay are realistic (a few hundred bytes).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import FrozenSet, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Tuple
 
 from repro.utils.validation import ValidationError, ensure
 

@@ -10,8 +10,8 @@ size.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.crypto.digest import digest_hex, sha256_digest
 from repro.directory.relay import Relay

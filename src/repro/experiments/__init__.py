@@ -28,7 +28,8 @@ Figure 12 Recovery latency under declarative fault mixes          figure12_fault
           (churn, partitions, loss, crash/Byzantine authorities)
 Table 1   Design comparison and communication complexity          table1_complexity
 Table 2   Round complexity of the sub-protocols                   table2_rounds
-(extra)   Ablations: link scheduling policy, agreement engine     ablations
+(extra)   Ablations: transport link model, agreement engine       ablations
+(extra)   Scaling sweep: transport wall-clock at 10×-paper N      scaling_sweep
 ========  =====================================================  =========================
 """
 
@@ -48,6 +49,15 @@ from repro.experiments.table1_complexity import run_table1, render_table1
 from repro.experiments.table2_rounds import run_table2, render_table2
 from repro.experiments.cost_table import run_cost_analysis, render_cost_analysis
 from repro.experiments.ablations import run_scheduling_ablation, run_engine_ablation
+from repro.experiments.scaling_sweep import (
+    ScalingCell,
+    headline_speedups,
+    render_scaling,
+    run_scaling_sweep,
+    scaling_specs,
+    speedup_at,
+    write_bench_json,
+)
 
 __all__ = [
     "AttackDemoResult",
@@ -74,4 +84,11 @@ __all__ = [
     "render_cost_analysis",
     "run_scheduling_ablation",
     "run_engine_ablation",
+    "ScalingCell",
+    "headline_speedups",
+    "scaling_specs",
+    "run_scaling_sweep",
+    "render_scaling",
+    "speedup_at",
+    "write_bench_json",
 ]

@@ -3,9 +3,10 @@
 Two knobs materially affect the reproduction's conclusions and are therefore
 worth sweeping explicitly:
 
-* the **link scheduling policy** of the simulator (fair sharing vs. FIFO
-  uplinks) — the attack and bandwidth-requirement results should be robust to
-  this modelling choice; and
+* the **transport link model** of the simulator (fair sharing vs. FIFO
+  uplinks; see :mod:`repro.simnet.linkmodel`) — the attack and
+  bandwidth-requirement results should be robust to this modelling choice;
+  and
 * the **agreement engine** used by the new protocol (HotStuff, PBFT,
   Tendermint) — the paper argues any view-based BFT protocol works; the
   ablation confirms the end-to-end latency is similar for all three.
@@ -17,7 +18,7 @@ Both ablations are spec grids executed through the shared
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.protocols.base import DirectoryProtocolConfig
@@ -43,7 +44,7 @@ def run_scheduling_ablation(
     seed: int = 7,
     executor: Optional[SweepExecutor] = None,
 ) -> List[AblationCell]:
-    """Compare fair-share and FIFO link scheduling."""
+    """Compare fair-share and FIFO transport link models."""
     executor = executor or SweepExecutor()
     config_overrides = overrides_from_config(config)
     specs = [
@@ -52,16 +53,16 @@ def run_scheduling_ablation(
             relay_count=relay_count,
             bandwidth_mbps=bandwidth_mbps,
             seed=seed,
-            scheduling=scheduling,
+            transport=transport,
             max_time=1800.0,
             config_overrides=config_overrides,
         )
-        for scheduling in ("fair", "fifo")
+        for transport in ("fair", "fifo")
         for protocol in protocols
     ]
     return [
         AblationCell(
-            variant="scheduling=%s" % spec.scheduling,
+            variant="transport=%s" % spec.transport,
             protocol=spec.protocol,
             success=result.success,
             latency_s=result.latency,

@@ -8,7 +8,6 @@ default to the paper's 10 Mbit/s figure.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.analysis.reporting import format_table
 from repro.attack.cost import AttackCostEstimate, AttackCostModel

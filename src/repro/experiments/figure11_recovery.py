@@ -17,11 +17,11 @@ like any other sweep.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.attack.ddos import DDoSAttackPlan
-from repro.protocols.base import DirectoryProtocolConfig, ProtocolRunResult
+from repro.protocols.base import DirectoryProtocolConfig
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import SweepExecutor
 from repro.runtime.spec import RunSpec, overrides_from_config

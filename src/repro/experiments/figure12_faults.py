@@ -37,11 +37,11 @@ down-seconds) from :attr:`ProtocolRunResult.fault_summary`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_table
 from repro.attack.ddos import DDoSAttackPlan
-from repro.faults.plan import AuthorityFault, FaultPlan, LinkFault
+from repro.faults.plan import AuthorityFault, FaultPlan
 from repro.protocols.base import DirectoryProtocolConfig, ProtocolRunResult
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import SweepExecutor

@@ -16,9 +16,9 @@ summaries deliberately drop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
-from repro.attack.ddos import DDoSAttackPlan, majority_attack_plan
+from repro.attack.ddos import DDoSAttackPlan
 from repro.directory.authority import authority_node_name
 from repro.protocols.base import DirectoryProtocolConfig, ProtocolRunResult
 from repro.runtime.executor import SweepExecutor

@@ -1,0 +1,238 @@
+"""Scaling sweep: transport-model wall-clock cost at 10×-paper node counts.
+
+The paper evaluates nine directory authorities — the live Tor configuration.
+The ROADMAP's north star is a simulator that scales far beyond that, and the
+limiting factor is the transport: under a shared link model every flow event
+re-rates flows coupled through link occupancy, so per-event cost grows with
+concurrency and whole-run cost roughly quadratically with it.  The
+``latency-only`` link model (see :mod:`repro.simnet.linkmodel`) removes the
+coupling entirely, turning every flow event into O(1) work.
+
+This sweep measures that directly: the same consensus runs at growing
+authority counts — up to 10× the paper's nine — under ``fair`` and
+``latency-only``, timing each cell's wall clock.  Cells run serially and
+in-process (never through a result cache) so the timings measure simulation
+cost, not cache or pool behaviour.  :func:`write_bench_json` emits the
+numbers, and the headline fair→latency-only speedups, to
+``BENCH_scaling.json``; ``benchmarks/test_bench_scaling.py`` asserts the
+≥3× speedup at the 10× point and CI runs a small-N smoke with a wall-clock
+budget.
+
+Accuracy caveat, stated plainly: ``latency-only`` is a *fast* model, not a
+free lunch — with no bandwidth sharing, congestion effects (the mechanism
+behind the paper's DDoS results) disappear, so it is for large-N protocol
+behaviour studies, not for bandwidth-sensitive figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.reporting import format_table
+from repro.runtime.spec import RunSpec
+from repro.utils.validation import ensure
+
+#: Authority count evaluated throughout the paper (the live Tor network).
+PAPER_AUTHORITY_COUNT = 9
+
+#: Default sweep: paper scale, an intermediate point, and 10× paper scale.
+DEFAULT_AUTHORITY_COUNTS = (9, 30, 90)
+
+#: Transport models compared by default: the TCP-like shared model the
+#: figures use, and the sharing-free fast model.
+DEFAULT_TRANSPORTS = ("fair", "latency-only")
+
+#: Format version of the ``BENCH_scaling.json`` payload.
+BENCH_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ScalingCell:
+    """One timed run of the scaling grid."""
+
+    protocol: str
+    transport: str
+    authority_count: int
+    relay_count: int
+    success: bool
+    wall_clock_s: float
+    virtual_end_s: float
+    messages_sent: int
+
+
+def scaling_specs(
+    authority_counts: Sequence[int] = DEFAULT_AUTHORITY_COUNTS,
+    protocols: Sequence[str] = ("current",),
+    transports: Sequence[str] = DEFAULT_TRANSPORTS,
+    relay_count: int = 200,
+    bandwidth_mbps: float = 250.0,
+    seed: int = 7,
+    max_time: float = 600.0,
+) -> List[RunSpec]:
+    """The scaling grid, authority count outermost, transport innermost."""
+    ensure(len(authority_counts) > 0, "need at least one authority count")
+    ensure(len(transports) > 0, "need at least one transport")
+    return [
+        RunSpec(
+            protocol=protocol,
+            relay_count=relay_count,
+            bandwidth_mbps=bandwidth_mbps,
+            seed=seed,
+            transport=transport,
+            authority_count=authority_count,
+            max_time=max_time,
+        )
+        for authority_count in authority_counts
+        for protocol in protocols
+        for transport in transports
+    ]
+
+
+def run_scaling_sweep(
+    authority_counts: Sequence[int] = DEFAULT_AUTHORITY_COUNTS,
+    protocols: Sequence[str] = ("current",),
+    transports: Sequence[str] = DEFAULT_TRANSPORTS,
+    relay_count: int = 200,
+    bandwidth_mbps: float = 250.0,
+    seed: int = 7,
+    max_time: float = 600.0,
+) -> List[ScalingCell]:
+    """Execute the scaling grid serially, timing each cell's wall clock."""
+    from repro.protocols.runner import execute_spec
+
+    cells: List[ScalingCell] = []
+    for spec in scaling_specs(
+        authority_counts=authority_counts,
+        protocols=protocols,
+        transports=transports,
+        relay_count=relay_count,
+        bandwidth_mbps=bandwidth_mbps,
+        seed=seed,
+        max_time=max_time,
+    ):
+        started = time.perf_counter()
+        result = execute_spec(spec)
+        elapsed = time.perf_counter() - started
+        cells.append(
+            ScalingCell(
+                protocol=spec.protocol,
+                transport=spec.transport,
+                authority_count=spec.authority_count,
+                relay_count=spec.relay_count,
+                success=result.success,
+                wall_clock_s=elapsed,
+                virtual_end_s=result.end_time,
+                messages_sent=result.stats.messages_sent,
+            )
+        )
+    return cells
+
+
+def speedup_at(
+    cells: Sequence[ScalingCell],
+    authority_count: int,
+    protocol: str = "current",
+    baseline: str = "fair",
+    fast: str = "latency-only",
+) -> Optional[float]:
+    """Wall-clock speedup of ``fast`` over ``baseline`` at one grid point."""
+    by_transport: Dict[str, ScalingCell] = {
+        cell.transport: cell
+        for cell in cells
+        if cell.authority_count == authority_count and cell.protocol == protocol
+    }
+    if baseline not in by_transport or fast not in by_transport:
+        return None
+    fast_wall = by_transport[fast].wall_clock_s
+    if fast_wall <= 0:
+        return None
+    return by_transport[baseline].wall_clock_s / fast_wall
+
+
+def headline_speedups(
+    cells: Sequence[ScalingCell],
+) -> List[Tuple[str, int, float]]:
+    """Every grid point's fair→latency-only speedup as (protocol, N, speedup)."""
+    results: List[Tuple[str, int, float]] = []
+    for authority_count in sorted({cell.authority_count for cell in cells}):
+        for protocol in sorted({cell.protocol for cell in cells}):
+            speedup = speedup_at(cells, authority_count, protocol)
+            if speedup is not None:
+                results.append((protocol, authority_count, speedup))
+    return results
+
+
+def render_scaling(cells: Sequence[ScalingCell]) -> str:
+    """Render the sweep as a table with per-N speedup annotations."""
+    rows = []
+    for cell in cells:
+        rows.append(
+            (
+                str(cell.authority_count),
+                cell.protocol,
+                cell.transport,
+                "ok" if cell.success else "FAIL",
+                "%.2f s" % cell.wall_clock_s,
+                "%.0f s" % cell.virtual_end_s,
+                str(cell.messages_sent),
+            )
+        )
+    table = format_table(
+        ["Authorities", "Protocol", "Transport", "Outcome", "Wall clock", "Virtual", "Messages"],
+        rows,
+        title="Scaling sweep: transport wall-clock cost vs. node count",
+    )
+    notes = [
+        "N=%d %s: latency-only is %.1fx faster than fair"
+        % (authority_count, protocol, speedup)
+        for protocol, authority_count, speedup in headline_speedups(cells)
+    ]
+    return table + ("\n" + "\n".join(notes) if notes else "")
+
+
+def write_bench_json(
+    cells: Sequence[ScalingCell], path: Union[str, Path] = "BENCH_scaling.json"
+) -> Path:
+    """Write the sweep (cells + headline speedups) to ``path``."""
+    path = Path(path)
+    speedups = {
+        "%s@%d" % (protocol, authority_count): speedup
+        for protocol, authority_count, speedup in headline_speedups(cells)
+    }
+    payload = {
+        "format": BENCH_FORMAT_VERSION,
+        "paper_authority_count": PAPER_AUTHORITY_COUNT,
+        "cells": [asdict(cell) for cell in cells],
+        "speedup_fair_to_latency_only": speedups,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: run the sweep, print the table, emit the JSON."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_scaling.json", help="output path for the JSON payload"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small-N smoke (9 and 18 authorities) for CI wall-clock budgets",
+    )
+    args = parser.parse_args(argv)
+    authority_counts = (9, 18) if args.quick else DEFAULT_AUTHORITY_COUNTS
+    cells = run_scaling_sweep(authority_counts=authority_counts)
+    print(render_scaling(cells))
+    out = write_bench_json(cells, args.out)
+    print("wrote %s" % out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    raise SystemExit(main())

@@ -29,7 +29,7 @@ simulator, documents, and keys) lives in :mod:`repro.faults.injector` /
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.utils.validation import ensure

@@ -14,7 +14,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from datetime import date, timedelta
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.utils.rng import DeterministicRNG
 from repro.utils.validation import ensure

@@ -16,8 +16,8 @@ authorities exercises every branch of the aggregation algorithm.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.directory.relay import ExitPolicySummary, Relay, RelayFlag
 from repro.utils.rng import DeterministicRNG

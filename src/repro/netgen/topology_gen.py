@@ -13,7 +13,7 @@ the same two quantities:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.directory.authority import DirectoryAuthority

@@ -8,7 +8,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.crypto.keys import KeyRing
 from repro.directory.aggregate import AggregationConfig, aggregate_votes
 from repro.directory.authority import DirectoryAuthority
-from repro.directory.consensus_doc import ConsensusDocument, ConsensusSignature
+from repro.directory.consensus_doc import ConsensusDocument
 from repro.directory.vote import VoteDocument
 from repro.simnet.network import TransferStats
 from repro.simnet.node import ProtocolNode

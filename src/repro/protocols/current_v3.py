@@ -21,7 +21,7 @@ mode the DDoS attack triggers.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.crypto.signatures import verify
 from repro.directory.consensus_doc import ConsensusSignature

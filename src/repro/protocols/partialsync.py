@@ -15,7 +15,7 @@ working at bandwidths where the two synchronous baselines fail.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.consensus.interfaces import (
     Action,

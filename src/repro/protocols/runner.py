@@ -26,7 +26,7 @@ discussion.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.crypto.keys import KeyRing
 from repro.directory.authority import DirectoryAuthority, make_authorities
@@ -60,7 +60,7 @@ class Scenario:
     topology: AuthorityTopology
     bandwidth_schedules: Dict[int, BandwidthSchedule]
     relay_count: int
-    scheduling: str = "fair"
+    transport: str = "fair"
     seed: int = 7
     fault_plan: FaultPlan = EMPTY_FAULT_PLAN
     #: Conflicting votes presented by equivocating authorities (authority id →
@@ -80,7 +80,7 @@ def build_scenario(
     authority_count: int = 9,
     seed: int = 7,
     content_relay_cap: int = DEFAULT_CONTENT_RELAY_CAP,
-    scheduling: str = "fair",
+    transport: str = "fair",
     view_config: Optional[AuthorityViewConfig] = None,
     fault_plan: FaultPlan = EMPTY_FAULT_PLAN,
 ) -> Scenario:
@@ -123,7 +123,7 @@ def build_scenario(
         topology=topology,
         bandwidth_schedules=schedules,
         relay_count=relay_count,
-        scheduling=scheduling,
+        transport=transport,
         seed=seed,
         fault_plan=fault_plan,
         alternate_votes=alternate_votes,
@@ -143,7 +143,7 @@ def scenario_from_spec(spec: RunSpec) -> Scenario:
         authority_count=spec.authority_count,
         seed=spec.seed,
         content_relay_cap=spec.content_relay_cap,
-        scheduling=spec.scheduling,
+        transport=spec.transport,
         fault_plan=spec.fault_plan,
     )
     if spec.bandwidth_overrides:
@@ -208,7 +208,7 @@ def run_protocol(
 ) -> ProtocolRunResult:
     """Run ``protocol`` ("current", "synchronous", or "ours") over ``scenario``."""
     config = config or DirectoryProtocolConfig()
-    network = SimNetwork(scheduling=scenario.scheduling)
+    network = SimNetwork(transport=scenario.transport)
     nodes = []
     for authority in scenario.authorities:
         node = _make_authority_node(

@@ -25,7 +25,9 @@ from repro.runtime.spec import RunSpec
 #: On-disk entry format version; bump when the summary layout changes.
 #: Version 2: summaries carry fault accounting (``stats.messages_dropped``
 #: and the ``faults`` block) and specs serialize their fault plan.
-CACHE_FORMAT_VERSION = 2
+#: Version 3: specs serialize the transport model (``transport`` replaces
+#: ``scheduling``, spec format v3); older entries read as misses.
+CACHE_FORMAT_VERSION = 3
 
 
 class ResultCache:

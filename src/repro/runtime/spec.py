@@ -4,9 +4,12 @@ Every figure/table of the paper is a grid of *independent* protocol runs, so
 run configuration is reified into data:
 
 * :class:`RunSpec` — everything one run needs (protocol, engine, relay count,
-  bandwidth, seed, scheduling, timeout overrides, per-authority bandwidth
-  overrides).  Specs are frozen dataclasses: hashable, picklable across
-  process boundaries, and content-addressable via :meth:`RunSpec.spec_hash`.
+  bandwidth, seed, transport model, timeout overrides, per-authority
+  bandwidth overrides).  Specs are frozen dataclasses: hashable, picklable
+  across process boundaries, and content-addressable via
+  :meth:`RunSpec.spec_hash`.  The ``transport`` field selects a registered
+  link model (see :mod:`repro.simnet.linkmodel`) and joins the spec hash, so
+  runs under different transport models cache independently.
 * :class:`BandwidthOverride` — a declarative replacement of one authority's
   bandwidth schedule (baseline rate plus throttling windows), which is how
   DDoS attacks and the Figure 7 search are expressed at the spec level.
@@ -34,6 +37,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
 
 from repro.faults.plan import EMPTY_FAULT_PLAN, FaultPlan
 from repro.simnet.bandwidth import BandwidthSchedule
+from repro.simnet.linkmodel import link_model_names
 from repro.utils.validation import ensure, ensure_type
 
 #: Names accepted by the protocol runner, matching the paper's legend.
@@ -43,8 +47,10 @@ PROTOCOL_NAMES = ("current", "synchronous", "ours")
 DEFAULT_CONTENT_RELAY_CAP = 120
 
 #: Serialization format version written by :meth:`RunSpec.to_dict`.
-#: Version 2 added the declarative ``fault_plan``.
-SPEC_FORMAT_VERSION = 2
+#: Version 2 added the declarative ``fault_plan``.  Version 3 renamed the
+#: ``scheduling`` field to ``transport`` (validated against the link-model
+#: registry); :meth:`RunSpec.from_dict` still reads v2 dicts.
+SPEC_FORMAT_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -154,7 +160,7 @@ class RunSpec:
     bandwidth_mbps: float = 250.0
     seed: int = 7
     engine: str = "hotstuff"
-    scheduling: str = "fair"
+    transport: str = "fair"
     authority_count: int = 9
     content_relay_cap: int = DEFAULT_CONTENT_RELAY_CAP
     max_time: float = 3600.0
@@ -171,6 +177,11 @@ class RunSpec:
         )
         ensure(self.relay_count >= 1, "relay_count must be at least 1")
         ensure(self.bandwidth_mbps > 0, "bandwidth_mbps must be positive")
+        ensure(
+            self.transport in link_model_names(),
+            "unknown transport %r; expected one of %r"
+            % (self.transport, link_model_names()),
+        )
         ensure(self.authority_count >= 1, "authority_count must be at least 1")
         ensure(self.max_time > 0, "max_time must be positive")
         object.__setattr__(
@@ -195,9 +206,21 @@ class RunSpec:
 
         return DirectoryProtocolConfig(**dict(self.config_overrides))
 
+    # -- deprecated aliases ------------------------------------------------
+    @property
+    def scheduling(self) -> str:
+        """Deprecated pre-v3 name of :attr:`transport` (kept for callers)."""
+        return self.transport
+
     # -- spec derivation ---------------------------------------------------
     def derive(self, **changes: Any) -> "RunSpec":
-        """Return a copy with the given fields replaced (validated anew)."""
+        """Return a copy with the given fields replaced (validated anew).
+
+        Accepts the deprecated ``scheduling`` keyword as an alias for
+        ``transport``.
+        """
+        if "scheduling" in changes:
+            changes["transport"] = changes.pop("scheduling")
         return replace(self, **changes)
 
     def with_config(self, config: Any) -> "RunSpec":
@@ -234,7 +257,7 @@ class RunSpec:
             float(self.bandwidth_mbps),
             self.seed,
             self.engine,
-            self.scheduling,
+            self.transport,
             self.authority_count,
             self.content_relay_cap,
             float(self.max_time),
@@ -262,7 +285,7 @@ class RunSpec:
             "bandwidth_mbps": self.bandwidth_mbps,
             "seed": self.seed,
             "engine": self.engine,
-            "scheduling": self.scheduling,
+            "transport": self.transport,
             "authority_count": self.authority_count,
             "content_relay_cap": self.content_relay_cap,
             "max_time": self.max_time,
@@ -282,7 +305,8 @@ class RunSpec:
             bandwidth_mbps=float(data["bandwidth_mbps"]),
             seed=int(data["seed"]),
             engine=data["engine"],
-            scheduling=data["scheduling"],
+            # v2 dicts (and the committed golden specs) carry "scheduling".
+            transport=data.get("transport", data.get("scheduling", "fair")),
             authority_count=int(data["authority_count"]),
             content_relay_cap=int(data["content_relay_cap"]),
             max_time=float(data["max_time"]),

@@ -4,15 +4,21 @@ The paper evaluates everything on Shadow, a high-fidelity network simulator
 running real Tor binaries.  What the experiments actually exercise is much
 narrower: message sizes, per-host bandwidth that varies over time (the DDoS
 model), propagation latency, protocol timers, and per-connection timeouts.
-:mod:`repro.simnet` models exactly those:
+:mod:`repro.simnet` models exactly those, as a layered transport pipeline:
 
 * :class:`Simulator` — a deterministic event loop (virtual time, heap-ordered
-  events, stable tie-breaking);
+  events, stable tie-breaking, one monotonic serial counter);
 * :class:`BandwidthSchedule` — piecewise-constant link capacity over time;
   DDoS attacks and GST are expressed as windows of reduced capacity;
-* :class:`SimNetwork` — nodes, links, and a flow-based transport layer with
-  either max-min **fair sharing** (TCP-like) or **FIFO** per-uplink
-  scheduling, per-flow timeouts, and per-node byte accounting;
+* :class:`LinkModel` — the pluggable rate policy (how concurrent flows share
+  links), selected by registry name: max-min **fair** sharing (TCP-like),
+  **fifo** per-uplink scheduling, or the sharing-free **latency-only** fast
+  model for large sweeps;
+* :class:`~repro.simnet.flows.FlowScheduler` — flow lifecycle and
+  completion-time maintenance, with recomputation scoped to the links a flow
+  event actually touches;
+* :class:`SimNetwork` — topology, fault seams, accounting, and the wiring
+  that composes the above;
 * :class:`ProtocolNode` — the base class all protocol state machines extend
   (message handlers, timers, structured logging);
 * :class:`TraceLog` — Tor-style log records used to reproduce Figure 1.
@@ -20,6 +26,16 @@ model), propagation latency, protocol timers, and per-connection timeouts.
 
 from repro.simnet.engine import EventHandle, Simulator
 from repro.simnet.bandwidth import BandwidthSchedule
+from repro.simnet.flows import Flow, FlowScheduler
+from repro.simnet.linkmodel import (
+    FairShareLinkModel,
+    FifoLinkModel,
+    LatencyOnlyLinkModel,
+    LinkModel,
+    get_link_model,
+    link_model_names,
+    register_link_model,
+)
 from repro.simnet.message import Message
 from repro.simnet.network import LinkConfig, SimNetwork, TransferStats
 from repro.simnet.node import ProtocolNode
@@ -29,6 +45,15 @@ __all__ = [
     "EventHandle",
     "Simulator",
     "BandwidthSchedule",
+    "Flow",
+    "FlowScheduler",
+    "LinkModel",
+    "FairShareLinkModel",
+    "FifoLinkModel",
+    "LatencyOnlyLinkModel",
+    "get_link_model",
+    "link_model_names",
+    "register_link_model",
     "Message",
     "LinkConfig",
     "SimNetwork",

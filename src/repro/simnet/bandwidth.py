@@ -12,7 +12,6 @@ and provides the integration primitives the flow-based transport needs
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.utils.units import mbps_to_bytes_per_s

@@ -16,7 +16,6 @@ bit-for-bit.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.utils.validation import ReproError, ensure
@@ -66,7 +65,7 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: List[EventHandle] = []
-        self._seq = itertools.count()
+        self._serial = 0
         self._processed_events = 0
         self._pending = 0
 
@@ -86,6 +85,19 @@ class Simulator:
         """Number of non-cancelled events still queued (O(1): kept incrementally)."""
         return self._pending
 
+    # -- serials -------------------------------------------------------------
+    def next_serial(self) -> int:
+        """The next value of the simulator-owned monotonic counter.
+
+        One counter serves every ordering need in a run — event tie-breaking
+        and transport flow ids — so consumers share a single deterministic
+        sequence instead of each layer minting its own ``itertools.count``.
+        Only relative order is meaningful; values are not contiguous per
+        consumer.
+        """
+        self._serial += 1
+        return self._serial
+
     # -- scheduling ----------------------------------------------------------
     def schedule(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
@@ -93,7 +105,7 @@ class Simulator:
             raise SimulationError(
                 "cannot schedule event at %.6f, current time is %.6f" % (time, self._now)
             )
-        handle = EventHandle(max(time, self._now), next(self._seq), callback, args)
+        handle = EventHandle(max(time, self._now), self.next_serial(), callback, args)
         handle._owner = self
         heapq.heappush(self._heap, handle)
         self._pending += 1

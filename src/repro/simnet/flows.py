@@ -1,0 +1,422 @@
+"""Flow scheduling: lifecycle and completion-time maintenance for transfers.
+
+This is the middle layer of the transport pipeline.  A
+:class:`~repro.simnet.network.SimNetwork` turns ``send()`` calls into
+:class:`Flow` objects and hands them to a scheduler; the scheduler advances
+flow progress, asks the run's :class:`~repro.simnet.linkmodel.LinkModel` for
+instantaneous rates, and fires the network's completion/timeout callbacks at
+the right virtual instants.  Two schedulers cover the two coupling regimes a
+link model can declare:
+
+:class:`SharedLinkScheduler` (``LinkModel.shared``)
+    For models where flow rates couple through link occupancy (``fair``,
+    ``fifo``).  Progress is advanced for every active flow at each transport
+    event and a single recompute event is kept at the earliest next instant
+    anything can change — exactly the pre-refactor float trajectory, which
+    the golden transport traces pin byte-for-byte.  What *is* incremental is
+    the expensive part: rate assignment is scoped to the uplink/downlink
+    sets an event actually touches (for models that opt in via
+    ``scopes_to_touched_links``), per-link occupancy is maintained as flows
+    start and finish instead of being rebuilt per event, and per-link
+    breakpoint candidates are computed once per active link rather than once
+    per flow.  An unaffected flow's rate is a pure function of unchanged
+    inputs — its link occupancies and current link rates — so skipping its
+    reassignment is bit-identical to recomputing it.
+
+:class:`IndependentFlowScheduler` (``not LinkModel.shared``)
+    For models where a flow's rate depends on its own two links only
+    (``latency-only``).  Every flow owns a single pending event at the
+    minimum of its completion estimate, its deadline, and its links' next
+    bandwidth breakpoints; flow events cost O(1) and never touch other
+    flows, which is what makes 10×-paper node counts tractable.
+
+Flow ids come from the simulator's serial counter
+(:meth:`~repro.simnet.engine.Simulator.next_serial`), so the fifo model's
+arrival order is the event loop's own deterministic order and no per-network
+id generator is needed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Mapping, Optional, Set
+
+from repro.simnet.engine import EventHandle, Simulator
+from repro.simnet.linkmodel import LinkModel
+from repro.simnet.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simnet.network import LinkConfig
+
+#: Residual bytes below which a flow counts as complete (floating-point slack).
+_COMPLETION_EPSILON_BYTES = 1e-6
+
+#: Slack when comparing virtual times.
+_TIME_EPSILON = 1e-9
+
+
+class Flow:
+    """One in-flight transfer: transport-level state for a single message."""
+
+    __slots__ = (
+        "flow_id",
+        "src",
+        "dst",
+        "message",
+        "remaining",
+        "start_time",
+        "deadline",
+        "rate",
+        "last_update",
+        "pending",
+        "on_timeout",
+        "on_delivered",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: str,
+        dst: str,
+        message: Message,
+        start_time: float,
+        deadline: Optional[float],
+        on_timeout: Optional[Callable[[Message, str], None]],
+        on_delivered: Optional[Callable[[Message, str, float], None]],
+    ) -> None:
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.message = message
+        self.remaining = float(message.size_bytes)
+        self.start_time = start_time
+        self.deadline = deadline
+        self.rate = 0.0
+        self.last_update = start_time
+        self.pending: Optional[EventHandle] = None
+        self.on_timeout = on_timeout
+        self.on_delivered = on_delivered
+
+
+class _LinkCounts:
+    """Read-only ``node name -> active flow count`` view over a flow index."""
+
+    __slots__ = ("_index",)
+
+    def __init__(self, index: Dict[str, Dict[int, Flow]]) -> None:
+        self._index = index
+
+    def __getitem__(self, name: str) -> int:
+        return len(self._index[name])
+
+
+class FlowScheduler:
+    """Common state and bookkeeping shared by both scheduling regimes.
+
+    Parameters
+    ----------
+    model:
+        The run's link model (rate policy).
+    simulator:
+        The event loop flows schedule themselves on.
+    links:
+        Live ``node name -> LinkConfig`` mapping owned by the network;
+        :meth:`on_link_replaced` must be called when an entry is swapped.
+    complete / expire:
+        Network callbacks fired when a flow finishes or times out.  The
+        network owns delivery latency, fault filtering, and accounting; the
+        scheduler owns *when*.
+    """
+
+    def __init__(
+        self,
+        model: LinkModel,
+        simulator: Simulator,
+        links: Mapping[str, "LinkConfig"],
+        complete: Callable[[Flow], None],
+        expire: Callable[[Flow], None],
+    ) -> None:
+        self.model = model
+        self.simulator = simulator
+        self._links = links
+        self._complete = complete
+        self._expire = expire
+        self._flows: Dict[int, Flow] = {}
+        self._by_src: Dict[str, Dict[int, Flow]] = {}
+        self._by_dst: Dict[str, Dict[int, Flow]] = {}
+
+    # -- queries -----------------------------------------------------------
+    def active_count(self) -> int:
+        """Number of in-flight transfers."""
+        return len(self._flows)
+
+    # -- index maintenance -------------------------------------------------
+    def _add(self, flow: Flow) -> None:
+        self._flows[flow.flow_id] = flow
+        self._by_src.setdefault(flow.src, {})[flow.flow_id] = flow
+        self._by_dst.setdefault(flow.dst, {})[flow.flow_id] = flow
+
+    def _remove(self, flow: Flow) -> None:
+        del self._flows[flow.flow_id]
+        for index, name in ((self._by_src, flow.src), (self._by_dst, flow.dst)):
+            bucket = index[name]
+            del bucket[flow.flow_id]
+            if not bucket:
+                del index[name]
+
+    def _clamp_residual(self, flow: Flow) -> None:
+        """Clamp a completing flow's residual to exactly zero, once.
+
+        Residuals inside ``(-epsilon, epsilon]`` are floating-point slack
+        from the final progress chip; a residual below ``-epsilon`` would
+        mean the flow was advanced past its completion instant — a scheduler
+        bug — so it is surfaced instead of silently absorbed.
+        """
+        if flow.remaining < -_COMPLETION_EPSILON_BYTES:  # pragma: no cover - guard
+            raise AssertionError(
+                "flow %d advanced %.3g bytes past completion"
+                % (flow.flow_id, -flow.remaining)
+            )
+        flow.remaining = 0.0
+
+    @staticmethod
+    def _is_complete(flow: Flow, now: float) -> bool:
+        """Whether ``flow`` counts as finished at virtual time ``now``.
+
+        Two cases: the residual is inside the byte epsilon, or the residual
+        transfer time is too small to advance float virtual time at all
+        (``now + remaining/rate == now``).  Without the second test a flow
+        can strand microscopically above the byte epsilon — its completion
+        event then lands *at* ``now``, the zero-width progress chip moves
+        nothing, and the recompute reschedules itself forever.  The test
+        only fires exactly where that non-terminating loop would begin, so
+        every terminating trajectory (and all golden traces) is unchanged.
+        """
+        if flow.remaining <= _COMPLETION_EPSILON_BYTES:
+            return True
+        return flow.rate > 0 and now + flow.remaining / flow.rate <= now
+
+    # -- interface ---------------------------------------------------------
+    def start_flow(self, flow: Flow, now: float) -> None:
+        """Register ``flow`` and schedule its first transport event."""
+        raise NotImplementedError
+
+    def on_link_replaced(self, name: str, now: float) -> None:
+        """React to ``links[name]`` having been swapped mid-run."""
+        raise NotImplementedError
+
+
+class SharedLinkScheduler(FlowScheduler):
+    """Scheduler for link models with occupancy-coupled rates (fair, fifo)."""
+
+    def __init__(self, model, simulator, links, complete, expire) -> None:
+        super().__init__(model, simulator, links, complete, expire)
+        self._last_update = 0.0
+        self._pending_recompute: Optional[EventHandle] = None
+        self._scoped = model.scopes_to_touched_links()
+        # Link rates as of the last rate assignment; a changed value means a
+        # bandwidth-schedule breakpoint (or a link replacement) crossed and
+        # the link's flows must be re-rated.
+        self._up_rates: Dict[str, float] = {}
+        self._down_rates: Dict[str, float] = {}
+
+    # -- interface ---------------------------------------------------------
+    def start_flow(self, flow: Flow, now: float) -> None:
+        self._advance_progress(now)
+        self._add(flow)
+        self._recompute(now, touched_srcs={flow.src}, touched_dsts={flow.dst})
+
+    def on_link_replaced(self, name: str, now: float) -> None:
+        # Deliberately *only* reschedules the next recompute (matching the
+        # pre-refactor transport): rates change at the recompute instant, not
+        # at the replacement instant, and the rate cache flags the new link's
+        # changed capacity then.
+        self._schedule_recompute(now)
+
+    # -- machinery ---------------------------------------------------------
+    def _advance_progress(self, now: float) -> None:
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            for flow in self._flows.values():
+                flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
+        self._last_update = now
+
+    def _recompute(
+        self,
+        now: Optional[float] = None,
+        touched_srcs: Optional[Set[str]] = None,
+        touched_dsts: Optional[Set[str]] = None,
+    ) -> None:
+        now = self.simulator.now if now is None else now
+        self._advance_progress(now)
+        touched_srcs = set() if touched_srcs is None else touched_srcs
+        touched_dsts = set() if touched_dsts is None else touched_dsts
+
+        # Completions.
+        completed = [f for f in self._flows.values() if self._is_complete(f, now)]
+        for flow in completed:
+            self._remove(flow)
+            touched_srcs.add(flow.src)
+            touched_dsts.add(flow.dst)
+            self._clamp_residual(flow)
+            self._complete(flow)
+
+        # Timeouts.
+        expired = [
+            f
+            for f in self._flows.values()
+            if f.deadline is not None and now >= f.deadline - _TIME_EPSILON
+        ]
+        for flow in expired:
+            self._remove(flow)
+            touched_srcs.add(flow.src)
+            touched_dsts.add(flow.dst)
+            self._expire(flow)
+
+        # New rates — scoped to the links this event touched — and the next
+        # instant at which anything can change.
+        self._assign_rates(now, touched_srcs, touched_dsts)
+        self._schedule_recompute(now)
+
+    def _assign_rates(self, now: float, touched_srcs: Set[str], touched_dsts: Set[str]) -> None:
+        if not self._flows:
+            self._up_rates.clear()
+            self._down_rates.clear()
+            return
+        if not self._scoped:
+            self.model.assign_rates(self._flows, self._links, now)
+            return
+
+        # A link whose capacity value moved since the last assignment (a
+        # schedule breakpoint crossed, or set_link swapped the config) is as
+        # touched as one whose occupancy changed.
+        for name in self._by_src:
+            rate = self._links[name].uplink.rate_at(now)
+            if self._up_rates.get(name) != rate:
+                self._up_rates[name] = rate
+                touched_srcs.add(name)
+        for name in self._by_dst:
+            rate = self._links[name].downlink.rate_at(now)
+            if self._down_rates.get(name) != rate:
+                self._down_rates[name] = rate
+                touched_dsts.add(name)
+        for cache, index in ((self._up_rates, self._by_src), (self._down_rates, self._by_dst)):
+            for name in [cached for cached in cache if cached not in index]:
+                del cache[name]
+
+        affected: Dict[int, Flow] = {}
+        for name in touched_srcs:
+            affected.update(self._by_src.get(name, {}))
+        for name in touched_dsts:
+            affected.update(self._by_dst.get(name, {}))
+        if not affected:
+            return
+        self.model.assign_rates(
+            self._flows,
+            self._links,
+            now,
+            affected=affected.values(),
+            up_counts=_LinkCounts(self._by_src),
+            down_counts=_LinkCounts(self._by_dst),
+        )
+
+    def _schedule_recompute(self, now: float) -> None:
+        if self._pending_recompute is not None:
+            self._pending_recompute.cancel()
+            self._pending_recompute = None
+        if not self._flows:
+            return
+        candidates = []
+        for flow in self._flows.values():
+            if flow.rate > 0:
+                candidates.append(now + flow.remaining / flow.rate)
+            if flow.deadline is not None:
+                candidates.append(flow.deadline)
+        for index, side in ((self._by_src, "uplink"), (self._by_dst, "downlink")):
+            for name in index:
+                change = getattr(self._links[name], side).next_change_after(now)
+                if change is not None:
+                    candidates.append(change)
+        if not candidates:
+            return
+        next_time = max(min(candidates), now)
+        self._pending_recompute = self.simulator.schedule(next_time, self._recompute)
+
+
+class IndependentFlowScheduler(FlowScheduler):
+    """Scheduler for link models whose flow rates never couple (latency-only).
+
+    Each flow owns exactly one pending event — the earliest of its completion
+    estimate, its deadline, and its links' next bandwidth breakpoints — so a
+    flow starting or finishing costs O(1) regardless of how many other
+    transfers are in flight.
+    """
+
+    def start_flow(self, flow: Flow, now: float) -> None:
+        self._add(flow)
+        self._refresh(flow, now)
+
+    def on_link_replaced(self, name: str, now: float) -> None:
+        affected = dict(self._by_src.get(name, {}))
+        affected.update(self._by_dst.get(name, {}))
+        for flow in affected.values():
+            self._refresh(flow, now)
+
+    # -- machinery ---------------------------------------------------------
+    def _refresh(self, flow: Flow, now: float) -> None:
+        """Advance one flow to ``now``, settle it, or reschedule its event."""
+        elapsed = now - flow.last_update
+        if elapsed > 0 and flow.rate > 0:
+            # Clamped like the shared scheduler's advance: the completion
+            # event lands at fl(now + remaining/rate), whose rounding error
+            # grows with virtual time — by t ≈ 3000 s a 31 MB/s flow can
+            # overshoot its residual by ~1e-5 bytes, past the byte epsilon.
+            flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
+        flow.last_update = now
+
+        if flow.pending is not None:
+            flow.pending.cancel()
+            flow.pending = None
+
+        if self._is_complete(flow, now):
+            self._remove(flow)
+            self._clamp_residual(flow)
+            self._complete(flow)
+            return
+        if flow.deadline is not None and now >= flow.deadline - _TIME_EPSILON:
+            self._remove(flow)
+            self._expire(flow)
+            return
+
+        flow.rate = self.model.flow_rate(flow, self._links, now)
+        candidates = []
+        if flow.rate > 0:
+            candidates.append(now + flow.remaining / flow.rate)
+        if flow.deadline is not None:
+            candidates.append(flow.deadline)
+        for schedule in (self._links[flow.src].uplink, self._links[flow.dst].downlink):
+            change = schedule.next_change_after(now)
+            if change is not None:
+                candidates.append(change)
+        if not candidates:
+            # Zero rate forever and no deadline: the transfer can never
+            # finish nor abort, exactly like a starved shared-model flow.
+            return
+        flow.pending = self.simulator.schedule(
+            max(min(candidates), now), self._on_flow_event, flow
+        )
+
+    def _on_flow_event(self, flow: Flow) -> None:
+        flow.pending = None
+        self._refresh(flow, self.simulator.now)
+
+
+def make_flow_scheduler(
+    model: LinkModel,
+    simulator: Simulator,
+    links: Mapping[str, "LinkConfig"],
+    complete: Callable[[Flow], None],
+    expire: Callable[[Flow], None],
+) -> FlowScheduler:
+    """Build the scheduler matching ``model``'s coupling regime."""
+    scheduler_class = SharedLinkScheduler if model.shared else IndependentFlowScheduler
+    return scheduler_class(model, simulator, links, complete, expire)

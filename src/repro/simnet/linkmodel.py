@@ -1,0 +1,209 @@
+"""Pluggable link models: how concurrent flows share link capacity.
+
+A :class:`LinkModel` answers exactly one question — *what instantaneous rate
+does each flow get, given who else is on its links?* — and nothing else.
+Flow lifecycle (starting, finishing, timing out, rescheduling completions)
+belongs to the flow schedulers in :mod:`repro.simnet.flows`; topology and
+fault seams belong to :class:`~repro.simnet.network.SimNetwork`.  Keeping the
+rate policy behind this seam is what lets one experiment swap the transport
+without touching either neighbour layer.
+
+Three models ship in the registry:
+
+``"fair"``
+    Max-min style fair sharing: all flows on an uplink (or downlink) split
+    its capacity equally and a flow's rate is the minimum of its two shares.
+    Approximates many parallel TCP connections — how Tor authorities actually
+    push and serve votes.  Rates couple through link occupancy, but only
+    through the *occupancy of a flow's own two links*, so a flow event needs
+    to re-rate just the flows sharing the touched uplink/downlink sets.
+
+``"fifo"``
+    Each uplink serves its flows strictly in arrival order at full rate; the
+    downlink is shared fairly among the flows currently being served into
+    it.  An ablation of the link model.  Eligibility changes cascade one hop
+    (a finishing flow promotes the next queued flow, changing its downlink's
+    occupancy), so fifo conservatively re-rates the full flow set per event.
+
+``"latency-only"``
+    No sharing at all: every flow moves at the full ``min(uplink, downlink)``
+    capacity regardless of concurrency.  Flows never interact, which lets
+    the scheduler maintain one O(1) completion event per flow instead of any
+    global recompute — the model to reach node counts far beyond paper scale
+    (see ``experiments/scaling_sweep.py``).
+
+Models register by name via :func:`register_link_model`; the name travels on
+:class:`~repro.runtime.spec.RunSpec` (field ``transport``) and therefore
+joins the spec hash and result-cache key.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Tuple, Type
+
+from repro.utils.validation import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simnet.flows import Flow
+    from repro.simnet.network import LinkConfig
+
+
+class LinkModel:
+    """Rate policy for concurrent flows over shared links.
+
+    Class attributes
+    ----------------
+    name:
+        Registry name; what ``RunSpec.transport`` carries.
+    shared:
+        True when flow rates couple through link occupancy, so flow events
+        require re-rating neighbours (the shared-link scheduler).  False when
+        a flow's rate depends on its own two links only (the independent
+        scheduler: per-flow completion events, no recompute).
+    """
+
+    name: str = ""
+    shared: bool = True
+
+    # -- shared-model interface (used by SharedLinkScheduler) ---------------
+    def assign_rates(
+        self,
+        flows: Mapping[int, "Flow"],
+        links: Mapping[str, "LinkConfig"],
+        now: float,
+        affected: Optional[Iterable["Flow"]] = None,
+        up_counts: Optional[Mapping[str, int]] = None,
+        down_counts: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        """Assign ``flow.rate`` for the current instant.
+
+        ``affected`` (with the maintained per-link ``up_counts`` /
+        ``down_counts``) narrows the assignment to flows whose rate can have
+        changed; models that cannot scope safely ignore it and re-rate the
+        full ``flows`` mapping.  Scoped and full assignment must agree
+        bit-for-bit — the golden transport traces pin this.
+        """
+        raise NotImplementedError
+
+    def scopes_to_touched_links(self) -> bool:
+        """True when :meth:`assign_rates` honours the ``affected`` subset."""
+        return False
+
+    # -- independent-model interface (used by IndependentFlowScheduler) -----
+    def flow_rate(self, flow: "Flow", links: Mapping[str, "LinkConfig"], now: float) -> float:
+        """Instantaneous rate of one flow, independent of all other flows."""
+        raise NotImplementedError
+
+
+class FairShareLinkModel(LinkModel):
+    """Equal split per link; a flow gets the minimum of its two shares."""
+
+    name = "fair"
+    shared = True
+
+    def scopes_to_touched_links(self) -> bool:
+        return True
+
+    def assign_rates(self, flows, links, now, affected=None, up_counts=None, down_counts=None):
+        if affected is None or up_counts is None or down_counts is None:
+            affected = list(flows.values())
+            up_counts = {}
+            down_counts = {}
+            for flow in affected:
+                up_counts[flow.src] = up_counts.get(flow.src, 0) + 1
+                down_counts[flow.dst] = down_counts.get(flow.dst, 0) + 1
+        for flow in affected:
+            up_rate = links[flow.src].uplink.rate_at(now)
+            down_rate = links[flow.dst].downlink.rate_at(now)
+            up_share = up_rate / up_counts[flow.src]
+            down_share = down_rate / down_counts[flow.dst]
+            flow.rate = min(up_share, down_share)
+
+
+class FifoLinkModel(LinkModel):
+    """Strict arrival-order uplinks; fair sharing on the downlink."""
+
+    name = "fifo"
+    shared = True
+
+    def assign_rates(self, flows, links, now, affected=None, up_counts=None, down_counts=None):
+        # Eligibility (which flow each uplink currently serves) can shift one
+        # hop per event, so fifo always re-rates the full flow set; the
+        # `affected` hint is deliberately ignored.
+        if not flows:
+            return
+        uplink_users: Dict[str, List["Flow"]] = {}
+        for flow in flows.values():
+            uplink_users.setdefault(flow.src, []).append(flow)
+
+        eligible: List["Flow"] = []
+        for queue in uplink_users.values():
+            queue.sort(key=lambda f: f.flow_id)
+            eligible.append(queue[0])
+
+        eligible_ids = {flow.flow_id for flow in eligible}
+        serving_up: Dict[str, int] = {}
+        serving_down: Dict[str, int] = {}
+        for flow in eligible:
+            serving_up[flow.src] = serving_up.get(flow.src, 0) + 1
+            serving_down[flow.dst] = serving_down.get(flow.dst, 0) + 1
+
+        for flow in flows.values():
+            if flow.flow_id not in eligible_ids:
+                flow.rate = 0.0
+                continue
+            up_rate = links[flow.src].uplink.rate_at(now)
+            down_rate = links[flow.dst].downlink.rate_at(now)
+            up_share = up_rate / serving_up[flow.src]
+            down_share = down_rate / serving_down[flow.dst]
+            flow.rate = min(up_share, down_share)
+
+
+class LatencyOnlyLinkModel(LinkModel):
+    """Full link capacity for every flow; no bandwidth sharing at all."""
+
+    name = "latency-only"
+    shared = False
+
+    def flow_rate(self, flow, links, now):
+        return min(
+            links[flow.src].uplink.rate_at(now),
+            links[flow.dst].downlink.rate_at(now),
+        )
+
+
+#: The registry: transport name -> LinkModel class.
+LINK_MODELS: Dict[str, Type[LinkModel]] = {}
+
+
+def register_link_model(model_class: Type[LinkModel]) -> Type[LinkModel]:
+    """Register ``model_class`` under its ``name`` (usable as a decorator)."""
+    name = model_class.name
+    if not name:
+        raise ValidationError("link models must define a non-empty name")
+    existing = LINK_MODELS.get(name)
+    if existing is not None and existing is not model_class:
+        raise ValidationError("link model name %r is already registered" % name)
+    LINK_MODELS[name] = model_class
+    return model_class
+
+
+def link_model_names() -> Tuple[str, ...]:
+    """Registered transport names, in registration order."""
+    return tuple(LINK_MODELS)
+
+
+def get_link_model(name: str) -> LinkModel:
+    """Instantiate the registered model called ``name``."""
+    try:
+        model_class = LINK_MODELS[name]
+    except KeyError:
+        raise ValidationError(
+            "unknown transport %r; expected one of %r" % (name, link_model_names())
+        )
+    return model_class()
+
+
+for _model in (FairShareLinkModel, FifoLinkModel, LatencyOnlyLinkModel):
+    register_link_model(_model)
+del _model

@@ -5,12 +5,16 @@ transport layer only cares about ``size_bytes``; the protocol layers switch on
 ``msg_type`` and read ``payload``.  Keeping the size explicit (rather than
 serialising payloads) lets the protocols attach rich Python objects while the
 bandwidth model still sees realistic document sizes.
+
+Messages sit on the transport hot path — every flow holds one and large runs
+create hundreds of thousands — so the class is a plain ``__slots__`` object
+rather than a dataclass: no per-instance ``__dict__``, and the metadata dict
+is only materialised for the minority of messages that are annotated.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.utils.validation import ensure
@@ -21,7 +25,6 @@ _MESSAGE_IDS = itertools.count(1)
 CONTROL_MESSAGE_OVERHEAD_BYTES = 256
 
 
-@dataclass
 class Message:
     """A single protocol message.
 
@@ -42,18 +45,42 @@ class Message:
         Free-form annotations (e.g. the round the message belongs to).
     """
 
-    msg_type: str
-    sender: str = ""
-    payload: Any = None
-    size_bytes: int = CONTROL_MESSAGE_OVERHEAD_BYTES
-    msg_id: int = field(default_factory=lambda: next(_MESSAGE_IDS))
-    metadata: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("msg_type", "sender", "payload", "size_bytes", "msg_id", "_metadata")
 
-    def __post_init__(self) -> None:
-        ensure(self.msg_type != "", "message type must not be empty")
-        ensure(self.size_bytes >= 0, "message size must be non-negative")
+    def __init__(
+        self,
+        msg_type: str,
+        sender: str = "",
+        payload: Any = None,
+        size_bytes: int = CONTROL_MESSAGE_OVERHEAD_BYTES,
+        msg_id: Optional[int] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        ensure(msg_type != "", "message type must not be empty")
+        ensure(size_bytes >= 0, "message size must be non-negative")
+        self.msg_type = msg_type
+        self.sender = sender
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self.msg_id = next(_MESSAGE_IDS) if msg_id is None else msg_id
+        self._metadata = metadata
+
+    @property
+    def metadata(self) -> Dict[str, Any]:
+        """Annotation dict, created lazily on first access."""
+        if self._metadata is None:
+            self._metadata = {}
+        return self._metadata
 
     def annotated(self, **extra: Any) -> "Message":
         """Return self after merging ``extra`` into the metadata (chainable)."""
         self.metadata.update(extra)
         return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return "Message(msg_type=%r, sender=%r, size_bytes=%d, msg_id=%d)" % (
+            self.msg_type,
+            self.sender,
+            self.size_bytes,
+            self.msg_id,
+        )

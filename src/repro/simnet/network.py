@@ -1,52 +1,45 @@
-"""The simulated network: nodes, links, and flow-based transport.
+"""The simulated network: topology, fault seams, and transport wiring.
 
-Transport model
----------------
+``SimNetwork`` is deliberately thin.  It owns the pieces every transport
+shares — the node registry, per-node :class:`LinkConfig` capacities, pairwise
+propagation latencies, byte/message accounting, and the fault-injection
+seams — and delegates everything about *moving bytes* to the layered
+transport pipeline:
+
+* a :class:`~repro.simnet.linkmodel.LinkModel` (selected by name through the
+  link-model registry; the ``transport`` constructor argument) decides what
+  instantaneous rate each flow gets;
+* a :class:`~repro.simnet.flows.FlowScheduler` (chosen automatically from the
+  model's coupling regime) owns flow lifecycle: progress advancement,
+  completion-time maintenance, and per-flow timeouts.
 
 Every message becomes a *flow* of ``size_bytes`` from the sender's uplink to
-the receiver's downlink.  Two scheduling policies are provided:
-
-``"fair"`` (default)
-    All flows sharing an uplink (or downlink) split its capacity equally;
-    a flow's instantaneous rate is ``min(uplink_share, downlink_share)``.
-    This approximates many parallel TCP connections, which is how Tor
-    authorities actually push and serve votes.
-
-``"fifo"``
-    Each uplink serves its flows strictly in arrival order (one at a time,
-    at full rate); the downlink is shared fairly among the flows currently
-    being served into it.  Useful as an ablation of the link model.
-
-Rates only change at discrete instants — a flow starts, a flow finishes or
-times out, or a bandwidth schedule hits a breakpoint — so the transport
-advances flow progress lazily and reschedules a single "recompute" event at
-the earliest next instant.  When a flow completes, the message is delivered
-to the destination node after the pairwise propagation latency.
-
-Per-flow timeouts model directory connection timeouts: a flow that has not
-completed ``timeout`` seconds after it was initiated is aborted, the receiver
-never sees it, and the sender's ``on_timeout`` callback fires (this is what
+the receiver's downlink; when a flow completes, the message is delivered to
+the destination node after the pairwise propagation latency.  Per-flow
+timeouts model directory connection timeouts: a flow that has not completed
+``timeout`` seconds after it was initiated is aborted, the receiver never
+sees it, and the sender's ``on_timeout`` callback fires (this is what
 produces the "Giving up downloading votes" behaviour of Figure 1).
+
+The fault injector is consulted at send initiation (drop / rewrite), at the
+delivery instant (drop), for extra delivery jitter, and when node timers
+fire (crash suppression) — the same seams as before the transport split, so
+fault plans behave identically under every link model.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.simnet.bandwidth import BandwidthSchedule
 from repro.simnet.engine import EventHandle, Simulator
+from repro.simnet.flows import Flow, FlowScheduler, make_flow_scheduler
+from repro.simnet.linkmodel import LinkModel, get_link_model, link_model_names
 from repro.simnet.message import Message
 from repro.simnet.node import ProtocolNode
 from repro.simnet.trace import TraceLog
 from repro.utils.validation import ReproError, ValidationError, ensure
-
-#: Residual bytes below which a flow counts as complete (floating-point slack).
-_COMPLETION_EPSILON_BYTES = 1e-6
-
-#: Slack when comparing virtual times.
-_TIME_EPSILON = 1e-9
 
 
 @dataclass(frozen=True)
@@ -111,79 +104,62 @@ class TransferStats:
         return sum(self.bytes_delivered.values())
 
 
-class _Flow:
-    """Internal per-transfer state."""
-
-    __slots__ = (
-        "flow_id",
-        "src",
-        "dst",
-        "message",
-        "remaining",
-        "start_time",
-        "deadline",
-        "rate",
-        "on_timeout",
-        "on_delivered",
-    )
-
-    def __init__(
-        self,
-        flow_id: int,
-        src: str,
-        dst: str,
-        message: Message,
-        start_time: float,
-        deadline: Optional[float],
-        on_timeout: Optional[Callable[[Message, str], None]],
-        on_delivered: Optional[Callable[[Message, str, float], None]],
-    ) -> None:
-        self.flow_id = flow_id
-        self.src = src
-        self.dst = dst
-        self.message = message
-        self.remaining = float(message.size_bytes)
-        self.start_time = start_time
-        self.deadline = deadline
-        self.rate = 0.0
-        self.on_timeout = on_timeout
-        self.on_delivered = on_delivered
-
-
 class UnknownNodeError(ReproError):
     """Raised when sending to or from a node that was never added."""
 
 
 class SimNetwork:
-    """Nodes plus the flow-based transport connecting them."""
-
-    SCHEDULING_POLICIES = ("fair", "fifo")
+    """Nodes plus the pluggable flow-based transport connecting them."""
 
     def __init__(
         self,
         simulator: Optional[Simulator] = None,
-        scheduling: str = "fair",
+        scheduling: Optional[str] = None,
         default_latency_s: float = 0.05,
         trace: Optional[TraceLog] = None,
+        transport: Union[str, LinkModel, None] = None,
     ) -> None:
-        if scheduling not in self.SCHEDULING_POLICIES:
-            raise ValidationError(
-                "scheduling must be one of %r, got %r" % (self.SCHEDULING_POLICIES, scheduling)
-            )
+        """Build a network.
+
+        ``transport`` selects the link model — a registry name (``"fair"``,
+        ``"fifo"``, ``"latency-only"``) or a :class:`LinkModel` instance for
+        unregistered experiments.  ``scheduling`` is the deprecated pre-v3
+        name for the same argument.
+        """
+        if transport is None:
+            transport = "fair" if scheduling is None else scheduling
+        elif scheduling is not None:
+            raise ValidationError("pass either transport or scheduling, not both")
+        model = transport if isinstance(transport, LinkModel) else get_link_model(transport)
         ensure(default_latency_s >= 0, "default latency must be non-negative")
         self.simulator = simulator or Simulator()
         self.trace = trace or TraceLog()
         self.stats = TransferStats()
-        self._scheduling = scheduling
         self._default_latency = default_latency_s
         self._nodes: Dict[str, ProtocolNode] = {}
         self._links: Dict[str, LinkConfig] = {}
         self._latency: Dict[Tuple[str, str], float] = {}
-        self._flows: Dict[int, _Flow] = {}
-        self._flow_ids = itertools.count(1)
-        self._last_update = 0.0
-        self._pending_recompute: Optional[EventHandle] = None
+        self._model = model
+        self._scheduler: FlowScheduler = make_flow_scheduler(
+            model, self.simulator, self._links, self._complete_flow, self._expire_flow
+        )
         self._fault_injector = None
+
+    # -- transport introspection -----------------------------------------------
+    @property
+    def transport_name(self) -> str:
+        """Registry name of the active link model."""
+        return self._model.name
+
+    @property
+    def link_model(self) -> LinkModel:
+        """The active link model instance."""
+        return self._model
+
+    @staticmethod
+    def available_transports() -> Tuple[str, ...]:
+        """Names accepted by the ``transport`` constructor argument."""
+        return link_model_names()
 
     # -- fault injection --------------------------------------------------------
     def set_fault_injector(self, injector) -> None:
@@ -243,7 +219,7 @@ class SimNetwork:
         if name not in self._nodes:
             raise UnknownNodeError("unknown node %r" % name)
         self._links[name] = link
-        self._schedule_recompute(self.simulator.now)
+        self._scheduler.on_link_replaced(name, self.simulator.now)
 
     # -- node timers ---------------------------------------------------------
     def schedule_node_timer(
@@ -319,12 +295,12 @@ class SimNetwork:
         if message.size_bytes <= 0:
             self.simulator.schedule_in(
                 self._delivery_latency(sender, destination),
-                self._deliver, None, sender, destination, message, on_delivered,
+                self._deliver, sender, destination, message, on_delivered,
             )
             return 0
 
-        flow = _Flow(
-            flow_id=next(self._flow_ids),
+        flow = Flow(
+            flow_id=self.simulator.next_serial(),
             src=sender,
             dst=destination,
             message=message,
@@ -333,16 +309,32 @@ class SimNetwork:
             on_timeout=on_timeout,
             on_delivered=on_delivered,
         )
-        self._advance_progress(now)
-        self._flows[flow.flow_id] = flow
-        self._recompute(now)
+        self._scheduler.start_flow(flow, now)
         return flow.flow_id
 
-    # -- flow machinery ----------------------------------------------------------
     def active_flow_count(self) -> int:
         """Number of in-flight transfers (mostly for tests and debugging)."""
-        return len(self._flows)
+        return self._scheduler.active_count()
 
+    # -- scheduler callbacks -----------------------------------------------------
+    def _complete_flow(self, flow: Flow) -> None:
+        """A flow finished moving bytes; deliver after propagation latency."""
+        self.simulator.schedule_in(
+            self._delivery_latency(flow.src, flow.dst),
+            self._deliver,
+            flow.src,
+            flow.dst,
+            flow.message,
+            flow.on_delivered,
+        )
+
+    def _expire_flow(self, flow: Flow) -> None:
+        """A flow hit its deadline; account it and notify the sender."""
+        self.stats.record_timeout()
+        if flow.on_timeout is not None:
+            flow.on_timeout(flow.message, flow.dst)
+
+    # -- delivery ---------------------------------------------------------------
     def _delivery_latency(self, sender: str, destination: str) -> float:
         """Propagation latency plus any fault-injected jitter for one delivery."""
         latency = self.latency(sender, destination)
@@ -352,7 +344,6 @@ class SimNetwork:
 
     def _deliver(
         self,
-        flow: Optional[_Flow],
         sender: str,
         destination: str,
         message: Message,
@@ -367,98 +358,3 @@ class SimNetwork:
         if on_delivered is not None:
             on_delivered(message, destination, self.simulator.now)
         self._nodes[destination].receive(message)
-
-    def _advance_progress(self, now: float) -> None:
-        elapsed = now - self._last_update
-        if elapsed > 0:
-            for flow in self._flows.values():
-                flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
-        self._last_update = now
-
-    def _flow_rates(self, now: float) -> None:
-        """Assign each active flow its instantaneous rate under the policy."""
-        if not self._flows:
-            return
-        uplink_users: Dict[str, List[_Flow]] = {}
-        for flow in self._flows.values():
-            uplink_users.setdefault(flow.src, []).append(flow)
-
-        if self._scheduling == "fair":
-            eligible = list(self._flows.values())
-        else:  # fifo: only the oldest flow per uplink transmits
-            eligible = []
-            for flows in uplink_users.values():
-                flows.sort(key=lambda f: f.flow_id)
-                eligible.append(flows[0])
-
-        eligible_ids = {flow.flow_id for flow in eligible}
-        up_counts: Dict[str, int] = {}
-        down_counts: Dict[str, int] = {}
-        for flow in eligible:
-            up_counts[flow.src] = up_counts.get(flow.src, 0) + 1
-            down_counts[flow.dst] = down_counts.get(flow.dst, 0) + 1
-
-        for flow in self._flows.values():
-            if flow.flow_id not in eligible_ids:
-                flow.rate = 0.0
-                continue
-            up_rate = self._links[flow.src].uplink.rate_at(now)
-            down_rate = self._links[flow.dst].downlink.rate_at(now)
-            up_share = up_rate / up_counts[flow.src]
-            down_share = down_rate / down_counts[flow.dst]
-            flow.rate = min(up_share, down_share)
-
-    def _recompute(self, now: Optional[float] = None) -> None:
-        now = self.simulator.now if now is None else now
-        self._advance_progress(now)
-
-        # Completions.
-        completed = [f for f in self._flows.values() if f.remaining <= _COMPLETION_EPSILON_BYTES]
-        for flow in completed:
-            del self._flows[flow.flow_id]
-            self.simulator.schedule_in(
-                self._delivery_latency(flow.src, flow.dst),
-                self._deliver,
-                flow,
-                flow.src,
-                flow.dst,
-                flow.message,
-                flow.on_delivered,
-            )
-
-        # Timeouts.
-        expired = [
-            f
-            for f in self._flows.values()
-            if f.deadline is not None and now >= f.deadline - _TIME_EPSILON
-        ]
-        for flow in expired:
-            del self._flows[flow.flow_id]
-            self.stats.record_timeout()
-            if flow.on_timeout is not None:
-                flow.on_timeout(flow.message, flow.dst)
-
-        # New rates and the next instant at which anything can change.
-        self._flow_rates(now)
-        self._schedule_recompute(now)
-
-    def _schedule_recompute(self, now: float) -> None:
-        if self._pending_recompute is not None:
-            self._pending_recompute.cancel()
-            self._pending_recompute = None
-        if not self._flows:
-            return
-        candidates: List[float] = []
-        for flow in self._flows.values():
-            if flow.rate > 0:
-                candidates.append(now + flow.remaining / flow.rate)
-            if flow.deadline is not None:
-                candidates.append(flow.deadline)
-            for schedule in (self._links[flow.src].uplink, self._links[flow.dst].downlink):
-                change = schedule.next_change_after(now)
-                if change is not None:
-                    candidates.append(change)
-        if not candidates:
-            return
-        next_time = max(min(candidates), now)
-        self._pending_recompute = self.simulator.schedule(next_time, self._recompute)

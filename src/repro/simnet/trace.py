@@ -10,9 +10,9 @@ benchmark print.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from datetime import datetime, timedelta
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, List, Optional
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,6 @@ from repro.consensus.tendermint import TendermintEngine
 from repro.consensus.interfaces import (
     BroadcastAction,
     ConsensusMessage,
-    DecideAction,
     SendAction,
     SetTimerAction,
 )
@@ -156,7 +155,8 @@ class TestPBFT:
 
 class TestTendermint:
     def test_nil_prevote_for_invalid_proposal(self):
-        validator = lambda value: value == "good"
+        def validator(value):
+            return value == "good"
         engine = TendermintEngine(config_for("n1", validator=validator))
         engine.start("good")
         actions = engine.on_message(

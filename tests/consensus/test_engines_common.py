@@ -10,7 +10,7 @@ healing (GST), and respect for the external-validity predicate.
 import pytest
 
 from repro.consensus import ENGINE_REGISTRY, EngineConfig, LocalDriver, make_engine
-from repro.consensus.driver import gst_delivery, partition_delivery, synchronous_delivery
+from repro.consensus.driver import gst_delivery, partition_delivery
 
 ENGINES = sorted(ENGINE_REGISTRY)
 
@@ -101,7 +101,8 @@ def test_decides_despite_gst_delay(engine_name):
 def test_external_validity_rejects_invalid_leader_value(engine_name):
     # The view-0 leader's input is invalid; agreement must settle on a valid
     # value from a later leader instead of the invalid one.
-    validator = lambda value: isinstance(value, str) and value.startswith("valid")
+    def validator(value):
+        return isinstance(value, str) and value.startswith("valid")
     nodes, engines = build(engine_name, node_count=4, validator=validator, base_timeout=2.0)
     driver = LocalDriver(engines)
     inputs = {name: "valid-%s" % name for name in nodes}

@@ -6,7 +6,6 @@ latencies; under every sampled schedule the engines must preserve agreement
 schedule eventually heals, termination as well.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.consensus import ENGINE_REGISTRY, EngineConfig, LocalDriver, make_engine

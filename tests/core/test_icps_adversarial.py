@@ -1,6 +1,5 @@
 """ICPS under Byzantine participants and adverse schedules (incl. property-based)."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.attack.adversary import (
@@ -9,7 +8,7 @@ from repro.attack.adversary import (
     SilentICPSAdversary,
 )
 from repro.consensus import LocalDriver
-from repro.consensus.driver import gst_delivery, partition_delivery
+from repro.consensus.driver import gst_delivery
 from repro.core import (
     Document,
     ICPSConfig,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.crypto.keys import KeyPair, KeyRing
-from repro.directory.consensus_doc import ConsensusDocument, ConsensusSignature
+from repro.directory.consensus_doc import ConsensusDocument
 from repro.directory.relay import Relay
 
 

@@ -96,12 +96,12 @@ def test_scheduling_ablation_is_robust():
     by_variant = {}
     for cell in cells:
         by_variant.setdefault(cell.variant, {})[cell.protocol] = cell
-    # The qualitative outcome must not depend on the link-scheduling model.
+    # The qualitative outcome must not depend on the transport link model.
     for variant, per_protocol in by_variant.items():
         assert per_protocol["current"].success
         assert per_protocol["ours"].success
-    text = render_ablation(cells, "scheduling ablation")
-    assert "scheduling=fair" in text and "scheduling=fifo" in text
+    text = render_ablation(cells, "transport ablation")
+    assert "transport=fair" in text and "transport=fifo" in text
 
 
 def test_engine_ablation_all_engines_succeed():

@@ -1,0 +1,77 @@
+"""Scaling-sweep experiment tests (small N; the 10× point runs in benchmarks)."""
+
+import json
+
+from repro.experiments.scaling_sweep import (
+    ScalingCell,
+    render_scaling,
+    run_scaling_sweep,
+    scaling_specs,
+    speedup_at,
+    write_bench_json,
+)
+
+
+def synthetic_cells():
+    def cell(transport, authority_count, wall):
+        return ScalingCell(
+            protocol="current",
+            transport=transport,
+            authority_count=authority_count,
+            relay_count=200,
+            success=True,
+            wall_clock_s=wall,
+            virtual_end_s=600.0,
+            messages_sent=100,
+        )
+
+    return [
+        cell("fair", 9, 0.2),
+        cell("latency-only", 9, 0.1),
+        cell("fair", 90, 40.0),
+        cell("latency-only", 90, 10.0),
+    ]
+
+
+def test_scaling_specs_carry_the_transport_and_authority_grid():
+    specs = scaling_specs(authority_counts=(5, 10), transports=("fair", "latency-only"))
+    assert len(specs) == 4
+    assert {spec.transport for spec in specs} == {"fair", "latency-only"}
+    assert {spec.authority_count for spec in specs} == {5, 10}
+    # Transport joins the spec hash: same grid point, different cache cells.
+    fair, latency_only = specs[0], specs[1]
+    assert fair.authority_count == latency_only.authority_count
+    assert fair.spec_hash() != latency_only.spec_hash()
+
+
+def test_small_scaling_sweep_runs_and_reports(tmp_path):
+    cells = run_scaling_sweep(
+        authority_counts=(5,), relay_count=30, max_time=600.0
+    )
+    assert len(cells) == 2
+    assert all(cell.success for cell in cells)
+    assert all(cell.wall_clock_s > 0 for cell in cells)
+    # Identical protocol work under both transports.
+    assert cells[0].messages_sent == cells[1].messages_sent
+
+    text = render_scaling(cells)
+    assert "latency-only" in text and "fair" in text
+
+    out = write_bench_json(cells, tmp_path / "BENCH_scaling.json")
+    payload = json.loads(out.read_text())
+    assert payload["format"] == 1
+    assert len(payload["cells"]) == 2
+    assert "current@5" in payload["speedup_fair_to_latency_only"]
+
+
+def test_speedup_at_reads_the_grid_point():
+    cells = synthetic_cells()
+    assert speedup_at(cells, 90) == 4.0
+    assert speedup_at(cells, 9) == 2.0
+    assert speedup_at(cells, 42) is None
+    assert speedup_at(cells, 90, protocol="ours") is None
+
+
+def test_render_scaling_annotates_speedups():
+    text = render_scaling(synthetic_cells())
+    assert "N=90 current: latency-only is 4.0x faster than fair" in text

@@ -35,18 +35,23 @@ AUTHORITY_COUNT = 5
 RELAY_COUNT = 30
 MAX_TIME = 700.0
 
+#: Every registered transport model; fault enforcement happens at the
+#: network seams, so the invariants must hold under all of them.
+TRANSPORTS = ("fair", "fifo", "latency-only")
+
 SLOW_PROPERTY = settings(
     max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow]
 )
 
 
-def base_spec(protocol: str, seed: int, plan: FaultPlan) -> RunSpec:
+def base_spec(protocol: str, seed: int, plan: FaultPlan, transport: str = "fair") -> RunSpec:
     return RunSpec(
         protocol=protocol,
         relay_count=RELAY_COUNT,
         authority_count=AUTHORITY_COUNT,
         seed=seed,
         max_time=MAX_TIME,
+        transport=transport,
         fault_plan=plan,
     )
 
@@ -97,10 +102,13 @@ def random_fault_plan(seed: int, authority_count: int = AUTHORITY_COUNT) -> Faul
 @given(
     seed=st.integers(min_value=0, max_value=2**31 - 1),
     protocol=st.sampled_from(PROTOCOL_NAMES),
+    transport=st.sampled_from(TRANSPORTS),
 )
-def test_random_plans_replay_deterministically_and_account_consistently(seed, protocol):
+def test_random_plans_replay_deterministically_and_account_consistently(
+    seed, protocol, transport
+):
     plan = random_fault_plan(seed)
-    spec = base_spec(protocol, seed=seed % 1000, plan=plan)
+    spec = base_spec(protocol, seed=seed % 1000, plan=plan, transport=transport)
     first = execute_spec(spec).summary()
     second = execute_spec(spec).summary()
     assert first == second  # same spec + seed ⇒ identical summary
@@ -149,9 +157,10 @@ def test_faulted_sweep_is_identical_serial_and_parallel(tmp_path):
         FaultPlan.byzantine(0, "equivocate") | FaultPlan.crash(2, [(20.0, 120.0)]),
     ]
     specs = [
-        base_spec(protocol, seed=13, plan=plan)
+        base_spec(protocol, seed=13, plan=plan, transport=transport)
         for plan in plans
         for protocol in ("current", "ours")
+        for transport in TRANSPORTS
     ]
     serial = SweepExecutor(workers=1).run_summaries(specs)
     cache = ResultCache(tmp_path / "cache")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import AuthorityFault, FaultPlan, LinkFault
+from repro.faults.plan import FaultPlan, LinkFault
 from repro.simnet.message import Message
 from repro.simnet.network import LinkConfig, SimNetwork
 from repro.simnet.node import ProtocolNode

@@ -1,6 +1,5 @@
 """Current (v3) directory protocol behaviour tests."""
 
-import pytest
 
 from repro.attack.ddos import DDoSAttackPlan
 from repro.protocols.base import DirectoryProtocolConfig

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.protocols.base import DirectoryProtocolConfig
 from repro.protocols.runner import PROTOCOL_NAMES, build_scenario, run_protocol
 from repro.simnet.bandwidth import BandwidthSchedule
 from repro.utils.validation import ValidationError

@@ -1,6 +1,5 @@
 """Synchronous (Luo et al.) protocol behaviour tests."""
 
-import pytest
 
 from repro.protocols.base import DirectoryProtocolConfig
 from repro.protocols.runner import build_scenario, run_protocol

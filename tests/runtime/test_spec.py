@@ -37,7 +37,7 @@ def test_spec_hash_is_stable_and_sensitive_to_every_field():
         base.derive(bandwidth_mbps=10.0),
         base.derive(seed=8),
         base.derive(engine="pbft"),
-        base.derive(scheduling="fifo"),
+        base.derive(transport="fifo"),
         base.derive(max_time=60.0),
         base.derive(config_overrides=(("connection_timeout", 30.0),)),
         base.with_attacked_bandwidth((0, 1), 0.5),
@@ -140,6 +140,39 @@ def test_sweep_grid_order_matches_figure_loops():
         relay_counts=(1000, 2000),
         seed=3,
     ).sweep_hash()
+
+
+# -- transport model on specs (PR 3) -------------------------------------------
+
+def test_transport_is_validated_against_the_link_model_registry():
+    assert RunSpec(protocol="current", relay_count=10, transport="latency-only")
+    with pytest.raises(Exception):
+        RunSpec(protocol="current", relay_count=10, transport="token-ring")
+
+
+def test_transport_round_trips_and_differentiates_the_hash():
+    fair = RunSpec(protocol="current", relay_count=10)
+    fast = fair.derive(transport="latency-only")
+    assert fair.spec_hash() != fast.spec_hash()
+    rebuilt = RunSpec.from_dict(fast.to_dict())
+    assert rebuilt == fast
+    assert rebuilt.transport == "latency-only"
+
+
+def test_v2_dicts_with_the_scheduling_key_still_deserialize():
+    spec = RunSpec(protocol="current", relay_count=10, transport="fifo")
+    legacy = spec.to_dict()
+    legacy["format"] = 2
+    legacy["scheduling"] = legacy.pop("transport")
+    rebuilt = RunSpec.from_dict(legacy)
+    assert rebuilt == spec
+    assert rebuilt.spec_hash() == spec.spec_hash()
+
+
+def test_scheduling_survives_as_a_deprecated_alias():
+    spec = RunSpec(protocol="current", relay_count=10, transport="fifo")
+    assert spec.scheduling == "fifo"
+    assert spec.derive(scheduling="fair").transport == "fair"
 
 
 # -- fault plans on specs (PR 2) ----------------------------------------------

@@ -55,6 +55,56 @@ def test_time_to_transfer_infinite_when_rate_zero_forever():
     assert schedule.time_to_transfer(1, start=0.0) == math.inf
 
 
+# -- integration primitives at breakpoint boundaries ---------------------------
+
+def test_capacity_between_with_interior_zero_rate_segments():
+    # 100 B/s with TWO dead windows; integration must step through each
+    # breakpoint without double-counting either boundary.
+    schedule = (
+        BandwidthSchedule.constant(100.0)
+        .with_window(10, 20, 0.0)
+        .with_window(30, 40, 0.0)
+    )
+    assert schedule.capacity_between(0, 50) == pytest.approx(100.0 * 30)
+    # Intervals that start/end exactly ON breakpoints.
+    assert schedule.capacity_between(10, 30) == pytest.approx(100.0 * 10)
+    assert schedule.capacity_between(20, 40) == pytest.approx(100.0 * 10)
+    assert schedule.capacity_between(20, 20) == 0.0
+
+
+def test_time_to_transfer_spanning_three_or_more_segments():
+    # Rates 1000 / 100 / 0 / 500 across [0,10) [10,20) [20,30) [30,inf).
+    schedule = BandwidthSchedule(
+        [0.0, 10.0, 20.0, 30.0], [1000.0, 100.0, 0.0, 500.0]
+    )
+    # 10000 in the first segment exactly; then 1000 across the second; the
+    # dead third contributes nothing; 2000 remain for the fourth: 4 s more.
+    total = 10_000 + 1_000 + 2_000
+    assert schedule.time_to_transfer(total, start=0.0) == pytest.approx(34.0)
+    # Capacity over the same horizon agrees with the transfer time.
+    assert schedule.capacity_between(0.0, 34.0) == pytest.approx(total)
+
+
+def test_time_to_transfer_exactly_on_a_breakpoint():
+    schedule = BandwidthSchedule([0.0, 10.0], [1000.0, 500.0])
+    # Finishing exactly AT the breakpoint uses only the first-segment rate...
+    assert schedule.time_to_transfer(10_000, start=0.0) == pytest.approx(10.0)
+    # ...one more byte must dip into the second segment's slower rate.
+    assert schedule.time_to_transfer(10_001, start=0.0) == pytest.approx(10.0 + 1 / 500.0)
+    # Starting exactly ON the breakpoint sees the post-breakpoint rate.
+    assert schedule.time_to_transfer(500, start=10.0) == pytest.approx(11.0)
+    assert schedule.rate_at(10.0) == 500.0
+
+
+def test_zero_byte_transfer_on_a_breakpoint_and_in_a_dead_segment():
+    schedule = BandwidthSchedule.constant(100.0).with_window(10, 20, 0.0)
+    # Zero bytes complete instantly everywhere, even where the rate is zero.
+    assert schedule.time_to_transfer(0, start=10.0) == 10.0
+    assert schedule.time_to_transfer(0, start=15.0) == 15.0
+    # A real transfer started inside the dead window waits for its end.
+    assert schedule.time_to_transfer(100, start=15.0) == pytest.approx(21.0)
+
+
 def test_invalid_schedules_rejected():
     with pytest.raises(Exception):
         BandwidthSchedule([1.0], [10.0])  # must start at 0

@@ -1,0 +1,166 @@
+"""Link-model layer tests: registry, rate policies, scheduler selection."""
+
+import pytest
+
+from repro.simnet.flows import (
+    Flow,
+    IndependentFlowScheduler,
+    SharedLinkScheduler,
+    make_flow_scheduler,
+)
+from repro.simnet.linkmodel import (
+    FairShareLinkModel,
+    FifoLinkModel,
+    LatencyOnlyLinkModel,
+    LinkModel,
+    get_link_model,
+    link_model_names,
+    register_link_model,
+)
+from repro.simnet.message import Message
+from repro.simnet.network import LinkConfig, SimNetwork
+from repro.utils.validation import ValidationError
+
+
+def make_flow(flow_id, src, dst, size=1_000_000):
+    return Flow(
+        flow_id=flow_id,
+        src=src,
+        dst=dst,
+        message=Message(msg_type="DOC", size_bytes=size),
+        start_time=0.0,
+        deadline=None,
+        on_timeout=None,
+        on_delivered=None,
+    )
+
+
+def links_for(mbps_by_node):
+    return {name: LinkConfig.symmetric_mbps(mbps) for name, mbps in mbps_by_node.items()}
+
+
+# -- registry ------------------------------------------------------------------
+
+def test_registry_knows_the_three_shipped_models():
+    assert set(link_model_names()) >= {"fair", "fifo", "latency-only"}
+    assert isinstance(get_link_model("fair"), FairShareLinkModel)
+    assert isinstance(get_link_model("fifo"), FifoLinkModel)
+    assert isinstance(get_link_model("latency-only"), LatencyOnlyLinkModel)
+
+
+def test_unknown_transport_is_rejected_with_the_known_names():
+    with pytest.raises(ValidationError) as excinfo:
+        get_link_model("weighted")
+    assert "fair" in str(excinfo.value)
+
+
+def test_registering_a_custom_model_and_name_collisions():
+    class WeightedModel(LinkModel):
+        name = "test-weighted"
+        shared = False
+
+        def flow_rate(self, flow, links, now):
+            return 1.0
+
+    try:
+        register_link_model(WeightedModel)
+        assert "test-weighted" in link_model_names()
+        # Re-registering the same class is idempotent...
+        register_link_model(WeightedModel)
+
+        class Impostor(LinkModel):
+            name = "test-weighted"
+
+        # ...but a different class may not steal the name.
+        with pytest.raises(ValidationError):
+            register_link_model(Impostor)
+        # A registered model is constructible through SimNetwork.
+        network = SimNetwork(transport="test-weighted")
+        assert network.transport_name == "test-weighted"
+    finally:
+        from repro.simnet.linkmodel import LINK_MODELS
+
+        LINK_MODELS.pop("test-weighted", None)
+
+
+def test_nameless_models_are_rejected():
+    class Nameless(LinkModel):
+        pass
+
+    with pytest.raises(ValidationError):
+        register_link_model(Nameless)
+
+
+def test_scheduler_selection_follows_the_coupling_flag():
+    links = {}
+    sched = make_flow_scheduler(get_link_model("fair"), None, links, None, None)
+    assert isinstance(sched, SharedLinkScheduler)
+    sched = make_flow_scheduler(get_link_model("latency-only"), None, links, None, None)
+    assert isinstance(sched, IndependentFlowScheduler)
+
+
+# -- rate policies -------------------------------------------------------------
+
+def test_fair_model_splits_each_link_equally():
+    model = FairShareLinkModel()
+    links = links_for({"a": 8.0, "b": 8.0, "c": 8.0})  # 1 MB/s each
+    flows = {1: make_flow(1, "a", "b"), 2: make_flow(2, "a", "c")}
+    model.assign_rates(flows, links, now=0.0)
+    # Two flows share a's uplink: 500 kB/s each; downlinks are uncontended.
+    assert flows[1].rate == pytest.approx(500_000.0)
+    assert flows[2].rate == pytest.approx(500_000.0)
+
+
+def test_fair_model_scoped_assignment_matches_full_recompute():
+    model = FairShareLinkModel()
+    links = links_for({"a": 8.0, "b": 8.0, "c": 4.0, "d": 2.0})
+    flows = {
+        1: make_flow(1, "a", "b"),
+        2: make_flow(2, "a", "c"),
+        3: make_flow(3, "d", "b"),
+        4: make_flow(4, "c", "d"),
+    }
+    model.assign_rates(flows, links, now=0.0)
+    full = {fid: flow.rate for fid, flow in flows.items()}
+
+    by_src, by_dst = {}, {}
+    for flow in flows.values():
+        by_src.setdefault(flow.src, {})[flow.flow_id] = flow
+        by_dst.setdefault(flow.dst, {})[flow.flow_id] = flow
+
+    class Counts:
+        def __init__(self, index):
+            self.index = index
+
+        def __getitem__(self, name):
+            return len(self.index[name])
+
+    for flow in flows.values():
+        flow.rate = -1.0
+    model.assign_rates(
+        flows,
+        links,
+        now=0.0,
+        affected=list(flows.values()),
+        up_counts=Counts(by_src),
+        down_counts=Counts(by_dst),
+    )
+    assert {fid: flow.rate for fid, flow in flows.items()} == full
+
+
+def test_fifo_model_serves_one_flow_per_uplink():
+    model = FifoLinkModel()
+    links = links_for({"a": 8.0, "b": 8.0, "c": 8.0})
+    flows = {1: make_flow(1, "a", "b"), 2: make_flow(2, "a", "c")}
+    model.assign_rates(flows, links, now=0.0)
+    assert flows[1].rate == pytest.approx(1_000_000.0)  # oldest gets full rate
+    assert flows[2].rate == 0.0  # queued behind it
+
+
+def test_latency_only_model_gives_every_flow_the_full_min_capacity():
+    model = LatencyOnlyLinkModel()
+    assert model.shared is False
+    links = links_for({"a": 8.0, "b": 4.0})
+    flow = make_flow(1, "a", "b")
+    # min(1 MB/s uplink, 500 kB/s downlink) regardless of other flows.
+    assert model.flow_rate(flow, links, 0.0) == pytest.approx(500_000.0)

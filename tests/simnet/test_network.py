@@ -8,6 +8,8 @@ from repro.simnet.network import LinkConfig, SimNetwork, UnknownNodeError
 from repro.simnet.node import ProtocolNode
 from repro.utils.validation import ValidationError
 
+ALL_TRANSPORTS = ("fair", "fifo", "latency-only")
+
 
 class Recorder(ProtocolNode):
     """Node that records every delivery."""
@@ -20,8 +22,8 @@ class Recorder(ProtocolNode):
         self.received.append((message.msg_type, message.sender, now, message.size_bytes))
 
 
-def make_network(node_names, mbps=8.0, latency=0.0, scheduling="fair"):
-    network = SimNetwork(scheduling=scheduling, default_latency_s=latency)
+def make_network(node_names, mbps=8.0, latency=0.0, transport="fair"):
+    network = SimNetwork(transport=transport, default_latency_s=latency)
     nodes = {}
     for name in node_names:
         node = Recorder(name)
@@ -58,7 +60,7 @@ def test_fair_sharing_splits_uplink():
 
 
 def test_fifo_serves_uplink_in_order():
-    network, nodes = make_network(["a", "b", "c"], mbps=8.0, scheduling="fifo")
+    network, nodes = make_network(["a", "b", "c"], mbps=8.0, transport="fifo")
     network.send("a", "b", Message(msg_type="DOC", size_bytes=1_000_000))
     network.send("a", "c", Message(msg_type="DOC", size_bytes=1_000_000))
     network.run()
@@ -143,6 +145,10 @@ def test_errors_for_bad_usage():
         network.add_node(Recorder("a"), LinkConfig.symmetric_mbps(1))
     with pytest.raises(ValidationError):
         SimNetwork(scheduling="weighted")
+    with pytest.raises(ValidationError):
+        SimNetwork(transport="weighted")
+    with pytest.raises(ValidationError):
+        SimNetwork(transport="fair", scheduling="fifo")
 
 
 def test_broadcast_helper_sends_to_all_peers():
@@ -165,3 +171,151 @@ def test_set_link_mid_run_affects_future_transfers():
     network.run()
     second_arrival = nodes["b"].received[1][2]
     assert second_arrival - first_arrival > 9.0
+
+
+# -- the latency-only fast model ----------------------------------------------
+
+def test_latency_only_flows_do_not_share_bandwidth():
+    # Two concurrent 1 MB transfers over one 1 MB/s uplink BOTH finish at
+    # ~1 s: the whole point of the model is that concurrency is free.
+    network, nodes = make_network(["a", "b", "c"], mbps=8.0, transport="latency-only")
+    network.send("a", "b", Message(msg_type="DOC", size_bytes=1_000_000))
+    network.send("a", "c", Message(msg_type="DOC", size_bytes=1_000_000))
+    network.run()
+    assert nodes["b"].received[0][2] == pytest.approx(1.0, abs=1e-6)
+    assert nodes["c"].received[0][2] == pytest.approx(1.0, abs=1e-6)
+
+
+def test_latency_only_respects_the_slower_link_side():
+    network = SimNetwork(transport="latency-only", default_latency_s=0.0)
+    fast, slow = Recorder("fast"), Recorder("slow")
+    network.add_node(fast, LinkConfig.symmetric_mbps(8.0))  # 1 MB/s
+    network.add_node(slow, LinkConfig.symmetric_mbps(4.0))  # 500 kB/s
+    network.send("fast", "slow", Message(msg_type="DOC", size_bytes=1_000_000))
+    network.run()
+    assert slow.received[0][2] == pytest.approx(2.0, abs=1e-6)
+
+
+def test_latency_only_timeouts_and_throttling_windows_still_apply():
+    # Destination throttled to ~zero on [0, 10): the transfer stalls through
+    # the window and completes shortly after it lifts; a tighter deadline
+    # aborts a second transfer inside the window.
+    network = SimNetwork(transport="latency-only", default_latency_s=0.0)
+    sender, receiver = Recorder("a"), Recorder("b")
+    throttled = BandwidthSchedule.constant(1_000_000.0).with_window(0, 10, 1.0)
+    network.add_node(sender, LinkConfig.symmetric_mbps(80.0))
+    network.add_node(receiver, LinkConfig.symmetric(throttled))
+    timed_out = []
+    network.send("a", "b", Message(msg_type="DOC", size_bytes=1_000_000))
+    network.send(
+        "a",
+        "b",
+        Message(msg_type="DOC", size_bytes=1_000_000),
+        timeout=5.0,
+        on_timeout=lambda message, dst: timed_out.append(dst),
+    )
+    network.run()
+    assert timed_out == ["b"]
+    assert len(receiver.received) == 1
+    assert 10.0 < receiver.received[0][2] < 11.1
+    assert network.stats.messages_timed_out == 1
+
+
+def test_latency_only_set_link_rerates_in_flight_flows():
+    network, nodes = make_network(["a", "b"], mbps=8.0, transport="latency-only")
+    network.send("a", "b", Message(msg_type="DOC", size_bytes=2_000_000))
+    # Halfway through (1 s in, 1 MB left), throttle the uplink 10x: the
+    # remainder takes 10 s instead of 1 s.
+    network.simulator.schedule(1.0, network.set_link, "a", LinkConfig.symmetric_mbps(0.8))
+    network.run()
+    assert nodes["b"].received[0][2] == pytest.approx(11.0, abs=1e-6)
+
+
+def test_zero_rate_flow_without_deadline_hangs_not_crashes():
+    network = SimNetwork(transport="latency-only", default_latency_s=0.0)
+    network.add_node(Recorder("a"), LinkConfig.symmetric(BandwidthSchedule.constant(0.0)))
+    network.add_node(Recorder("b"), LinkConfig.symmetric_mbps(8.0))
+    network.send("a", "b", Message(msg_type="DOC", size_bytes=1_000))
+    network.run()
+    assert network.active_flow_count() == 1  # starved forever, like "fair"
+
+
+# -- residual-byte clamping (float-drift regression) ---------------------------
+
+@pytest.mark.parametrize("transport", ALL_TRANSPORTS)
+def test_flows_never_deliver_with_negative_residual(transport):
+    """Completing flows must hand a residual of exactly 0.0 to delivery.
+
+    Guards the float-drift clamp: accumulated ``remaining -= rate * elapsed``
+    chips may leave epsilon-scale residue (of either sign) at the completion
+    instant, and the scheduler clamps it exactly once before delivery.
+    """
+    network, nodes = make_network(["a", "b", "c"], mbps=8.0, transport=transport)
+    residuals = []
+    completer = network._complete_flow
+
+    def spying_complete(flow):
+        residuals.append(flow.remaining)
+        completer(flow)
+
+    network._scheduler._complete = spying_complete
+    # Awkward sizes and competing flows maximise float chipping.
+    for size in (999_983, 333_331, 123_457, 777_773):
+        network.send("a", "b", Message(msg_type="DOC", size_bytes=size))
+        network.send("a", "c", Message(msg_type="DOC", size_bytes=size // 3))
+        network.send("c", "b", Message(msg_type="DOC", size_bytes=size // 7))
+    network.run()
+    assert len(residuals) == network.stats.messages_delivered
+    assert residuals == [0.0] * len(residuals)
+
+
+@pytest.mark.parametrize("transport", ALL_TRANSPORTS)
+def test_late_virtual_time_completions_do_not_overshoot(transport):
+    """Transfers started deep into a run complete cleanly under every model.
+
+    At large virtual times the completion event's float rounding error grows
+    with ``ulp(now)``; an unclamped progress chip then advances a flow past
+    its residual and trips the negative-residual guard (a crash observed
+    with latency-only sends scheduled from t = 3000 s).
+    """
+    network, nodes = make_network(["a", "b", "c"], mbps=250.0, transport=transport)
+    for i in range(40):
+        network.simulator.schedule(
+            3000.0 + 0.37 * i,
+            network.send, "a", "b", Message(msg_type="DOC", size_bytes=1_000_000 + i),
+        )
+        network.simulator.schedule(
+            3000.0 + 0.53 * i,
+            network.send, "c", "b", Message(msg_type="DOC", size_bytes=777_777 + i),
+        )
+    network.run()
+    assert network.stats.messages_delivered == 80
+    assert network.active_flow_count() == 0
+
+
+def test_sub_ulp_residual_counts_as_complete():
+    """Regression for a live-lock found by the conformance properties.
+
+    A flow can strand with a residual microscopically above the byte epsilon
+    whose transfer time is below the float resolution of the current virtual
+    time: its completion event then lands *at* ``now``, the zero-width
+    progress chip moves nothing, and the recompute loop spins forever.  Such
+    a flow must count as complete.
+    """
+    from repro.simnet.flows import Flow, FlowScheduler
+
+    flow = Flow(
+        flow_id=1, src="a", dst="b",
+        message=Message(msg_type="DOC", size_bytes=1),
+        start_time=0.0, deadline=None, on_timeout=None, on_delivered=None,
+    )
+    flow.rate = 31_250_000.0
+    flow.remaining = 1.5e-6  # above the 1e-6 byte epsilon
+    # Early in the run the residual still advances time: not complete.
+    assert not FlowScheduler._is_complete(flow, now=0.0)
+    # Late in the run (2e-6 / 31.25e6 s is below one ulp of `now`) it cannot:
+    # the flow is done, not live-locked.
+    assert FlowScheduler._is_complete(flow, now=623.437570784)
+    # The plain byte-epsilon case is unchanged.
+    flow.remaining = 5e-7
+    assert FlowScheduler._is_complete(flow, now=0.0)

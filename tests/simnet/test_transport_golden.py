@@ -1,0 +1,171 @@
+"""Golden-trace regression for the ``fair`` and ``fifo`` transport models.
+
+A deterministic mixed workload — broadcast bursts, staggered unicasts,
+zero-size control messages, a throttling window, a mid-run link replacement,
+and transfers that time out — is driven through :class:`SimNetwork` and every
+externally observable transport event (delivery, timeout) is recorded with
+its full-precision virtual timestamp.  The resulting event streams are
+committed under ``tests/data/`` and must reproduce *byte-identically*: the
+fair/fifo link models were extracted from the pre-refactor monolith and any
+change to their floating-point trajectory (event ordering, rate arithmetic,
+completion scheduling) fails here instead of silently shifting every figure.
+
+A protocol-level golden (one full ``fifo`` consensus run summary) rides
+along so the fifo model is pinned end-to-end, not just at transport level.
+
+To intentionally re-baseline after a *deliberate* semantic change:
+
+    PYTHONPATH=src python tests/simnet/test_transport_golden.py regenerate
+"""
+
+import json
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.simnet.bandwidth import BandwidthSchedule
+from repro.simnet.message import Message
+from repro.simnet.network import LinkConfig, SimNetwork
+from repro.simnet.node import ProtocolNode
+
+DATA_DIR = Path(__file__).resolve().parent.parent / "data"
+GOLDEN_TRANSPORTS = ("fair", "fifo")
+
+#: Per-node symmetric link capacities for the workload (Mbit/s).
+_NODE_MBPS = {"a": 8.0, "b": 16.0, "c": 4.0, "d": 8.0, "e": 2.0}
+
+
+class _Recorder(ProtocolNode):
+    """Node that appends every delivery to a shared event list."""
+
+    def __init__(self, name, events):
+        super().__init__(name)
+        self._events = events
+
+    def on_message(self, message, now):
+        self._events.append(
+            ["deliver", message.msg_type, message.sender, self.name, message.size_bytes, now]
+        )
+
+
+def golden_path(transport: str) -> Path:
+    return DATA_DIR / ("golden_transport_%s.json" % transport)
+
+
+def fifo_run_path() -> Path:
+    return DATA_DIR / "golden_fifo_run.json"
+
+
+def run_transport_workload(transport: str) -> dict:
+    """Drive the canonical workload and return its full event record."""
+    network = SimNetwork(transport=transport, default_latency_s=0.03)
+    events = []
+    for name, mbps in _NODE_MBPS.items():
+        schedule = BandwidthSchedule.constant_mbps(mbps)
+        if name == "e":
+            # A DDoS-style throttling window: ~zero capacity on [5, 15).
+            schedule = schedule.with_window_mbps(5.0, 15.0, 0.05)
+        network.add_node(_Recorder(name, events), LinkConfig.symmetric(schedule))
+    names = list(_NODE_MBPS)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            network.set_latency(a, b, (ord(a) + ord(b)) % 7 * 0.01 + 0.02)
+
+    def on_timeout(message, dst):
+        events.append(
+            ["timeout", message.msg_type, message.sender, dst, message.size_bytes, network.simulator.now]
+        )
+
+    def send(src, dst, msg_type, size, timeout=None):
+        network.send(
+            src, dst, Message(msg_type=msg_type, size_bytes=size),
+            timeout=timeout, on_timeout=on_timeout,
+        )
+
+    simulator = network.simulator
+    # A broadcast burst, competing unicasts, a zero-size control message.
+    for dst in ("b", "c", "d", "e"):
+        simulator.schedule(0.0, send, "a", dst, "DOC", 300_000, 40.0)
+    simulator.schedule(0.0, send, "b", "a", "VOTE", 50_000)
+    simulator.schedule(0.5, send, "c", "e", "DOC", 200_000, 30.0)
+    # Times out: destination "e" is throttled to ~zero during [5, 15).
+    simulator.schedule(1.0, send, "d", "e", "PKG", 2_000_000, 12.0)
+    simulator.schedule(2.0, send, "e", "a", "VOTE", 100_000)
+    simulator.schedule(3.0, send, "b", "c", "PING", 0)
+    # Mid-run link replacement (how attack schedules are applied live).
+    simulator.schedule(4.0, network.set_link, "b", LinkConfig.symmetric_mbps(1.0))
+    simulator.schedule(4.5, send, "b", "d", "DOC", 500_000)
+
+    # A seeded stagger of cross-traffic over every link pair.
+    rng = random.Random(1234)
+    for _ in range(20):
+        src, dst = rng.sample(names, 2)
+        at = rng.uniform(6.0, 30.0)
+        size = rng.randrange(10_000, 400_000)
+        timeout = rng.choice([None, 8.0])
+        simulator.schedule(at, send, src, dst, "DATA", size, timeout)
+
+    network.run(until=200.0)
+    stats = network.stats
+    return {
+        "transport": transport,
+        "events": events,
+        "stats": {
+            "bytes_sent": dict(stats.bytes_sent),
+            "bytes_delivered": dict(stats.bytes_delivered),
+            "bytes_by_type": dict(stats.bytes_by_type),
+            "messages_sent": stats.messages_sent,
+            "messages_delivered": stats.messages_delivered,
+            "messages_timed_out": stats.messages_timed_out,
+        },
+    }
+
+
+def _fifo_run_spec():
+    from repro.runtime.spec import RunSpec
+
+    return RunSpec(
+        protocol="current",
+        relay_count=40,
+        authority_count=5,
+        seed=11,
+        max_time=700.0,
+        transport="fifo",
+    )
+
+
+@pytest.mark.parametrize("transport", GOLDEN_TRANSPORTS)
+def test_transport_workload_reproduces_the_golden_trace_exactly(transport):
+    golden = json.loads(golden_path(transport).read_text())
+    assert run_transport_workload(transport) == golden
+
+
+def test_fifo_protocol_run_reproduces_the_golden_summary_exactly():
+    from repro.protocols.runner import execute_spec
+    from repro.runtime.spec import RunSpec
+
+    entry = json.loads(fifo_run_path().read_text())
+    spec = RunSpec.from_dict(entry["spec"])
+    assert spec == _fifo_run_spec()
+    assert execute_spec(spec).summary() == entry["summary"]
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance entry point
+    from repro.protocols.runner import execute_spec
+
+    for transport in GOLDEN_TRANSPORTS:
+        record = run_transport_workload(transport)
+        golden_path(transport).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print("rebaselined", golden_path(transport))
+    spec = _fifo_run_spec()
+    summary = execute_spec(spec).summary()
+    fifo_run_path().write_text(
+        json.dumps({"spec": spec.to_dict(), "summary": summary}, indent=2, sort_keys=True) + "\n"
+    )
+    print("rebaselined", fifo_run_path())
+
+
+if __name__ == "__main__" and "regenerate" in sys.argv[1:]:  # pragma: no cover
+    regenerate()
