@@ -1,0 +1,94 @@
+"""Profiling harness for the transport hot path.
+
+Future perf PRs should start from data, not vibes: this script cProfiles a
+single scaling-sweep cell (default: the headline ``fair`` run at 90
+authorities on the lazy engine) and dumps the top-N functions by cumulative
+time.  It is how the lazy-advance PR found, for example, that vote
+re-serialisation — not the scheduler — had become the next bottleneck once
+rate recomputation was incremental.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_scaling.py
+    PYTHONPATH=src python benchmarks/profile_scaling.py --engine legacy
+    PYTHONPATH=src python benchmarks/profile_scaling.py \\
+        --authorities 30 --transport fifo --sort tottime --top 40
+    PYTHONPATH=src python benchmarks/profile_scaling.py --out cell.prof
+
+``--out`` writes the raw pstats dump for ``snakeviz``/``pstats`` digging;
+without it the report just prints.  The cell always executes in-process and
+uncached, so the profile measures simulation cost only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+from typing import Optional, Sequence
+
+from repro.protocols.runner import execute_spec
+from repro.runtime.spec import RunSpec
+from repro.simnet.flows import SHARED_ENGINES, use_shared_engine
+
+
+def profile_cell(
+    authorities: int = 90,
+    transport: str = "fair",
+    engine: str = "lazy",
+    protocol: str = "current",
+    relay_count: int = 200,
+    seed: int = 7,
+    max_time: float = 600.0,
+) -> cProfile.Profile:
+    """Run one scaling cell under cProfile and return the profiler."""
+    spec = RunSpec(
+        protocol=protocol,
+        relay_count=relay_count,
+        bandwidth_mbps=250.0,
+        seed=seed,
+        transport=transport,
+        authority_count=authorities,
+        max_time=max_time,
+    )
+    profiler = cProfile.Profile()
+    with use_shared_engine(engine):
+        profiler.enable()
+        result = execute_spec(spec)
+        profiler.disable()
+    print(
+        "cell: %s@%d transport=%s engine=%s success=%s messages=%d"
+        % (protocol, authorities, transport, engine, result.success, result.stats.messages_sent)
+    )
+    return profiler
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--authorities", type=int, default=90)
+    parser.add_argument("--transport", default="fair")
+    parser.add_argument("--engine", default="lazy", choices=SHARED_ENGINES)
+    parser.add_argument("--protocol", default="current")
+    parser.add_argument("--top", type=int, default=30, help="functions to print")
+    parser.add_argument(
+        "--sort", default="cumulative", help="pstats sort key (cumulative, tottime, ...)"
+    )
+    parser.add_argument("--out", default=None, help="write raw pstats dump here")
+    args = parser.parse_args(argv)
+
+    profiler = profile_cell(
+        authorities=args.authorities,
+        transport=args.transport,
+        engine=args.engine,
+        protocol=args.protocol,
+    )
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print("wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    raise SystemExit(main())

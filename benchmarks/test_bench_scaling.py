@@ -1,21 +1,34 @@
-"""Scaling sweep: transport wall-clock cost at 10×-paper node counts.
+"""Scaling sweep: transport wall-clock cost beyond 10×-paper node counts.
 
 Unlike the figure benchmarks this one measures the *simulator itself*: the
-same consensus runs at 9, 30, and 90 authorities under the ``fair`` and
-``latency-only`` transports, timed cell by cell.  It deliberately bypasses
-the session sweep executor and its cache — a cache hit would report a
-near-zero wall clock and poison the comparison.
+same consensus runs at 9, 30, 90 and 120 authorities under the ``fair`` and
+``latency-only`` transports (plus ``fair`` on the legacy scheduler engine at
+9–90), timed cell by cell.  It deliberately bypasses the session sweep
+executor and its cache — a cache hit would report a near-zero wall clock and
+poison the comparison.
 
-The acceptance bar of the transport refactor is asserted here: at 10× the
-paper's node count the ``latency-only`` model must be at least 3× faster in
-wall-clock terms than the shared ``fair`` model.  The sweep's numbers are
-written to ``BENCH_scaling.json`` next to this run's working directory (a
-committed snapshot from the reference machine lives at the repo root).
+Two acceptance bars are asserted:
+
+* the lazy-advance bar — ``fair`` on the lazy engine ≥3× faster than the
+  same spec on the legacy global-recompute engine at the 10×-paper point
+  (measured ~5.9× on the reference machine); and
+* the fast-model bar — ``latency-only`` still ahead of ``fair`` at the
+  120-authority stretch point.  PR 3's original ≥3× form of this bar was
+  *obsoleted by the lazy engine*: once shared-model per-event cost became
+  O(touched flows), ``fair``@90 dropped from 53.7 s to ~7.4 s and the
+  fair→latency-only gap shrank from 5.8× to ~1.7× (2.1× at 120).  The
+  assertion now pins the direction and a conservative margin at the
+  largest N, where the remaining coupling cost is widest.
+
+The sweep's numbers are written to ``BENCH_scaling.json`` next to this
+run's working directory (a committed format-2 snapshot from the reference
+machine lives at the repo root).
 """
 
 import pytest
 
 from repro.experiments.scaling_sweep import (
+    engine_speedup_at,
     render_scaling,
     run_scaling_sweep,
     speedup_at,
@@ -25,11 +38,14 @@ from repro.experiments.scaling_sweep import (
 #: The headline grid point: 10× the paper's nine authorities.
 TEN_X_PAPER = 90
 
+#: The stretch grid point the lazy engine made affordable.
+STRETCH = 120
+
 
 @pytest.mark.paper_artifact("scaling-sweep")
 def test_bench_scaling_sweep(benchmark, tmp_path):
     cells = benchmark.pedantic(
-        lambda: run_scaling_sweep(authority_counts=(9, 30, TEN_X_PAPER)),
+        lambda: run_scaling_sweep(),
         rounds=1,
         iterations=1,
     )
@@ -38,7 +54,17 @@ def test_bench_scaling_sweep(benchmark, tmp_path):
     assert out.exists()
 
     assert all(cell.success for cell in cells), "every scaling cell must reach consensus"
-    speedup = speedup_at(cells, TEN_X_PAPER)
-    assert speedup is not None
-    # The transport-refactor acceptance bar: >=3x at 10x-paper node count.
-    assert speedup >= 3.0, "latency-only speedup at N=%d was %.2fx" % (TEN_X_PAPER, speedup)
+    engine_speedup = engine_speedup_at(cells, TEN_X_PAPER)
+    assert engine_speedup is not None
+    # The lazy-advance acceptance bar: the heap-driven shared scheduler must
+    # beat the legacy global-recompute loop >=3x on the same fair spec.
+    assert engine_speedup >= 3.0, (
+        "lazy-engine fair speedup at N=%d was %.2fx" % (TEN_X_PAPER, engine_speedup)
+    )
+    transport_speedup = speedup_at(cells, STRETCH)
+    assert transport_speedup is not None
+    # The fast-model bar, re-anchored post-lazy (see module docstring): the
+    # sharing-free model must stay ahead where coupling cost is widest.
+    assert transport_speedup >= 1.5, (
+        "latency-only speedup at N=%d was %.2fx" % (STRETCH, transport_speedup)
+    )

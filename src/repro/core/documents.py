@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.crypto.digest import sha256_digest
+from repro.utils.memo import instance_memo
 from repro.utils.validation import ensure
 
 
@@ -57,8 +58,13 @@ class Document:
         return len(self.data)
 
     def digest(self) -> bytes:
-        """SHA-256 digest of the document bytes."""
-        return sha256_digest(self.data)
+        """SHA-256 digest of the document bytes.
+
+        Memoized: the dataclass is frozen, and dissemination verifies the
+        digest of the same document once per claim/proposal/fetch per peer,
+        so identical bytes are hashed once instead of O(n²) times per round.
+        """
+        return instance_memo(self, "_digest", lambda: sha256_digest(self.data))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return "Document(label=%r, size=%d)" % (self.label, self.size_bytes)

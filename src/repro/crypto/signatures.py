@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 from repro.crypto.keys import KeyPair, KeyRing
+from repro.utils.memo import instance_memo
 
 #: Modelled wire size of one signature (κ in the paper's analysis).
 SIGNATURE_SIZE_BYTES = 128
@@ -54,6 +55,18 @@ class Signature:
         """Wire size of this signature."""
         return SIGNATURE_SIZE_BYTES
 
+    def canonical_payload(self) -> bytes:
+        """The exact byte string the tag was computed over (memoized).
+
+        The same signature object is verified once per receiving peer —
+        claims travel inside proposals and digest-vector proofs to everyone —
+        so the canonical payload is built once per signature instead of once
+        per verification.
+        """
+        return instance_memo(
+            self, "_payload", lambda: _canonical_payload(self.context, self.message)
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return "Signature(signer=%r, context=%r)" % (self.signer, self.context)
 
@@ -82,7 +95,7 @@ def verify(ring: KeyRing, signature: Signature) -> bool:
     if signature.signer not in ring:
         return False
     pair = ring.get(signature.signer)
-    expected = pair.mac(_canonical_payload(signature.context, signature.message))
+    expected = pair.mac(signature.canonical_payload())
     return _constant_time_eq(expected, signature.tag)
 
 

@@ -35,9 +35,15 @@ class ConsensusSignature:
         return self.signature.size_bytes + len(self.authority_fingerprint)
 
 
-@dataclass
+@dataclass(frozen=True)
 class ConsensusDocument:
     """The hourly network-status consensus.
+
+    Frozen: the body fields are fixed at construction, which is what makes
+    the body/digest memoization below sound.  The two mutable *containers*
+    keep their workflows — ``signatures`` is a list that grows as
+    authorities sign (and is deliberately outside the body), and ``relays``
+    is guarded by the memo's relay-count key for the tests that poke it.
 
     Attributes
     ----------
@@ -84,7 +90,22 @@ class ConsensusDocument:
         return len(self.relays)
 
     def serialize_body(self) -> str:
-        """Serialise the unsigned consensus body."""
+        """Serialise the unsigned consensus body.
+
+        Memoized: the body covers ``valid_after``, ``relays``,
+        ``source_vote_digests`` and ``voting_interval`` — all fixed at
+        construction (only ``signatures``, which the body deliberately
+        excludes, grows afterwards) — while every ``sign_with`` /
+        ``valid_signatures`` / ``size_bytes`` call re-derives the digest.
+        Re-signing paths (one signature exchange per peer) would otherwise
+        re-serialise and re-hash an identical body per destination.  The
+        cache is keyed on the relay count, so adding/removing entries
+        invalidates it; replacing an entry in place while keeping the count
+        is not supported (build a new document instead).
+        """
+        cached = self.__dict__.get("_body_cache")
+        if cached is not None and cached[0] == len(self.relays):
+            return cached[1]
         lines = [
             "network-status-version 3",
             "vote-status consensus",
@@ -98,15 +119,25 @@ class ConsensusDocument:
         parts = ["\n".join(lines) + "\n"]
         for fingerprint in sorted(self.relays):
             parts.append(self.relays[fingerprint].serialize())
-        return "".join(parts)
+        body = "".join(parts)
+        self.__dict__["_body_cache"] = (len(self.relays), body)
+        return body
 
     def digest(self) -> bytes:
-        """SHA-256 digest of the unsigned body."""
-        return sha256_digest(self.serialize_body())
+        """SHA-256 digest of the unsigned body (memoized like the body)."""
+        cached = self.__dict__.get("_digest")
+        if cached is None or cached[0] != len(self.relays):
+            cached = (len(self.relays), sha256_digest(self.serialize_body()))
+            self.__dict__["_digest"] = cached
+        return cached[1]
 
     def digest_hex(self) -> str:
-        """Hex digest of the unsigned body."""
-        return digest_hex(self.serialize_body())
+        """Hex digest of the unsigned body (memoized like the body)."""
+        cached = self.__dict__.get("_digest_hex")
+        if cached is None or cached[0] != len(self.relays):
+            cached = (len(self.relays), digest_hex(self.serialize_body()))
+            self.__dict__["_digest_hex"] = cached
+        return cached[1]
 
     @property
     def size_bytes(self) -> int:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import FrozenSet, Tuple
 
+from repro.utils.memo import instance_memo
 from repro.utils.validation import ValidationError, ensure
 
 
@@ -147,7 +148,15 @@ class Relay:
         The format intentionally mirrors the ``r``/``s``/``v``/``pr``/``w``/
         ``p`` lines of a real vote so that per-relay sizes (and therefore
         vote-document sizes) are realistic.
+
+        Memoized (the dataclass is frozen): the same relay entry appears in
+        many authorities' votes and every vote serialisation/digest walks
+        its full relay map, so an entry's text is built once per object
+        rather than once per vote per digest.
         """
+        return instance_memo(self, "_serialized", self._build_serialized)
+
+    def _build_serialized(self) -> str:
         flags_line = " ".join(sorted(self.flags))
         lines = [
             "r %s %s %s %s %d %d" % (

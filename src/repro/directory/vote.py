@@ -15,6 +15,7 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from repro.crypto.digest import digest_hex, sha256_digest
 from repro.directory.relay import Relay
+from repro.utils.memo import instance_memo
 from repro.utils.validation import ensure
 
 #: Approximate size of the vote preamble and key certificate material, bytes.
@@ -96,7 +97,18 @@ class VoteDocument:
         return "\n".join(lines) + "\n"
 
     def serialize(self) -> str:
-        """Serialise the full vote (preamble + one entry per relay)."""
+        """Serialise the full vote (preamble + one entry per relay).
+
+        Memoized: votes are frozen and their relay map is never mutated
+        after construction, while serialization is on several per-peer hot
+        paths — every aggregation digests every source vote, and Byzantine
+        equivocation re-wraps the alternate vote per destination — so the
+        text (and the digests below) is computed once per vote, not once
+        per use.
+        """
+        return instance_memo(self, "_serialized", self._build_serialized)
+
+    def _build_serialized(self) -> str:
         parts = [self.header()]
         # Pad the header to the modelled certificate size so small votes do
         # not look unrealistically tiny on the wire.
@@ -116,21 +128,26 @@ class VoteDocument:
         per-relay entry size so that the bandwidth model sees a full-size
         vote.
         """
+        return instance_memo(self, "_size_bytes", self._compute_size_bytes)
+
+    def _compute_size_bytes(self) -> int:
         actual = len(self.serialize().encode("utf-8"))
-        if self.padded_relay_count is None or self.relay_count == 0:
-            return actual
-        if self.padded_relay_count <= self.relay_count:
-            return actual
-        per_relay = (actual - VOTE_HEADER_BYTES) / self.relay_count
-        return int(VOTE_HEADER_BYTES + per_relay * self.padded_relay_count)
+        if (
+            self.padded_relay_count is not None
+            and self.relay_count > 0
+            and self.padded_relay_count > self.relay_count
+        ):
+            per_relay = (actual - VOTE_HEADER_BYTES) / self.relay_count
+            return int(VOTE_HEADER_BYTES + per_relay * self.padded_relay_count)
+        return actual
 
     def digest(self) -> bytes:
-        """SHA-256 digest of the serialised vote."""
-        return sha256_digest(self.serialize())
+        """SHA-256 digest of the serialised vote (memoized, like the text)."""
+        return instance_memo(self, "_digest", lambda: sha256_digest(self.serialize()))
 
     def digest_hex(self) -> str:
-        """Hex digest of the serialised vote."""
-        return digest_hex(self.serialize())
+        """Hex digest of the serialised vote (memoized, like the text)."""
+        return instance_memo(self, "_digest_hex", lambda: digest_hex(self.serialize()))
 
     # -- constructors ------------------------------------------------------
     @classmethod

@@ -1,27 +1,32 @@
-"""Scaling sweep: transport-model wall-clock cost at 10×-paper node counts.
+"""Scaling sweep: transport-model wall-clock cost beyond 10×-paper node counts.
 
 The paper evaluates nine directory authorities — the live Tor configuration.
 The ROADMAP's north star is a simulator that scales far beyond that, and the
-limiting factor is the transport: under a shared link model every flow event
-re-rates flows coupled through link occupancy, so per-event cost grows with
-concurrency and whole-run cost roughly quadratically with it.  The
-``latency-only`` link model (see :mod:`repro.simnet.linkmodel`) removes the
-coupling entirely, turning every flow event into O(1) work.
+limiting factor is the transport.  Two levers attack it, and this sweep
+measures both:
 
-This sweep measures that directly: the same consensus runs at growing
-authority counts — up to 10× the paper's nine — under ``fair`` and
-``latency-only``, timing each cell's wall clock.  Cells run serially and
-in-process (never through a result cache) so the timings measure simulation
-cost, not cache or pool behaviour.  :func:`write_bench_json` emits the
-numbers, and the headline fair→latency-only speedups, to
-``BENCH_scaling.json``; ``benchmarks/test_bench_scaling.py`` asserts the
-≥3× speedup at the 10× point and CI runs a small-N smoke with a wall-clock
-budget.
+* **Link model.**  Under a shared model every flow's rate couples through
+  link occupancy; the ``latency-only`` model (see
+  :mod:`repro.simnet.linkmodel`) removes the coupling entirely, at the
+  stated cost of losing congestion (the mechanism behind the paper's DDoS
+  results).  It is the fast model for large-N protocol-behaviour studies,
+  not for bandwidth-sensitive figures.
+* **Scheduler engine.**  The paper-faithful shared models themselves now run
+  on the lazy-advance heap-driven scheduler
+  (:mod:`repro.simnet.shared_sched`, O(touched flows) per event); the
+  pre-lazy global-recompute loop survives as the ``legacy`` engine.  The
+  sweep times ``fair`` under both engines, so the committed
+  ``BENCH_scaling.json`` carries the old-vs-new speedup table that
+  ``benchmarks/test_bench_scaling.py`` asserts against (≥3× at 10×-paper
+  scale).
 
-Accuracy caveat, stated plainly: ``latency-only`` is a *fast* model, not a
-free lunch — with no bandwidth sharing, congestion effects (the mechanism
-behind the paper's DDoS results) disappear, so it is for large-N protocol
-behaviour studies, not for bandwidth-sensitive figures.
+The grid runs the same consensus spec at growing authority counts — up to
+120, beyond 13× the paper's nine — under ``fair`` and ``latency-only`` on
+the default (lazy) engine, plus ``fair`` on the legacy engine at the counts
+where the old loop is still affordable.  Cells run serially and in-process
+(never through a result cache) so the timings measure simulation cost, not
+cache or pool behaviour.  :func:`write_bench_json` emits the numbers (format
+2: cells carry an ``engine`` field and the payload a legacy→lazy table).
 """
 
 from __future__ import annotations
@@ -35,20 +40,31 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.reporting import format_table
 from repro.runtime.spec import RunSpec
+from repro.simnet.flows import use_shared_engine
 from repro.utils.validation import ensure
 
 #: Authority count evaluated throughout the paper (the live Tor network).
 PAPER_AUTHORITY_COUNT = 9
 
-#: Default sweep: paper scale, an intermediate point, and 10× paper scale.
-DEFAULT_AUTHORITY_COUNTS = (9, 30, 90)
+#: Default sweep: paper scale, intermediate points, 10× paper scale, and the
+#: 120-authority stretch goal the lazy engine makes affordable.
+DEFAULT_AUTHORITY_COUNTS = (9, 30, 90, 120)
 
 #: Transport models compared by default: the TCP-like shared model the
 #: figures use, and the sharing-free fast model.
 DEFAULT_TRANSPORTS = ("fair", "latency-only")
 
-#: Format version of the ``BENCH_scaling.json`` payload.
-BENCH_FORMAT_VERSION = 1
+#: Counts at which ``fair`` is additionally timed on the legacy engine for
+#: the old-vs-new speedup table.  120 is deliberately absent: the legacy
+#: loop's whole-run cost grows roughly quadratically with concurrency and
+#: the point of the table is made at 90.
+DEFAULT_LEGACY_FAIR_COUNTS = (9, 30, 90)
+
+#: Format version of the ``BENCH_scaling.json`` payload.  Version 2: cells
+#: carry the scheduler ``engine`` ("lazy"/"legacy"), the default grid
+#: reaches 120 authorities, and ``speedup_fair_legacy_to_lazy`` reports the
+#: old-engine→new-engine wall-clock ratio per authority count.
+BENCH_FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -63,6 +79,7 @@ class ScalingCell:
     wall_clock_s: float
     virtual_end_s: float
     messages_sent: int
+    engine: str = "lazy"
 
 
 def scaling_specs(
@@ -93,6 +110,26 @@ def scaling_specs(
     ]
 
 
+def _timed_cell(spec: RunSpec, engine: str) -> ScalingCell:
+    from repro.protocols.runner import execute_spec
+
+    with use_shared_engine(engine):
+        started = time.perf_counter()
+        result = execute_spec(spec)
+        elapsed = time.perf_counter() - started
+    return ScalingCell(
+        protocol=spec.protocol,
+        transport=spec.transport,
+        authority_count=spec.authority_count,
+        relay_count=spec.relay_count,
+        success=result.success,
+        wall_clock_s=elapsed,
+        virtual_end_s=result.end_time,
+        messages_sent=result.stats.messages_sent,
+        engine=engine,
+    )
+
+
 def run_scaling_sweep(
     authority_counts: Sequence[int] = DEFAULT_AUTHORITY_COUNTS,
     protocols: Sequence[str] = ("current",),
@@ -101,10 +138,14 @@ def run_scaling_sweep(
     bandwidth_mbps: float = 250.0,
     seed: int = 7,
     max_time: float = 600.0,
+    legacy_fair_counts: Sequence[int] = DEFAULT_LEGACY_FAIR_COUNTS,
 ) -> List[ScalingCell]:
-    """Execute the scaling grid serially, timing each cell's wall clock."""
-    from repro.protocols.runner import execute_spec
+    """Execute the scaling grid serially, timing each cell's wall clock.
 
+    Every (count × protocol × transport) cell runs on the default lazy
+    engine; ``legacy_fair_counts`` adds ``fair`` cells on the legacy engine
+    (at counts also present in the main grid) for the old-vs-new table.
+    """
     cells: List[ScalingCell] = []
     for spec in scaling_specs(
         authority_counts=authority_counts,
@@ -115,22 +156,20 @@ def run_scaling_sweep(
         seed=seed,
         max_time=max_time,
     ):
-        started = time.perf_counter()
-        result = execute_spec(spec)
-        elapsed = time.perf_counter() - started
-        cells.append(
-            ScalingCell(
-                protocol=spec.protocol,
-                transport=spec.transport,
-                authority_count=spec.authority_count,
-                relay_count=spec.relay_count,
-                success=result.success,
-                wall_clock_s=elapsed,
-                virtual_end_s=result.end_time,
-                messages_sent=result.stats.messages_sent,
-            )
-        )
+        cells.append(_timed_cell(spec, "lazy"))
+        if spec.transport == "fair" and spec.authority_count in legacy_fair_counts:
+            cells.append(_timed_cell(spec, "legacy"))
     return cells
+
+
+def _cell_lookup(
+    cells: Sequence[ScalingCell], authority_count: int, protocol: str
+) -> Dict[Tuple[str, str], ScalingCell]:
+    return {
+        (cell.transport, cell.engine): cell
+        for cell in cells
+        if cell.authority_count == authority_count and cell.protocol == protocol
+    }
 
 
 def speedup_at(
@@ -140,18 +179,31 @@ def speedup_at(
     baseline: str = "fair",
     fast: str = "latency-only",
 ) -> Optional[float]:
-    """Wall-clock speedup of ``fast`` over ``baseline`` at one grid point."""
-    by_transport: Dict[str, ScalingCell] = {
-        cell.transport: cell
-        for cell in cells
-        if cell.authority_count == authority_count and cell.protocol == protocol
-    }
-    if baseline not in by_transport or fast not in by_transport:
+    """Wall-clock speedup of ``fast`` over ``baseline`` at one grid point.
+
+    Compares like with like: both cells on the default (lazy) engine.
+    """
+    by_key = _cell_lookup(cells, authority_count, protocol)
+    baseline_cell = by_key.get((baseline, "lazy"))
+    fast_cell = by_key.get((fast, "lazy"))
+    if baseline_cell is None or fast_cell is None or fast_cell.wall_clock_s <= 0:
         return None
-    fast_wall = by_transport[fast].wall_clock_s
-    if fast_wall <= 0:
+    return baseline_cell.wall_clock_s / fast_cell.wall_clock_s
+
+
+def engine_speedup_at(
+    cells: Sequence[ScalingCell],
+    authority_count: int,
+    protocol: str = "current",
+    transport: str = "fair",
+) -> Optional[float]:
+    """Legacy-engine → lazy-engine wall-clock speedup at one grid point."""
+    by_key = _cell_lookup(cells, authority_count, protocol)
+    legacy = by_key.get((transport, "legacy"))
+    lazy = by_key.get((transport, "lazy"))
+    if legacy is None or lazy is None or lazy.wall_clock_s <= 0:
         return None
-    return by_transport[baseline].wall_clock_s / fast_wall
+    return legacy.wall_clock_s / lazy.wall_clock_s
 
 
 def headline_speedups(
@@ -167,6 +219,19 @@ def headline_speedups(
     return results
 
 
+def engine_speedups(
+    cells: Sequence[ScalingCell],
+) -> List[Tuple[str, int, float]]:
+    """Every grid point's legacy→lazy fair speedup as (protocol, N, speedup)."""
+    results: List[Tuple[str, int, float]] = []
+    for authority_count in sorted({cell.authority_count for cell in cells}):
+        for protocol in sorted({cell.protocol for cell in cells}):
+            speedup = engine_speedup_at(cells, authority_count, protocol)
+            if speedup is not None:
+                results.append((protocol, authority_count, speedup))
+    return results
+
+
 def render_scaling(cells: Sequence[ScalingCell]) -> str:
     """Render the sweep as a table with per-N speedup annotations."""
     rows = []
@@ -176,6 +241,7 @@ def render_scaling(cells: Sequence[ScalingCell]) -> str:
                 str(cell.authority_count),
                 cell.protocol,
                 cell.transport,
+                cell.engine,
                 "ok" if cell.success else "FAIL",
                 "%.2f s" % cell.wall_clock_s,
                 "%.0f s" % cell.virtual_end_s,
@@ -183,7 +249,16 @@ def render_scaling(cells: Sequence[ScalingCell]) -> str:
             )
         )
     table = format_table(
-        ["Authorities", "Protocol", "Transport", "Outcome", "Wall clock", "Virtual", "Messages"],
+        [
+            "Authorities",
+            "Protocol",
+            "Transport",
+            "Engine",
+            "Outcome",
+            "Wall clock",
+            "Virtual",
+            "Messages",
+        ],
         rows,
         title="Scaling sweep: transport wall-clock cost vs. node count",
     )
@@ -192,23 +267,33 @@ def render_scaling(cells: Sequence[ScalingCell]) -> str:
         % (authority_count, protocol, speedup)
         for protocol, authority_count, speedup in headline_speedups(cells)
     ]
+    notes.extend(
+        "N=%d %s: lazy fair engine is %.1fx faster than legacy"
+        % (authority_count, protocol, speedup)
+        for protocol, authority_count, speedup in engine_speedups(cells)
+    )
     return table + ("\n" + "\n".join(notes) if notes else "")
 
 
 def write_bench_json(
     cells: Sequence[ScalingCell], path: Union[str, Path] = "BENCH_scaling.json"
 ) -> Path:
-    """Write the sweep (cells + headline speedups) to ``path``."""
+    """Write the sweep (cells + headline speedup tables) to ``path``."""
     path = Path(path)
-    speedups = {
+    transport_speedups = {
         "%s@%d" % (protocol, authority_count): speedup
         for protocol, authority_count, speedup in headline_speedups(cells)
+    }
+    legacy_to_lazy = {
+        "%s@%d" % (protocol, authority_count): speedup
+        for protocol, authority_count, speedup in engine_speedups(cells)
     }
     payload = {
         "format": BENCH_FORMAT_VERSION,
         "paper_authority_count": PAPER_AUTHORITY_COUNT,
         "cells": [asdict(cell) for cell in cells],
-        "speedup_fair_to_latency_only": speedups,
+        "speedup_fair_to_latency_only": transport_speedups,
+        "speedup_fair_legacy_to_lazy": legacy_to_lazy,
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
@@ -223,11 +308,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="small-N smoke (9 and 18 authorities) for CI wall-clock budgets",
+        help="small-N smoke (9, 18, and 30 authorities; no legacy cells) "
+        "for CI wall-clock budgets",
     )
     args = parser.parse_args(argv)
-    authority_counts = (9, 18) if args.quick else DEFAULT_AUTHORITY_COUNTS
-    cells = run_scaling_sweep(authority_counts=authority_counts)
+    if args.quick:
+        cells = run_scaling_sweep(authority_counts=(9, 18, 30), legacy_fair_counts=())
+    else:
+        cells = run_scaling_sweep()
     print(render_scaling(cells))
     out = write_bench_json(cells, args.out)
     print("wrote %s" % out)

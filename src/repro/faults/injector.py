@@ -14,11 +14,18 @@ The network consults the injector at three deterministic points —
   authority's timers do not run (the process is down), which is what keeps a
   crashed lock-step authority from "acting" mid-outage.
 
-All randomness (loss draws, jitter draws) comes from one ``random.Random``
-seeded from the run seed and the plan's content hash, and is only consumed
-for messages that a declared fault actually covers — so a run with an empty
-plan is bit-identical to a run with no injector at all, and equal specs
-replay identically regardless of worker count.
+All randomness (loss draws, jitter draws) derives from the run seed and the
+plan's content hash, and is only consumed for messages that a declared
+fault actually covers — so a run with an empty plan is bit-identical to a
+run with no injector at all, and equal specs replay identically regardless
+of worker count.  Each draw is *derived*, not streamed: it is a pure
+function of the seed material plus a per-``(kind, sender, destination)``
+sequence number, never of the global order in which the simulation happens
+to reach the draw sites.  That makes fault randomness stable across
+transport engines (the lazy shared scheduler reorders same-instant
+completions relative to the legacy loop at float-rounding level), which the
+old-vs-new conformance properties rely on; a shared stream would smear one
+reordered delivery into every subsequent draw of the run.
 
 :meth:`FaultInjector.install` wires the injector into a network and uses
 :meth:`~repro.simnet.engine.Simulator.schedule_window` to put fault-window
@@ -69,7 +76,8 @@ class FaultInjector:
     ) -> None:
         self.plan = plan
         self.seed = seed
-        self._rng = random.Random("faults:%d:%s" % (seed, plan.plan_hash()))
+        self._seed_material = "faults:%d:%s" % (seed, plan.plan_hash())
+        self._draw_streams: Dict[Any, random.Random] = {}
         self._link_faults: Dict[str, LinkFault] = {}
         self._authority_faults: Dict[str, AuthorityFault] = {}
         for fault in plan.link_faults:
@@ -121,7 +129,7 @@ class FaultInjector:
         if self.withholds(sender):
             return self._drop("withhold")
         loss = self._loss_probability(sender, destination, now)
-        if loss > 0.0 and self._rng.random() < loss:
+        if loss > 0.0 and self._derived_draw("loss", sender, destination) < loss:
             return self._drop("loss")
         rewriter = self._rewriters.get(sender)
         if rewriter is not None:
@@ -149,7 +157,7 @@ class FaultInjector:
                 bound += fault.jitter_s
         if bound <= 0.0:
             return 0.0
-        return self._rng.random() * bound
+        return self._derived_draw("jitter", sender, destination) * bound
 
     def timer_suppressed(self, node_name: str, now: float) -> bool:
         """True when a timer of ``node_name`` fires while it is crashed."""
@@ -211,6 +219,24 @@ class FaultInjector:
         }
 
     # -- internals ---------------------------------------------------------
+    def _derived_draw(self, kind: str, sender: str, destination: str) -> float:
+        """The next uniform [0, 1) draw for one fault kind on one link pair.
+
+        Deterministic given the spec: the value depends only on the seed
+        material and how many ``kind`` draws this ordered pair has consumed
+        (each key owns its own seeded stream, built once and drawn
+        sequentially — the per-pair position *is* the derivation index), so
+        unrelated traffic elsewhere in the run can never shift it.
+        """
+        key = (kind, sender, destination)
+        stream = self._draw_streams.get(key)
+        if stream is None:
+            stream = random.Random(
+                "%s|%s|%s|%s" % (self._seed_material, kind, sender, destination)
+            )
+            self._draw_streams[key] = stream
+        return stream.random()
+
     def _drop(self, cause: str) -> None:
         self.messages_dropped += 1
         self.drops_by_cause[cause] += 1

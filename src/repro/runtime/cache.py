@@ -27,7 +27,11 @@ from repro.runtime.spec import RunSpec
 #: and the ``faults`` block) and specs serialize their fault plan.
 #: Version 3: specs serialize the transport model (``transport`` replaces
 #: ``scheduling``, spec format v3); older entries read as misses.
-CACHE_FORMAT_VERSION = 3
+#: Version 4: the lazy-advance shared transport became the default engine
+#: (spec format v4) — summaries for equal fair/fifo specs differ from v3
+#: builds at float-rounding level, so v3 entries must read as misses
+#: rather than mis-hit with stale trajectories.
+CACHE_FORMAT_VERSION = 4
 
 
 class ResultCache:
@@ -39,9 +43,20 @@ class ResultCache:
 
     # -- paths -------------------------------------------------------------
     def path_for(self, spec: RunSpec) -> Path:
-        """The file that does/would hold ``spec``'s cached summary."""
+        """The file that does/would hold ``spec``'s cached summary.
+
+        The shared-scheduler engine is an execution flag, not a spec field,
+        but fair/fifo summaries differ between engines at float-rounding
+        level — so the non-default engine stores under a suffixed name.
+        Runs under ``REPRO_SHARED_ENGINE=legacy`` (the conformance knob)
+        therefore never hit entries produced by default runs, or vice versa.
+        """
+        from repro.simnet.flows import resolve_shared_engine
+
         digest = spec.spec_hash()
-        return self.root / digest[:2] / ("%s.json" % digest)
+        engine = resolve_shared_engine()
+        suffix = "" if engine == "lazy" else ".%s" % engine
+        return self.root / digest[:2] / ("%s%s.json" % (digest, suffix))
 
     # -- store/load --------------------------------------------------------
     def get(self, spec: RunSpec) -> Optional[Dict[str, Any]]:

@@ -15,8 +15,10 @@ model), propagation latency, protocol timers, and per-connection timeouts.
   **fifo** per-uplink scheduling, or the sharing-free **latency-only** fast
   model for large sweeps;
 * :class:`~repro.simnet.flows.FlowScheduler` — flow lifecycle and
-  completion-time maintenance, with recomputation scoped to the links a flow
-  event actually touches;
+  completion-time maintenance; shared models default to the lazy-advance
+  heap-driven engine (:mod:`repro.simnet.shared_sched`, O(touched flows)
+  per event), with the legacy global-recompute loop selectable via
+  ``REPRO_SHARED_ENGINE=legacy`` as a conformance anchor;
 * :class:`SimNetwork` — topology, fault seams, accounting, and the wiring
   that composes the above;
 * :class:`ProtocolNode` — the base class all protocol state machines extend
@@ -26,7 +28,8 @@ model), propagation latency, protocol timers, and per-connection timeouts.
 
 from repro.simnet.engine import EventHandle, Simulator
 from repro.simnet.bandwidth import BandwidthSchedule
-from repro.simnet.flows import Flow, FlowScheduler
+from repro.simnet.flows import Flow, FlowScheduler, resolve_shared_engine, use_shared_engine
+from repro.simnet.shared_sched import LazySharedLinkScheduler
 from repro.simnet.linkmodel import (
     FairShareLinkModel,
     FifoLinkModel,
@@ -47,6 +50,9 @@ __all__ = [
     "BandwidthSchedule",
     "Flow",
     "FlowScheduler",
+    "LazySharedLinkScheduler",
+    "resolve_shared_engine",
+    "use_shared_engine",
     "LinkModel",
     "FairShareLinkModel",
     "FifoLinkModel",

@@ -4,9 +4,15 @@ A deliberately small, deterministic event loop:
 
 * virtual time is a float number of seconds starting at 0;
 * events are ordered by ``(time, sequence_number)`` so that ties are broken
-  by scheduling order, never by memory layout or hashing;
+  by scheduling order, never by memory layout or hashing.  The heap holds
+  ``(time, seq, handle)`` tuples so ordering uses C-level tuple comparison
+  rather than a Python ``__lt__`` call per sift step;
 * cancelled events stay in the heap but are skipped, which keeps cancellation
-  O(1).
+  O(1) — and once more than half of the heap is cancelled corpses the heap is
+  compacted in one O(n) pass (amortized O(1) per cancellation), so
+  cancel-heavy workloads (e.g. the lazy transport scheduler invalidating
+  per-flow completion estimates on every rate change) keep the heap bounded
+  by the number of live events.
 
 Every protocol, transport flow, and timer in the library is ultimately an
 event in this loop, which is what makes whole-experiment runs reproducible
@@ -49,9 +55,11 @@ class EventHandle:
             return
         self.cancelled = True
         if self._owner is not None:
-            self._owner._pending -= 1
+            self._owner._note_cancelled()
 
     def __lt__(self, other: "EventHandle") -> bool:
+        # The heap itself orders (time, seq, handle) tuples and never reaches
+        # this method (seq values are unique); kept for explicit comparisons.
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
@@ -62,12 +70,17 @@ class EventHandle:
 class Simulator:
     """A deterministic virtual-time event loop."""
 
+    #: Below this heap size compaction is pointless churn; rebuilds only
+    #: trigger once the heap is at least this large.
+    _COMPACT_MIN_SIZE = 64
+
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: List[EventHandle] = []
+        self._heap: List[Tuple[float, int, EventHandle]] = []
         self._serial = 0
         self._processed_events = 0
         self._pending = 0
+        self._cancelled_in_heap = 0
 
     # -- time --------------------------------------------------------------
     @property
@@ -107,7 +120,7 @@ class Simulator:
             )
         handle = EventHandle(max(time, self._now), self.next_serial(), callback, args)
         handle._owner = self
-        heapq.heappush(self._heap, handle)
+        heapq.heappush(self._heap, (handle.time, handle.seq, handle))
         self._pending += 1
         return handle
 
@@ -139,6 +152,31 @@ class Simulator:
         ensure(start >= self._now - 1e-12, "window must not start in the past")
         return self.schedule(start, on_enter), self.schedule(end, on_exit)
 
+    # -- heap hygiene ----------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Account one freshly cancelled heap entry; compact when they dominate.
+
+        Each compaction pass is O(heap) but removes at least half of it, so
+        cancellations pay amortized O(1): a cancel-heavy workload (the lazy
+        transport scheduler re-pushing completion estimates on every rate
+        change) keeps the heap within a small constant factor of the live
+        event count instead of growing with the total cancellation history.
+        """
+        self._pending -= 1
+        self._cancelled_in_heap += 1
+        if (
+            len(self._heap) >= self._COMPACT_MIN_SIZE
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify (order is unchanged:
+        entries keep their ``(time, seq)`` keys)."""
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+
     # -- execution -------------------------------------------------------------
     def _peek_next(self) -> Optional[EventHandle]:
         """The next live event, discarding cancelled heap entries on the way.
@@ -146,9 +184,10 @@ class Simulator:
         The single place cancelled events are skipped; both :meth:`step` and
         :meth:`run` go through it.
         """
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
-        return self._heap[0] if self._heap else None
+            self._cancelled_in_heap -= 1
+        return self._heap[0][2] if self._heap else None
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns False when the queue is empty."""

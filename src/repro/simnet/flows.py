@@ -8,20 +8,28 @@ instantaneous rates, and fires the network's completion/timeout callbacks at
 the right virtual instants.  Two schedulers cover the two coupling regimes a
 link model can declare:
 
-:class:`SharedLinkScheduler` (``LinkModel.shared``)
-    For models where flow rates couple through link occupancy (``fair``,
-    ``fifo``).  Progress is advanced for every active flow at each transport
-    event and a single recompute event is kept at the earliest next instant
-    anything can change — exactly the pre-refactor float trajectory, which
-    the golden transport traces pin byte-for-byte.  What *is* incremental is
-    the expensive part: rate assignment is scoped to the uplink/downlink
-    sets an event actually touches (for models that opt in via
-    ``scopes_to_touched_links``), per-link occupancy is maintained as flows
-    start and finish instead of being rebuilt per event, and per-link
-    breakpoint candidates are computed once per active link rather than once
-    per flow.  An unaffected flow's rate is a pure function of unchanged
-    inputs — its link occupancies and current link rates — so skipping its
-    reassignment is bit-identical to recomputing it.
+:class:`~repro.simnet.shared_sched.LazySharedLinkScheduler` (``LinkModel.shared``)
+    The default engine for models where flow rates couple through link
+    occupancy (``fair``, ``fifo``): lazy per-flow progress and one pending
+    heap event per flow, re-pushed only when the flow's rate actually
+    changes — O(touched flows × log F) per event.  See
+    :mod:`repro.simnet.shared_sched`.
+
+:class:`SharedLinkScheduler` (legacy engine, ``REPRO_SHARED_ENGINE=legacy``)
+    The pre-lazy shared-regime loop, kept selectable for conformance testing
+    and for shared models without a lazy rater.  Progress is advanced for
+    every active flow at each transport event and a single recompute event
+    is kept at the earliest next instant anything can change — exactly the
+    pre-refactor float trajectory, which the ``*_legacy`` golden transport
+    traces pin byte-for-byte.  What *is* incremental is the expensive part:
+    rate assignment is scoped to the uplink/downlink sets an event actually
+    touches (for models that opt in via ``scopes_to_touched_links``),
+    per-link occupancy is maintained as flows start and finish instead of
+    being rebuilt per event, and per-link breakpoint candidates are computed
+    once per active link rather than once per flow.  An unaffected flow's
+    rate is a pure function of unchanged inputs — its link occupancies and
+    current link rates — so skipping its reassignment is bit-identical to
+    recomputing it.
 
 :class:`IndependentFlowScheduler` (``not LinkModel.shared``)
     For models where a flow's rate depends on its own two links only
@@ -38,11 +46,14 @@ id generator is needed.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Mapping, Optional, Set
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, Mapping, Optional, Set
 
 from repro.simnet.engine import EventHandle, Simulator
 from repro.simnet.linkmodel import LinkModel
 from repro.simnet.message import Message
+from repro.utils.validation import ValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simnet.network import LinkConfig
@@ -52,6 +63,50 @@ _COMPLETION_EPSILON_BYTES = 1e-6
 
 #: Slack when comparing virtual times.
 _TIME_EPSILON = 1e-9
+
+#: Environment variable selecting the shared-regime engine for networks that
+#: do not pass one explicitly (values: "lazy" or "legacy").
+SHARED_ENGINE_ENV = "REPRO_SHARED_ENGINE"
+
+#: The shared-regime engines :func:`make_flow_scheduler` knows how to build.
+SHARED_ENGINES = ("lazy", "legacy")
+
+
+def resolve_shared_engine(explicit: Optional[str] = None) -> str:
+    """The shared-regime engine to use: explicit argument, else environment.
+
+    The flag exists for the conformance gate of the lazy-advance scheduler:
+    the legacy loop stays selectable so old-engine-vs-new-engine equivalence
+    properties (and the byte-pinned ``*_legacy`` golden traces) can run both
+    inside one process.  Production entry points always use the default.
+    """
+    engine = explicit if explicit is not None else os.environ.get(SHARED_ENGINE_ENV, "lazy")
+    if engine not in SHARED_ENGINES:
+        raise ValidationError(
+            "unknown shared engine %r; expected one of %r" % (engine, SHARED_ENGINES)
+        )
+    return engine
+
+
+@contextmanager
+def use_shared_engine(engine: str) -> Iterator[None]:
+    """Force the shared-regime engine for networks built inside the block.
+
+    Spec-driven entry points (``execute_spec``) construct their own
+    ``SimNetwork``, so engine selection for conformance tests travels
+    through the environment rather than a parameter; this context manager
+    scopes it safely.
+    """
+    resolve_shared_engine(engine)  # validate before mutating the environment
+    previous = os.environ.get(SHARED_ENGINE_ENV)
+    os.environ[SHARED_ENGINE_ENV] = engine
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(SHARED_ENGINE_ENV, None)
+        else:
+            os.environ[SHARED_ENGINE_ENV] = previous
 
 
 class Flow:
@@ -206,7 +261,14 @@ class FlowScheduler:
 
 
 class SharedLinkScheduler(FlowScheduler):
-    """Scheduler for link models with occupancy-coupled rates (fair, fifo)."""
+    """Legacy scheduler for link models with occupancy-coupled rates.
+
+    Kept behind ``REPRO_SHARED_ENGINE=legacy`` (and as the fallback for
+    shared models without a lazy rater) as the conformance anchor for
+    :class:`~repro.simnet.shared_sched.LazySharedLinkScheduler`: its float
+    trajectory is the pre-lazy one, pinned byte-for-byte by the
+    ``golden_transport_{fair,fifo}_legacy.json`` traces.
+    """
 
     def __init__(self, model, simulator, links, complete, expire) -> None:
         super().__init__(model, simulator, links, complete, expire)
@@ -416,7 +478,21 @@ def make_flow_scheduler(
     links: Mapping[str, "LinkConfig"],
     complete: Callable[[Flow], None],
     expire: Callable[[Flow], None],
+    shared_engine: Optional[str] = None,
 ) -> FlowScheduler:
-    """Build the scheduler matching ``model``'s coupling regime."""
-    scheduler_class = SharedLinkScheduler if model.shared else IndependentFlowScheduler
-    return scheduler_class(model, simulator, links, complete, expire)
+    """Build the scheduler matching ``model``'s coupling regime.
+
+    For shared models, ``shared_engine`` (default: the
+    ``REPRO_SHARED_ENGINE`` environment variable, else ``"lazy"``) selects
+    between the lazy-advance engine and the legacy global-recompute loop.
+    Shared models without a registered lazy rater always get the legacy
+    scheduler — it handles any ``assign_rates`` implementation.
+    """
+    if not model.shared:
+        return IndependentFlowScheduler(model, simulator, links, complete, expire)
+    from repro.simnet.shared_sched import LAZY_RATERS, LazySharedLinkScheduler
+
+    engine = resolve_shared_engine(shared_engine)
+    if engine == "lazy" and model.name in LAZY_RATERS:
+        return LazySharedLinkScheduler(model, simulator, links, complete, expire)
+    return SharedLinkScheduler(model, simulator, links, complete, expire)

@@ -23,7 +23,11 @@ Three models ship in the registry:
     downlink is shared fairly among the flows currently being served into
     it.  An ablation of the link model.  Eligibility changes cascade one hop
     (a finishing flow promotes the next queued flow, changing its downlink's
-    occupancy), so fifo conservatively re-rates the full flow set per event.
+    occupancy): under the legacy engine fifo conservatively re-rates the
+    full flow set per event, while the default lazy engine maintains the
+    arrival queues and serving counts incrementally
+    (:class:`repro.simnet.shared_sched.FifoLazyRater`) and touches only the
+    promoted flow and the two affected downlinks.
 
 ``"latency-only"``
     No sharing at all: every flow moves at the full ``min(uplink, downlink)``
@@ -34,7 +38,11 @@ Three models ship in the registry:
 
 Models register by name via :func:`register_link_model`; the name travels on
 :class:`~repro.runtime.spec.RunSpec` (field ``transport``) and therefore
-joins the spec hash and result-cache key.
+joins the spec hash and result-cache key.  Shared models additionally get
+lazy scheduling when a :class:`~repro.simnet.shared_sched.LazyRater` is
+registered for their name in :data:`repro.simnet.shared_sched.LAZY_RATERS`
+(``fair`` and ``fifo`` ship one); without a rater they run on the legacy
+global-recompute scheduler, which handles any ``assign_rates``.
 """
 
 from __future__ import annotations

@@ -118,13 +118,17 @@ class SimNetwork:
         default_latency_s: float = 0.05,
         trace: Optional[TraceLog] = None,
         transport: Union[str, LinkModel, None] = None,
+        shared_engine: Optional[str] = None,
     ) -> None:
         """Build a network.
 
         ``transport`` selects the link model — a registry name (``"fair"``,
         ``"fifo"``, ``"latency-only"``) or a :class:`LinkModel` instance for
         unregistered experiments.  ``scheduling`` is the deprecated pre-v3
-        name for the same argument.
+        name for the same argument.  ``shared_engine`` selects the
+        shared-regime scheduler engine (``"lazy"`` or ``"legacy"``; default
+        from ``REPRO_SHARED_ENGINE``, else lazy) — see
+        :mod:`repro.simnet.shared_sched`.
         """
         if transport is None:
             transport = "fair" if scheduling is None else scheduling
@@ -141,7 +145,12 @@ class SimNetwork:
         self._latency: Dict[Tuple[str, str], float] = {}
         self._model = model
         self._scheduler: FlowScheduler = make_flow_scheduler(
-            model, self.simulator, self._links, self._complete_flow, self._expire_flow
+            model,
+            self.simulator,
+            self._links,
+            self._complete_flow,
+            self._expire_flow,
+            shared_engine=shared_engine,
         )
         self._fault_injector = None
 

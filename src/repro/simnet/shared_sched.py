@@ -1,0 +1,458 @@
+"""Lazy-advance scheduling for shared link models (fair, fifo).
+
+The legacy :class:`~repro.simnet.flows.SharedLinkScheduler` keeps one global
+recompute event and, when it fires, advances *every* active flow and scans
+*every* completion/deadline/breakpoint candidate to find the next recompute
+instant — O(all active flows) per transport event, which is what capped the
+shared models near paper scale (see ``BENCH_scaling.json``).
+
+:class:`LazySharedLinkScheduler` replaces both global passes:
+
+* **Lazy progress.**  Each flow carries ``(last_update, rate)`` and its
+  ``remaining`` bytes are only advanced when something actually touches the
+  flow — its own event fires, or its rate changes because a neighbouring flow
+  started/finished or a link capacity moved.  Between touches the rate is
+  constant, so one multiply covers the whole untouched span.
+* **Heap-driven next events.**  Every flow owns at most one pending simulator
+  event at ``min(completion estimate, deadline)``; every link side with
+  active flows owns one *watcher* event at its next bandwidth breakpoint.
+  When a flow's rate changes, its estimate is invalidated (the engine's O(1)
+  ``EventHandle.cancel``) and a fresh one is pushed; stale heap entries are
+  skipped like any cancelled event, and the engine compacts the heap once
+  corpses dominate.
+
+Per-event cost becomes O(touched flows × log F) instead of O(all flows):
+the *touched* set is exactly the set whose instantaneous rate can have
+changed, which each link model knows how to enumerate through its
+:class:`LazyRater`:
+
+* ``fair`` — a flow's rate is ``min(up/|up flows|, down/|down flows|)``, a
+  pure local function of its two links, so the touched set is the flows
+  sharing the event's uplink/downlink.
+* ``fifo`` — each uplink serves its oldest flow at full rate and downlinks
+  are split among the flows being served into them; the rater maintains the
+  per-uplink arrival queue and per-downlink serving counts incrementally, so
+  a completion touches only the promoted flow and the eligible flows on the
+  two affected downlinks (queued flows have rate 0 and are never touched).
+
+Models without a rater (third-party shared models) keep the legacy
+scheduler automatically; the legacy engine also remains selectable via
+``REPRO_SHARED_ENGINE=legacy`` (or ``SimNetwork(shared_engine="legacy")``)
+and is pinned byte-for-byte by the ``*_legacy`` golden transport traces.
+
+Float semantics, stated plainly: lazy accumulation changes chip
+segmentation (``remaining -= rate * elapsed`` does not distribute over a
+split of ``elapsed``), so trajectories agree with the legacy engine only to
+rounding, not bit-for-bit.  The golden transport traces were regenerated
+(GOLDEN format 2 / SPEC v4 / CACHE v4) and the two engines are held to
+summary-level equivalence — identical success flags, message and round
+counts, dropped-by-cause accounting, latencies within 1e-6 relative — by
+hypothesis conformance properties over seeded random specs including fault
+plans (``tests/simnet/test_shared_sched.py``).  One deliberate semantic
+change rides along: a mid-run ``set_link`` re-rates the replaced link's
+flows at the replacement instant, not at the next pre-existing transport
+event (the legacy engine's behaviour, an artifact of its single recompute
+loop).  Spec-driven runs bake attack schedules into breakpoints and never
+call ``set_link`` mid-run, so this is only observable to direct
+``SimNetwork`` users.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.simnet.flows import (
+    _TIME_EPSILON,
+    Flow,
+    FlowScheduler,
+)
+
+__all__ = [
+    "LazyRater",
+    "FairLazyRater",
+    "FifoLazyRater",
+    "LazySharedLinkScheduler",
+]
+
+
+class LazyRater:
+    """Incremental rate policy driven by the lazy shared scheduler.
+
+    A rater answers two questions the scheduler asks on every event:
+    *which flows' rates can have changed* (the touched set) and *what is this
+    flow's rate now*.  It observes every flow arrival/departure so it can
+    maintain whatever occupancy structures the policy needs; the scheduler
+    owns the flow indexes (``by_src``/``by_dst``) and shares them.
+
+    Contract: for every flow not in the returned touched set, ``rate_of``
+    must be unchanged by the observed transition — that is what makes
+    skipping the untouched flows exact rather than approximate.
+    """
+
+    def __init__(
+        self,
+        by_src: Dict[str, Dict[int, Flow]],
+        by_dst: Dict[str, Dict[int, Flow]],
+        up_cap: Dict[str, float],
+        down_cap: Dict[str, float],
+    ) -> None:
+        self._by_src = by_src
+        self._by_dst = by_dst
+        #: Current uplink/downlink capacity per *active* link side, maintained
+        #: by the scheduler (seeded on activation, moved at breakpoint
+        #: watchers and link replacements).  Reading these instead of
+        #: ``BandwidthSchedule.rate_at`` keeps ``rate_of`` free of bisects on
+        #: the hot path; the cached value equals ``rate_at(now)`` exactly,
+        #: because every instant a schedule can change value has its own
+        #: event.
+        self._up_cap = up_cap
+        self._down_cap = down_cap
+
+    def on_flow_added(self, flow: Flow) -> Iterable[Flow]:
+        """Observe an arrival (already in the indexes); return touched flows."""
+        raise NotImplementedError
+
+    def on_flow_removed(self, flow: Flow) -> Iterable[Flow]:
+        """Observe a departure (already removed); return touched flows."""
+        raise NotImplementedError
+
+    def on_link_rate_changed(self, side: str, name: str) -> Iterable[Flow]:
+        """Observe a capacity change on one link side; return touched flows."""
+        raise NotImplementedError
+
+    def rate_of(self, flow: Flow, now: float) -> float:
+        """The flow's instantaneous rate under current occupancy."""
+        raise NotImplementedError
+
+
+class FairLazyRater(LazyRater):
+    """Max-min style fair sharing, incrementally.
+
+    ``rate = min(uplink/|src flows|, downlink/|dst flows|)`` is a pure local
+    function of the flow's two links, so the scheduler's own indexes *are*
+    the occupancy state and the touched set of any transition is the union
+    of the flows on the links whose occupancy or capacity moved.
+    """
+
+    def on_flow_added(self, flow: Flow) -> Iterable[Flow]:
+        return self._link_union(flow)
+
+    def on_flow_removed(self, flow: Flow) -> Iterable[Flow]:
+        return self._link_union(flow)
+
+    def on_link_rate_changed(self, side: str, name: str) -> Iterable[Flow]:
+        index = self._by_src if side == "uplink" else self._by_dst
+        return list(index.get(name, {}).values())
+
+    def rate_of(self, flow: Flow, now: float) -> float:
+        up_share = self._up_cap[flow.src] / len(self._by_src[flow.src])
+        down_share = self._down_cap[flow.dst] / len(self._by_dst[flow.dst])
+        return min(up_share, down_share)
+
+    def _link_union(self, flow: Flow) -> List[Flow]:
+        touched: Dict[int, Flow] = dict(self._by_src.get(flow.src, {}))
+        touched.update(self._by_dst.get(flow.dst, {}))
+        return list(touched.values())
+
+
+class FifoLazyRater(LazyRater):
+    """Strict arrival-order uplinks with fair downlink sharing, incrementally.
+
+    The legacy model re-rates the whole flow set per event because a
+    finishing flow promotes the next queued flow, whose destination's
+    serving count then changes one hop away.  Maintained incrementally the
+    cascade is tiny: per uplink an arrival-order queue (a min-heap over flow
+    ids — flow ids are the simulator's serial counter, so heap order *is*
+    arrival order — with lazy deletion for mid-queue expiries), per downlink
+    the count of flows currently being served into it, and per downlink the
+    set of those eligible flows.  A queued flow's rate is exactly 0 and
+    nothing a neighbour does can change that, so queued flows are never
+    touched at all.
+    """
+
+    def __init__(self, by_src, by_dst, up_cap, down_cap) -> None:
+        super().__init__(by_src, by_dst, up_cap, down_cap)
+        #: Per-uplink arrival queue of (flow_id, Flow); the head is eligible.
+        self._queues: Dict[str, List[Tuple[int, Flow]]] = {}
+        #: Flow ids lazily deleted from their queue (expired while queued).
+        self._gone: Set[int] = set()
+        #: Current head (the served flow) per uplink.
+        self._head: Dict[str, Flow] = {}
+        #: Eligible flows per destination, keyed by flow id.
+        self._serving_by_dst: Dict[str, Dict[int, Flow]] = {}
+
+    # -- transitions -------------------------------------------------------
+    def on_flow_added(self, flow: Flow) -> Iterable[Flow]:
+        queue = self._queues.setdefault(flow.src, [])
+        heapq.heappush(queue, (flow.flow_id, flow))
+        if flow.src in self._head:
+            # Queued behind the served flow: its rate is 0 and nobody else
+            # is affected.
+            return [flow]
+        return self._promote(flow.src)
+
+    def on_flow_removed(self, flow: Flow) -> Iterable[Flow]:
+        if self._head.get(flow.src) is flow:
+            touched = dict(self._demote(flow))
+            for other in self._promote(flow.src):
+                touched[other.flow_id] = other
+            return list(touched.values())
+        # Expired while queued: lazy-delete; its rate was already 0.
+        self._gone.add(flow.flow_id)
+        return []
+
+    def on_link_rate_changed(self, side: str, name: str) -> Iterable[Flow]:
+        if side == "uplink":
+            head = self._head.get(name)
+            return [head] if head is not None else []
+        return list(self._serving_by_dst.get(name, {}).values())
+
+    def rate_of(self, flow: Flow, now: float) -> float:
+        if self._head.get(flow.src) is not flow:
+            return 0.0
+        return min(
+            self._up_cap[flow.src],
+            self._down_cap[flow.dst] / len(self._serving_by_dst[flow.dst]),
+        )
+
+    # -- machinery ---------------------------------------------------------
+    def _promote(self, src: str) -> List[Flow]:
+        """Make the oldest queued flow of ``src`` the served one."""
+        queue = self._queues.get(src)
+        while queue:
+            flow_id, flow = queue[0]
+            if flow_id in self._gone:
+                heapq.heappop(queue)
+                self._gone.discard(flow_id)
+                continue
+            self._head[src] = flow
+            bucket = self._serving_by_dst.setdefault(flow.dst, {})
+            bucket[flow.flow_id] = flow
+            # The new head and every flow sharing its downlink re-split.
+            return list(bucket.values())
+        if queue is not None and not queue:
+            del self._queues[src]
+        return []
+
+    def _demote(self, flow: Flow) -> Dict[int, Flow]:
+        """Remove the served ``flow`` of its uplink; return touched flows."""
+        del self._head[flow.src]
+        queue = self._queues[flow.src]
+        # The head is never lazy-deleted, so it sits at the heap root.
+        assert queue[0][1] is flow, "fifo head out of sync"
+        heapq.heappop(queue)
+        bucket = self._serving_by_dst[flow.dst]
+        del bucket[flow.flow_id]
+        if not bucket:
+            del self._serving_by_dst[flow.dst]
+            return {}
+        return dict(bucket)
+
+
+#: LinkModel name -> rater class; the lazy scheduler applies to models
+#: listed here, everything else keeps the legacy scheduler.
+LAZY_RATERS = {
+    "fair": FairLazyRater,
+    "fifo": FifoLazyRater,
+}
+
+
+class LazySharedLinkScheduler(FlowScheduler):
+    """Heap-driven scheduler for occupancy-coupled link models.
+
+    Structurally the shared-regime twin of
+    :class:`~repro.simnet.flows.IndependentFlowScheduler`: every flow owns at
+    most one pending event at ``min(completion estimate, deadline)``, plus
+    one *watcher* event per active link side at its next bandwidth
+    breakpoint.  What the independent scheduler never needs — reacting to
+    neighbours — is delegated to the model's :class:`LazyRater`, which
+    returns the (small) set of flows whose rate an event actually changed;
+    only those are advanced and re-pushed.
+    """
+
+    def __init__(self, model, simulator, links, complete, expire) -> None:
+        super().__init__(model, simulator, links, complete, expire)
+        #: Current capacity per active link side (see LazyRater.__init__).
+        self._up_cap: Dict[str, float] = {}
+        self._down_cap: Dict[str, float] = {}
+        rater_class = LAZY_RATERS[model.name]
+        self._rater: LazyRater = rater_class(
+            self._by_src, self._by_dst, self._up_cap, self._down_cap
+        )
+        #: (side, name) -> pending breakpoint watcher (None: constant link).
+        self._watchers: Dict[Tuple[str, str], Optional[object]] = {}
+
+    # -- interface ---------------------------------------------------------
+    def start_flow(self, flow: Flow, now: float) -> None:
+        flow.last_update = now
+        self._add(flow)
+        if flow.src not in self._up_cap:
+            self._up_cap[flow.src] = self._links[flow.src].uplink.rate_at(now)
+            self._arm_watcher("uplink", flow.src, now)
+        if flow.dst not in self._down_cap:
+            self._down_cap[flow.dst] = self._links[flow.dst].downlink.rate_at(now)
+            self._arm_watcher("downlink", flow.dst, now)
+        touched = self._rater.on_flow_added(flow)
+        self._apply_rate_changes(touched, now)
+
+    def on_link_replaced(self, name: str, now: float) -> None:
+        # The replaced schedule applies immediately: drop both watchers (they
+        # track the old schedule's breakpoints), refresh the capacity caches,
+        # re-rate every flow on the link, and re-arm watchers against the new
+        # schedule.  (The legacy engine instead lets the new capacity take
+        # effect at the next pre-existing transport event — an artifact of
+        # its single recompute loop; see the module docstring.)
+        for side, cap, index in (
+            ("uplink", self._up_cap, self._by_src),
+            ("downlink", self._down_cap, self._by_dst),
+        ):
+            self._drop_watcher(side, name)
+            if name in index:
+                cap[name] = getattr(self._links[name], side).rate_at(now)
+                self._arm_watcher(side, name, now)
+        touched: Dict[int, Flow] = dict(self._by_src.get(name, {}))
+        touched.update(self._by_dst.get(name, {}))
+        self._apply_rate_changes(list(touched.values()), now)
+
+    # -- rate maintenance --------------------------------------------------
+    def _apply_rate_changes(self, touched: Iterable[Flow], now: float) -> None:
+        """Advance exactly the flows whose rate moved; re-aim their events.
+
+        Iteration is in flow-id order so that same-instant reschedules (and
+        therefore event sequence numbers) are independent of which link
+        structure enumerated the touched set.
+        """
+        rate_of = self._rater.rate_of
+        for flow in sorted(touched, key=_flow_id_of):
+            new_rate = rate_of(flow, now)
+            if new_rate == flow.rate and flow.pending is not None:
+                continue
+            # Chip progress under the old rate before switching: ``remaining``
+            # integrates a piecewise-constant rate, so each rate change is a
+            # mandatory chip boundary (everything between them is one multiply).
+            # This is _advance inlined — the hottest loop in a shared run
+            # makes millions of these chips, and the method-call overhead is
+            # measurable; keep the two in sync.
+            elapsed = now - flow.last_update
+            if elapsed > 0 and flow.rate > 0:
+                flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
+            flow.last_update = now
+            flow.rate = new_rate
+            self._aim(flow, now)
+
+    def _aim(self, flow: Flow, now: float) -> None:
+        """Keep ``flow``'s pending event unless its target moved *earlier*.
+
+        A pending event that is now too early is harmless — it fires, finds
+        the flow incomplete, and re-aims — so rate *drops* (the common case
+        in a broadcast burst, where every arrival dilutes its peers) cost no
+        heap traffic at all.  Only a target that moved earlier than the
+        pending event forces a cancel + re-push, and stale entries are
+        skipped/compacted by the engine.
+        """
+        candidates = []
+        if flow.rate > 0:
+            candidates.append(now + flow.remaining / flow.rate)
+        if flow.deadline is not None:
+            candidates.append(flow.deadline)
+        if not candidates:
+            # Starved with no deadline: the link watcher revives it if the
+            # capacity ever comes back; until then there is nothing to wait
+            # for (exactly the legacy scheduler's behaviour).
+            if flow.pending is not None:
+                flow.pending.cancel()
+                flow.pending = None
+            return
+        target = min(candidates)
+        if target < now:
+            target = now
+        if flow.pending is not None:
+            if flow.pending.time <= target:
+                return
+            flow.pending.cancel()
+        flow.pending = self.simulator.schedule(target, self._on_flow_event, flow)
+
+    def _advance(self, flow: Flow, now: float) -> None:
+        # Inlined in _apply_rate_changes (hot path) — keep the two in sync.
+        elapsed = now - flow.last_update
+        if elapsed > 0 and flow.rate > 0:
+            flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
+        flow.last_update = now
+
+    # -- flow events -------------------------------------------------------
+    def _on_flow_event(self, flow: Flow) -> None:
+        flow.pending = None
+        now = self.simulator.now
+        self._advance(flow, now)
+        if self._is_complete(flow, now):
+            self._finish(flow, now, expired=False)
+            return
+        if flow.deadline is not None and now >= flow.deadline - _TIME_EPSILON:
+            self._finish(flow, now, expired=True)
+            return
+        # Fired early — the rate dropped since this event was pushed, or the
+        # residual was too small to predict exactly (float rounding).  Re-aim
+        # at the current estimate; `_is_complete`'s sub-ulp test guarantees
+        # this terminates instead of spinning at `now`.
+        self._aim(flow, now)
+
+    def _finish(self, flow: Flow, now: float, expired: bool) -> None:
+        self._remove(flow)
+        touched = self._rater.on_flow_removed(flow)
+        self._apply_rate_changes(touched, now)
+        if flow.src not in self._by_src:
+            del self._up_cap[flow.src]
+            self._drop_watcher("uplink", flow.src)
+        if flow.dst not in self._by_dst:
+            del self._down_cap[flow.dst]
+            self._drop_watcher("downlink", flow.dst)
+        # Callbacks fire after the neighbourhood is consistent, so protocol
+        # code reacting to a timeout (e.g. re-sending) observes final rates.
+        if expired:
+            self._expire(flow)
+        else:
+            self._clamp_residual(flow)
+            self._complete(flow)
+
+    # -- breakpoint watchers -----------------------------------------------
+    def _arm_watcher(self, side: str, name: str, now: float) -> None:
+        """Schedule the next breakpoint event for an (active) link side.
+
+        The caller guarantees the slot is free.  Constant-from-here links
+        store ``None`` so busy links do not re-query their schedule on every
+        flow arrival; replaced links drop the marker in
+        :meth:`on_link_replaced`.
+        """
+        change = getattr(self._links[name], side).next_change_after(now)
+        if change is None:
+            self._watchers[(side, name)] = None
+            return
+        self._watchers[(side, name)] = self.simulator.schedule(
+            change, self._on_link_event, side, name
+        )
+
+    def _drop_watcher(self, side: str, name: str) -> None:
+        handle = self._watchers.pop((side, name), None)
+        if handle is not None:
+            handle.cancel()
+
+    def _on_link_event(self, side: str, name: str) -> None:
+        del self._watchers[(side, name)]
+        now = self.simulator.now
+        cap, index = (
+            (self._up_cap, self._by_src)
+            if side == "uplink"
+            else (self._down_cap, self._by_dst)
+        )
+        if name not in index:  # pragma: no cover - idle links drop watchers
+            cap.pop(name, None)
+            return
+        cap[name] = getattr(self._links[name], side).rate_at(now)
+        self._arm_watcher(side, name, now)
+        touched = self._rater.on_link_rate_changed(side, name)
+        self._apply_rate_changes(touched, now)
+
+
+def _flow_id_of(flow: Flow) -> int:
+    return flow.flow_id

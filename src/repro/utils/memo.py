@@ -1,0 +1,32 @@
+"""Instance-level memoization for (effectively) immutable objects.
+
+Frozen dataclasses forbid attribute assignment but still carry a
+``__dict__``, so a computed value can be stashed there via
+``object.__setattr__`` without touching declared fields (dataclass
+equality/``replace`` ignore it, and copies recompute).  Every hot-path
+memo in the library — vote/relay/consensus serialisations, document
+digests, canonical signature payloads — goes through this one helper so
+the idiom and its caveats live in a single place.
+
+Caveats, stated once: the object's *inputs to compute* must not change
+after the first call (that is what "effectively immutable" means here);
+values of ``None`` cannot be cached (``None`` means "not yet computed");
+and mutable-container fields need their own guard if tests poke them
+(see ``ConsensusDocument.serialize_body``, which keys its cache on the
+relay count for exactly that reason).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TypeVar
+
+T = TypeVar("T")
+
+
+def instance_memo(obj: Any, key: str, compute: Callable[[], T]) -> T:
+    """Return ``obj.__dict__[key]``, computing and stashing it on first use."""
+    cached = obj.__dict__.get(key)
+    if cached is None:
+        cached = compute()
+        object.__setattr__(obj, key, cached)
+    return cached

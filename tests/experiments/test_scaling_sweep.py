@@ -4,6 +4,8 @@ import json
 
 from repro.experiments.scaling_sweep import (
     ScalingCell,
+    engine_speedup_at,
+    engine_speedups,
     render_scaling,
     run_scaling_sweep,
     scaling_specs,
@@ -13,7 +15,7 @@ from repro.experiments.scaling_sweep import (
 
 
 def synthetic_cells():
-    def cell(transport, authority_count, wall):
+    def cell(transport, authority_count, wall, engine="lazy"):
         return ScalingCell(
             protocol="current",
             transport=transport,
@@ -23,13 +25,15 @@ def synthetic_cells():
             wall_clock_s=wall,
             virtual_end_s=600.0,
             messages_sent=100,
+            engine=engine,
         )
 
     return [
         cell("fair", 9, 0.2),
         cell("latency-only", 9, 0.1),
-        cell("fair", 90, 40.0),
-        cell("latency-only", 90, 10.0),
+        cell("fair", 90, 10.0),
+        cell("fair", 90, 40.0, engine="legacy"),
+        cell("latency-only", 90, 5.0),
     ]
 
 
@@ -46,32 +50,47 @@ def test_scaling_specs_carry_the_transport_and_authority_grid():
 
 def test_small_scaling_sweep_runs_and_reports(tmp_path):
     cells = run_scaling_sweep(
-        authority_counts=(5,), relay_count=30, max_time=600.0
+        authority_counts=(5,), relay_count=30, max_time=600.0, legacy_fair_counts=(5,)
     )
-    assert len(cells) == 2
+    # fair on both engines, latency-only on the lazy engine only.
+    assert [(cell.transport, cell.engine) for cell in cells] == [
+        ("fair", "lazy"),
+        ("fair", "legacy"),
+        ("latency-only", "lazy"),
+    ]
     assert all(cell.success for cell in cells)
     assert all(cell.wall_clock_s > 0 for cell in cells)
-    # Identical protocol work under both transports.
-    assert cells[0].messages_sent == cells[1].messages_sent
+    # Identical protocol work under every transport and engine.
+    assert len({cell.messages_sent for cell in cells}) == 1
 
     text = render_scaling(cells)
-    assert "latency-only" in text and "fair" in text
+    assert "latency-only" in text and "fair" in text and "legacy" in text
 
     out = write_bench_json(cells, tmp_path / "BENCH_scaling.json")
     payload = json.loads(out.read_text())
-    assert payload["format"] == 1
-    assert len(payload["cells"]) == 2
+    assert payload["format"] == 2
+    assert len(payload["cells"]) == 3
     assert "current@5" in payload["speedup_fair_to_latency_only"]
+    assert "current@5" in payload["speedup_fair_legacy_to_lazy"]
 
 
 def test_speedup_at_reads_the_grid_point():
     cells = synthetic_cells()
-    assert speedup_at(cells, 90) == 4.0
+    # Transport speedups compare lazy-engine cells only.
+    assert speedup_at(cells, 90) == 2.0
     assert speedup_at(cells, 9) == 2.0
     assert speedup_at(cells, 42) is None
     assert speedup_at(cells, 90, protocol="ours") is None
 
 
+def test_engine_speedup_compares_legacy_to_lazy_fair_cells():
+    cells = synthetic_cells()
+    assert engine_speedup_at(cells, 90) == 4.0
+    assert engine_speedup_at(cells, 9) is None  # no legacy cell at N=9
+    assert engine_speedups(cells) == [("current", 90, 4.0)]
+
+
 def test_render_scaling_annotates_speedups():
     text = render_scaling(synthetic_cells())
-    assert "N=90 current: latency-only is 4.0x faster than fair" in text
+    assert "N=90 current: latency-only is 2.0x faster than fair" in text
+    assert "N=90 current: lazy fair engine is 4.0x faster than legacy" in text

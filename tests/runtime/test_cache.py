@@ -59,3 +59,22 @@ def test_clear_removes_all_entries(tmp_path):
     assert cache.clear() == 2
     assert len(cache) == 0
     assert cache.get(SPEC) is None
+
+
+def test_legacy_engine_runs_cache_separately_from_default_runs(tmp_path):
+    # The shared-scheduler engine is an execution flag, not a spec field,
+    # but fair/fifo summaries differ between engines at rounding level — a
+    # legacy-engine conformance run must never be served a lazy-engine
+    # entry, nor poison the cache for default runs.
+    from repro.simnet.flows import use_shared_engine
+
+    cache = ResultCache(tmp_path)
+    default_path = cache.path_for(SPEC)
+    cache.put(SPEC, {"engine": "lazy"})
+    with use_shared_engine("legacy"):
+        assert cache.path_for(SPEC) != default_path
+        assert cache.get(SPEC) is None
+        cache.put(SPEC, {"engine": "legacy"})
+        assert cache.get(SPEC) == {"engine": "legacy"}
+    assert cache.get(SPEC) == {"engine": "lazy"}
+    assert len(cache) == 2

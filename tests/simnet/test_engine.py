@@ -145,6 +145,42 @@ def test_max_events_allows_exactly_that_many_events():
     assert fired == [0, 1, 2, 3, 4]
 
 
+def test_cancel_heavy_workload_keeps_heap_size_bounded():
+    # The lazy transport scheduler cancels and re-pushes a completion
+    # estimate per rate change; without compaction the heap grows with the
+    # total cancellation history instead of the live event count.
+    sim = Simulator()
+    live = [sim.schedule(1000.0 + i, lambda: None) for i in range(10)]
+    for round_number in range(200):
+        handles = [sim.schedule(500.0 + i, lambda: None) for i in range(50)]
+        for handle in handles:
+            handle.cancel()
+        # Cancelled corpses never dominate: the heap stays within a small
+        # constant factor of the live entries.
+        assert len(sim._heap) <= max(2 * (len(live) + 50), Simulator._COMPACT_MIN_SIZE)
+    assert sim.pending_events == len(live)
+
+
+def test_compaction_preserves_event_order():
+    import random
+
+    rng = random.Random(99)
+    sim = Simulator()
+    fired = []
+    expected = []
+    kept = []
+    for i in range(500):
+        time = rng.uniform(0.0, 100.0)
+        handle = sim.schedule(time, fired.append, i)
+        if rng.random() < 0.8:
+            handle.cancel()
+        else:
+            kept.append((handle.time, handle.seq, i))
+    expected = [i for _t, _s, i in sorted(kept)]
+    sim.run_until_idle()
+    assert fired == expected
+
+
 def test_cancelled_events_do_not_count_against_max_events():
     sim = Simulator()
     fired = []

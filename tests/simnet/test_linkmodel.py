@@ -91,12 +91,47 @@ def test_nameless_models_are_rejected():
         register_link_model(Nameless)
 
 
-def test_scheduler_selection_follows_the_coupling_flag():
+def test_scheduler_selection_follows_the_coupling_flag_and_engine():
+    from repro.simnet.shared_sched import LazySharedLinkScheduler
+
     links = {}
-    sched = make_flow_scheduler(get_link_model("fair"), None, links, None, None)
+    # Shared models with a lazy rater default to the lazy engine...
+    for name in ("fair", "fifo"):
+        sched = make_flow_scheduler(get_link_model(name), None, links, None, None)
+        assert isinstance(sched, LazySharedLinkScheduler)
+    # ...the legacy engine stays selectable (flag and environment)...
+    sched = make_flow_scheduler(
+        get_link_model("fair"), None, links, None, None, shared_engine="legacy"
+    )
     assert isinstance(sched, SharedLinkScheduler)
+    from repro.simnet.flows import use_shared_engine
+
+    with use_shared_engine("legacy"):
+        sched = make_flow_scheduler(get_link_model("fair"), None, links, None, None)
+        assert isinstance(sched, SharedLinkScheduler)
+    # ...and uncoupled models keep per-flow scheduling.
     sched = make_flow_scheduler(get_link_model("latency-only"), None, links, None, None)
     assert isinstance(sched, IndependentFlowScheduler)
+
+
+def test_shared_models_without_a_lazy_rater_fall_back_to_the_legacy_engine():
+    class OpaqueShared(LinkModel):
+        name = "test-opaque-shared"
+        shared = True
+
+        def assign_rates(self, flows, links, now, affected=None, up_counts=None, down_counts=None):
+            for flow in flows.values():
+                flow.rate = 1.0
+
+    sched = make_flow_scheduler(OpaqueShared(), None, {}, None, None)
+    assert isinstance(sched, SharedLinkScheduler)
+
+
+def test_unknown_shared_engine_is_rejected():
+    with pytest.raises(ValidationError):
+        make_flow_scheduler(
+            get_link_model("fair"), None, {}, None, None, shared_engine="eager"
+        )
 
 
 # -- rate policies -------------------------------------------------------------

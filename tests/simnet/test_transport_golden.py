@@ -5,17 +5,34 @@ zero-size control messages, a throttling window, a mid-run link replacement,
 and transfers that time out — is driven through :class:`SimNetwork` and every
 externally observable transport event (delivery, timeout) is recorded with
 its full-precision virtual timestamp.  The resulting event streams are
-committed under ``tests/data/`` and must reproduce *byte-identically*: the
-fair/fifo link models were extracted from the pre-refactor monolith and any
-change to their floating-point trajectory (event ordering, rate arithmetic,
-completion scheduling) fails here instead of silently shifting every figure.
+committed under ``tests/data/`` and must reproduce *byte-identically*, once
+per shared-scheduler engine:
 
-A protocol-level golden (one full ``fifo`` consensus run summary) rides
-along so the fifo model is pinned end-to-end, not just at transport level.
+* ``golden_transport_{fair,fifo}.json`` — the default **lazy** engine
+  (GOLDEN format 2, the lazy-advance scheduler of
+  :mod:`repro.simnet.shared_sched`);
+* ``golden_transport_{fair,fifo}_legacy.json`` — the **legacy**
+  global-recompute engine.  These are the *original pre-lazy goldens*,
+  unchanged since the models were extracted from the monolith: they prove
+  the legacy loop still produces the historical trajectory, which is what
+  makes it a valid conformance anchor for the lazy engine.
+
+GOLDEN version history: format 1 (implicit, no marker) pinned the legacy
+engine's trajectory as the default; format 2 pins the lazy engine's (the
+rebaseline is deliberate — lazy progress accumulation chips ``remaining``
+at rate changes only, which shifts float rounding; old-vs-new equivalence
+is enforced separately by ``tests/simnet/test_shared_sched.py``).
+
+A protocol-level golden (one full ``fifo`` consensus run summary, one file
+per engine) rides along so the fifo model is pinned end-to-end, not just at
+transport level.
 
 To intentionally re-baseline after a *deliberate* semantic change:
 
     PYTHONPATH=src python tests/simnet/test_transport_golden.py regenerate
+
+(regenerates the lazy *and* legacy files — say so loudly in the PR and bump
+GOLDEN_FORMAT if the lazy trajectory moved on purpose).
 """
 
 import json
@@ -26,12 +43,18 @@ from pathlib import Path
 import pytest
 
 from repro.simnet.bandwidth import BandwidthSchedule
+from repro.simnet.flows import use_shared_engine
 from repro.simnet.message import Message
 from repro.simnet.network import LinkConfig, SimNetwork
 from repro.simnet.node import ProtocolNode
 
 DATA_DIR = Path(__file__).resolve().parent.parent / "data"
 GOLDEN_TRANSPORTS = ("fair", "fifo")
+GOLDEN_ENGINES = ("lazy", "legacy")
+
+#: Format of the lazy-engine golden records ("golden_format" key); the
+#: legacy files predate the marker and are pinned without one.
+GOLDEN_FORMAT = 2
 
 #: Per-node symmetric link capacities for the workload (Mbit/s).
 _NODE_MBPS = {"a": 8.0, "b": 16.0, "c": 4.0, "d": 8.0, "e": 2.0}
@@ -50,12 +73,14 @@ class _Recorder(ProtocolNode):
         )
 
 
-def golden_path(transport: str) -> Path:
-    return DATA_DIR / ("golden_transport_%s.json" % transport)
+def golden_path(transport: str, engine: str) -> Path:
+    suffix = "" if engine == "lazy" else "_legacy"
+    return DATA_DIR / ("golden_transport_%s%s.json" % (transport, suffix))
 
 
-def fifo_run_path() -> Path:
-    return DATA_DIR / "golden_fifo_run.json"
+def fifo_run_path(engine: str) -> Path:
+    suffix = "" if engine == "lazy" else "_legacy"
+    return DATA_DIR / ("golden_fifo_run%s.json" % suffix)
 
 
 def run_transport_workload(transport: str) -> dict:
@@ -123,6 +148,14 @@ def run_transport_workload(transport: str) -> dict:
     }
 
 
+def _record_for(transport: str, engine: str) -> dict:
+    with use_shared_engine(engine):
+        record = run_transport_workload(transport)
+    if engine == "lazy":
+        record["golden_format"] = GOLDEN_FORMAT
+    return record
+
+
 def _fifo_run_spec():
     from repro.runtime.spec import RunSpec
 
@@ -136,35 +169,43 @@ def _fifo_run_spec():
     )
 
 
+@pytest.mark.parametrize("engine", GOLDEN_ENGINES)
 @pytest.mark.parametrize("transport", GOLDEN_TRANSPORTS)
-def test_transport_workload_reproduces_the_golden_trace_exactly(transport):
-    golden = json.loads(golden_path(transport).read_text())
-    assert run_transport_workload(transport) == golden
+def test_transport_workload_reproduces_the_golden_trace_exactly(transport, engine):
+    golden = json.loads(golden_path(transport, engine).read_text())
+    assert _record_for(transport, engine) == golden
 
 
-def test_fifo_protocol_run_reproduces_the_golden_summary_exactly():
+@pytest.mark.parametrize("engine", GOLDEN_ENGINES)
+def test_fifo_protocol_run_reproduces_the_golden_summary_exactly(engine):
     from repro.protocols.runner import execute_spec
     from repro.runtime.spec import RunSpec
 
-    entry = json.loads(fifo_run_path().read_text())
+    entry = json.loads(fifo_run_path(engine).read_text())
     spec = RunSpec.from_dict(entry["spec"])
     assert spec == _fifo_run_spec()
-    assert execute_spec(spec).summary() == entry["summary"]
+    with use_shared_engine(engine):
+        summary = execute_spec(spec).summary()
+    assert summary == entry["summary"]
 
 
 def regenerate() -> None:  # pragma: no cover - maintenance entry point
     from repro.protocols.runner import execute_spec
 
-    for transport in GOLDEN_TRANSPORTS:
-        record = run_transport_workload(transport)
-        golden_path(transport).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
-        print("rebaselined", golden_path(transport))
-    spec = _fifo_run_spec()
-    summary = execute_spec(spec).summary()
-    fifo_run_path().write_text(
-        json.dumps({"spec": spec.to_dict(), "summary": summary}, indent=2, sort_keys=True) + "\n"
-    )
-    print("rebaselined", fifo_run_path())
+    for engine in GOLDEN_ENGINES:
+        for transport in GOLDEN_TRANSPORTS:
+            record = _record_for(transport, engine)
+            path = golden_path(transport, engine)
+            path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+            print("rebaselined", path)
+        spec = _fifo_run_spec()
+        with use_shared_engine(engine):
+            summary = execute_spec(spec).summary()
+        fifo_run_path(engine).write_text(
+            json.dumps({"spec": spec.to_dict(), "summary": summary}, indent=2, sort_keys=True)
+            + "\n"
+        )
+        print("rebaselined", fifo_run_path(engine))
 
 
 if __name__ == "__main__" and "regenerate" in sys.argv[1:]:  # pragma: no cover
