@@ -14,10 +14,15 @@ Usage::
     PYTHONPATH=src python benchmarks/profile_scaling.py \\
         --authorities 30 --transport fifo --sort tottime --top 40
     PYTHONPATH=src python benchmarks/profile_scaling.py --out cell.prof
+    PYTHONPATH=src python benchmarks/profile_scaling.py \\
+        --authorities 9 --clients 1000000 --cohorts 32
 
 ``--out`` writes the raw pstats dump for ``snakeviz``/``pstats`` digging;
 without it the report just prints.  The cell always executes in-process and
-uncached, so the profile measures simulation cost only.
+uncached, so the profile measures simulation cost only.  ``--clients``
+attaches a consensus-distribution workload (``--cohorts`` cohorts, the
+Figure 13 defaults otherwise), making the client layer profilable exactly
+like the transport.
 """
 
 from __future__ import annotations
@@ -31,6 +36,9 @@ from repro.protocols.runner import execute_spec
 from repro.runtime.spec import RunSpec
 from repro.simnet.flows import SHARED_ENGINES, use_shared_engine
 
+#: Default cohort count for --clients (the Figure 13 grid's).
+DEFAULT_COHORTS = 32
+
 
 def profile_cell(
     authorities: int = 90,
@@ -40,8 +48,17 @@ def profile_cell(
     relay_count: int = 200,
     seed: int = 7,
     max_time: float = 600.0,
+    clients: int = 0,
+    cohorts: int = DEFAULT_COHORTS,
 ) -> cProfile.Profile:
     """Run one scaling cell under cProfile and return the profiler."""
+    workload = None
+    if clients:
+        # Imported lazily: client-free transport profiling must not depend
+        # on the experiments package.
+        from repro.experiments.figure13_clients import default_client_workload
+
+        workload = default_client_workload(clients, cohort_count=cohorts)
     spec = RunSpec(
         protocol=protocol,
         relay_count=relay_count,
@@ -50,6 +67,7 @@ def profile_cell(
         transport=transport,
         authority_count=authorities,
         max_time=max_time,
+        client_workload=workload,
     )
     profiler = cProfile.Profile()
     with use_shared_engine(engine):
@@ -60,6 +78,16 @@ def profile_cell(
         "cell: %s@%d transport=%s engine=%s success=%s messages=%d"
         % (protocol, authorities, transport, engine, result.success, result.stats.messages_sent)
     )
+    if result.client_summary:
+        print(
+            "clients: %d in %d cohorts — fresh %.1f%%, %d fetch attempts"
+            % (
+                result.client_summary["population"],
+                result.client_summary["cohorts"],
+                100.0 * result.client_summary["fresh_fraction"],
+                result.client_summary["fetch_attempts"],
+            )
+        )
     return profiler
 
 
@@ -69,6 +97,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--transport", default="fair")
     parser.add_argument("--engine", default="lazy", choices=SHARED_ENGINES)
     parser.add_argument("--protocol", default="current")
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=0,
+        help="attach a client workload of this population (0: no clients)",
+    )
+    parser.add_argument(
+        "--cohorts",
+        type=int,
+        default=DEFAULT_COHORTS,
+        help="cohort count for --clients",
+    )
     parser.add_argument("--top", type=int, default=30, help="functions to print")
     parser.add_argument(
         "--sort", default="cumulative", help="pstats sort key (cumulative, tottime, ...)"
@@ -81,6 +121,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         transport=args.transport,
         engine=args.engine,
         protocol=args.protocol,
+        clients=args.clients,
+        cohorts=args.cohorts,
     )
     stats = pstats.Stats(profiler)
     stats.sort_stats(args.sort).print_stats(args.top)

@@ -11,21 +11,44 @@ Every binary-search probe goes through one shared ``SweepExecutor`` whose
 results land in ``.sweep-cache/``, so re-running the planning sweep is free.
 
 Run with:  python examples/bandwidth_planning.py
+
+Setting ``REPRO_EXAMPLE_QUICK=1`` shrinks the sweep for CI smoke tests.
 """
+
+import os
 
 from repro.analysis.bandwidth import analytic_required_bandwidth_mbps, required_bandwidth_mbps
 from repro.analysis.reporting import format_table
 from repro.attack import AttackCostModel
 from repro.runtime import ResultCache, SweepExecutor
 
-RELAY_COUNTS = (1000, 4000, 8000)
+#: CI smoke mode: same code path, small sizes (see tests/examples/).
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+RELAY_COUNTS = (1000,) if QUICK else (1000, 4000, 8000)
 
 
 def main() -> None:
-    executor = SweepExecutor(cache=ResultCache(".sweep-cache"))
+    executor = SweepExecutor(
+        cache=ResultCache(".sweep-cache"),
+        # Each binary-search probe is one protocol run; narrate them so the
+        # sweep is not silent for minutes on a cold cache.
+        on_result=lambda index, spec, summary, cached: print(
+            "  probe: %d relays @ %.2f Mbit/s — %s%s"
+            % (
+                spec.relay_count,
+                spec.bandwidth_mbps,
+                "ok" if summary["success"] else "FAIL",
+                " (cached)" if cached else "",
+            )
+        ),
+    )
     rows = []
     for relay_count in RELAY_COUNTS:
-        result = required_bandwidth_mbps(relay_count, tolerance_mbps=1.0, executor=executor)
+        result = required_bandwidth_mbps(
+            relay_count,
+            tolerance_mbps=2.0 if QUICK else 1.0,
+            executor=executor,
+        )
         analytic = analytic_required_bandwidth_mbps(relay_count)
         cost = AttackCostModel(required_bandwidth_mbps=result.required_mbps)
         rows.append(

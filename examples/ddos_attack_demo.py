@@ -14,18 +14,26 @@ Reproduces Section 4 of the paper end to end:
 5. print the stressor-service cost of sustaining the attack ($53.28/month).
 
 Run with:  python examples/ddos_attack_demo.py
+
+Setting ``REPRO_EXAMPLE_QUICK=1`` shrinks the runs for CI smoke tests.
 """
+
+import os
 
 from repro.attack import AttackCostModel, majority_attack_plan
 from repro.experiments import run_attack_demo
 from repro.runtime import RunSpec, SweepExecutor
+
+#: CI smoke mode: same code path, small sizes (see tests/examples/).
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+RELAY_COUNT = 400 if QUICK else 8000
 
 
 def main() -> None:
     executor = SweepExecutor()
 
     print("=== Step 1-3: the current protocol under attack (Figure 1) ===")
-    demo = run_attack_demo(relay_count=8000, executor=executor)
+    demo = run_attack_demo(relay_count=RELAY_COUNT, executor=executor)
     print("Attack: %d authorities throttled to %.1f Mbit/s for %.0f s" % (
         demo.attack.target_count,
         demo.attack.residual_bandwidth_mbps,
@@ -41,7 +49,7 @@ def main() -> None:
     attack = majority_attack_plan(residual_bandwidth_mbps=0.05)
     spec = RunSpec(
         protocol="ours",
-        relay_count=8000,
+        relay_count=RELAY_COUNT,
         bandwidth_mbps=250.0,
         seed=7,
         max_time=attack.end + 900,

@@ -10,17 +10,40 @@ on-disk cache under ``.sweep-cache/``: run the script twice and the second
 run executes zero simulations.
 
 Run with:  python examples/protocol_comparison.py
+
+Setting ``REPRO_EXAMPLE_QUICK=1`` shrinks the grid for CI smoke tests.
 """
+
+import os
 
 from repro.experiments import render_figure10, run_figure10
 from repro.runtime import ResultCache, SweepExecutor
 
+#: CI smoke mode: same code path, small sizes (see tests/examples/).
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+
 
 def main() -> None:
-    executor = SweepExecutor(workers=2, cache=ResultCache(".sweep-cache"))
+    executor = SweepExecutor(
+        workers=2,
+        cache=ResultCache(".sweep-cache"),
+        # Progress per cell: the full grid takes a while and the cells land
+        # as they finish, so silence would read as a hang.
+        on_result=lambda index, spec, summary, cached: print(
+            "  cell %d: %s @ %d relays, %.1f Mbit/s — %s%s"
+            % (
+                index,
+                spec.protocol,
+                spec.relay_count,
+                spec.bandwidth_mbps,
+                "ok" if summary["success"] else "FAIL",
+                " (cached)" if cached else "",
+            )
+        ),
+    )
     grid = run_figure10(
-        bandwidths_mbps=(50.0, 10.0, 0.5),
-        relay_counts=(1000, 8000),
+        bandwidths_mbps=(50.0, 0.5) if QUICK else (50.0, 10.0, 0.5),
+        relay_counts=(500,) if QUICK else (1000, 8000),
         executor=executor,
     )
     print(render_figure10(grid))

@@ -8,10 +8,17 @@ latency.  ``workers=2`` fans the runs out over a process pool; results are
 bit-identical to a serial run.
 
 Run with:  python examples/quickstart.py
+
+Setting ``REPRO_EXAMPLE_QUICK=1`` shrinks the run for CI smoke tests.
 """
+
+import os
 
 from repro.protocols.runner import scenario_from_spec
 from repro.runtime import RunSpec, SweepExecutor
+
+#: CI smoke mode: same code path, small sizes (see tests/examples/).
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
 
 LABELS = {
     "current": "Current Tor directory protocol (v3)",
@@ -22,7 +29,11 @@ LABELS = {
 
 def main() -> None:
     base = RunSpec(
-        protocol="current", relay_count=8000, bandwidth_mbps=250.0, seed=7, max_time=1800.0
+        protocol="current",
+        relay_count=250 if QUICK else 8000,
+        bandwidth_mbps=250.0,
+        seed=7,
+        max_time=1800.0,
     )
     scenario = scenario_from_spec(base)
     print("Scenario: %d authorities, %d relays, vote size %.2f MB, 250 Mbit/s links" % (

@@ -1,0 +1,56 @@
+"""Consensus distribution: cohort-aggregated dir-client populations.
+
+The paper's headline claim is user-facing — a cheap DDoS on the directory
+authorities leaves Tor *clients* bootstrapping from stale or missing
+consensuses — so the reproduction cannot stop at authority signing.  This
+package models the client side at production scale:
+
+* :class:`~repro.clients.workload.ClientWorkload` — a frozen description of
+  a dir-client population (size, cohorts, fetch behaviour, mirror tier),
+  attached to :class:`~repro.runtime.spec.RunSpec` like bandwidth overrides
+  and fault plans;
+* :class:`~repro.clients.cohort.ClientCohortNode` — one aggregate simnet
+  endpoint standing in for N identical clients, with per-client state folded
+  into counting distributions and fetch traffic issued as weighted flows;
+* :class:`~repro.clients.mirror.DirectoryMirrorNode` — the relay-cache tier
+  between authorities and clients;
+* :class:`~repro.clients.distribution.ConsensusDistribution` — the wiring:
+  nodes, latencies, the authorities' consensus-published hook, the
+  ``CLIENT/*`` serving plane, and the ``clients`` summary block;
+* :class:`~repro.clients.metrics.ClientMetrics` — weighted fetch accounting
+  (success rate, p50/p99 time-to-fresh, staleness-seconds).
+
+Correctness is pinned by a conformance property: a K-cohort run equals the
+same population simulated as individual clients — exactly under
+deterministic arrivals, tolerance-bounded where Poisson sampling differs
+(``tests/clients/test_conformance.py``), and by a golden client-run trace
+under ``tests/data/``.  See ``DESIGN-clients.md`` for the aggregation model.
+"""
+
+from repro.clients.cohort import (
+    CONSENSUS_MSG,
+    FETCH_MSG,
+    NOT_READY_MSG,
+    ClientCohortNode,
+    ConsensusFetchRequest,
+    ConsensusFetchResponse,
+)
+from repro.clients.distribution import ConsensusDistribution
+from repro.clients.metrics import ClientMetrics, weighted_percentile
+from repro.clients.mirror import DirectoryMirrorNode
+from repro.clients.workload import ARRIVAL_MODES, ClientWorkload
+
+__all__ = [
+    "ARRIVAL_MODES",
+    "CONSENSUS_MSG",
+    "FETCH_MSG",
+    "NOT_READY_MSG",
+    "ClientCohortNode",
+    "ClientMetrics",
+    "ClientWorkload",
+    "ConsensusDistribution",
+    "ConsensusFetchRequest",
+    "ConsensusFetchResponse",
+    "DirectoryMirrorNode",
+    "weighted_percentile",
+]

@@ -1,0 +1,92 @@
+"""Directory mirrors: relay-side caches between authorities and clients.
+
+Tor's millions of clients do not fetch the consensus from the nine
+authorities — they fetch from thousands of directory caches, which
+themselves fetch from the authorities.  A :class:`DirectoryMirrorNode`
+models one such cache: it polls the authorities (round-robin, weight-1
+fetches through the same ``CLIENT/*`` plane the cohorts use) until it
+obtains the signed consensus, then serves cohort fetches itself.  Before it
+has the document it answers ``CLIENT/NOT_READY`` like an authority would.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.clients.cohort import (
+    CONSENSUS_MSG,
+    FETCH_MSG,
+    ConsensusFetchRequest,
+    ConsensusFetchResponse,
+)
+from repro.clients.workload import ClientWorkload
+from repro.simnet.message import Message
+from repro.simnet.node import ProtocolNode
+from repro.utils.validation import ensure
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.clients.distribution import ConsensusDistribution
+
+
+class DirectoryMirrorNode(ProtocolNode):
+    """One directory cache: fetches from authorities, serves cohorts."""
+
+    def __init__(
+        self,
+        name: str,
+        authorities: Sequence[str],
+        workload: ClientWorkload,
+        service: "ConsensusDistribution",
+        poll_offset: int = 0,
+    ) -> None:
+        super().__init__(name=name)
+        ensure(len(authorities) >= 1, "mirror needs at least one authority")
+        self.workload = workload
+        self.authorities = list(authorities)
+        self.service = service
+        self._consensus = None
+        self._poll_index = poll_offset
+
+    # -- directory-server interface ----------------------------------------
+    def serveable_consensus(self) -> Optional[object]:
+        """The signed consensus this mirror can serve, if it has one."""
+        return self._consensus
+
+    # -- lifecycle ---------------------------------------------------------
+    def on_start(self) -> None:
+        self._poll()
+
+    def _poll(self) -> None:
+        if self._consensus is not None:
+            return
+        timeout = self.workload.connection_timeout_s
+        target = self.authorities[self._poll_index % len(self.authorities)]
+        self._poll_index += 1
+        self.send(
+            target,
+            Message(
+                msg_type=FETCH_MSG,
+                payload=ConsensusFetchRequest(
+                    requester=self.name,
+                    attempt_id=self._require_network().simulator.next_serial(),
+                    weight=1,
+                    deadline=self.now + timeout,
+                ),
+                size_bytes=self.workload.request_bytes,
+            ),
+            timeout=timeout,
+        )
+        self.set_timer(self.workload.mirror_poll_interval_s, self._poll)
+
+    # -- message handling ---------------------------------------------------
+    def on_message(self, message: Message, now: float) -> None:
+        if message.msg_type == FETCH_MSG:
+            self.service.handle_fetch(self, message, now)
+            return
+        if message.msg_type == CONSENSUS_MSG and self._consensus is None:
+            response = message.payload
+            if isinstance(response, ConsensusFetchResponse) and response.document is not None:
+                self._consensus = response.document
+                self.service.note_mirror_serving(self, now)
+                self.log("notice", "Obtained the signed consensus; now serving clients.")
+        # NOT_READY replies need no handling: the poll timer retries.

@@ -33,7 +33,7 @@ class Document:
     size_override:
         Optional wire size to report instead of ``len(data)``.  Large-scale
         benchmarks use it to model full-size votes while keeping a reduced
-        relay sample as content (see DESIGN.md, calibration note).
+        relay sample as content (see DESIGN-calibration.md).
     """
 
     data: bytes

@@ -55,7 +55,7 @@ class VoteDocument:
     #: When set, :attr:`size_bytes` reports the size a vote covering this many
     #: relays would have, even though only a sample of relays is materialised.
     #: Large parameter sweeps use this to keep runtimes reasonable without
-    #: changing the bandwidth model (see DESIGN.md).
+    #: changing the bandwidth model (see DESIGN-calibration.md).
     padded_relay_count: Optional[int] = None
 
     def __post_init__(self) -> None:

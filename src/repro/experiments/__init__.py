@@ -12,7 +12,9 @@ routes them through a :class:`~repro.runtime.executor.SweepExecutor`; pass
 ``executor=`` (or ``workers=`` / ``cache=`` where exposed) to parallelise
 grids across processes and reuse cached cells between artefacts.
 
-Index (see DESIGN.md for the full experiment table):
+Index (design notes live in the DESIGN-*.md files at the repo root:
+DESIGN-transport.md, DESIGN-faults.md, DESIGN-clients.md,
+DESIGN-calibration.md):
 
 ========  =====================================================  =========================
 Artefact  What it shows                                           Module
@@ -30,6 +32,7 @@ Table 1   Design comparison and communication complexity          table1_complex
 Table 2   Round complexity of the sub-protocols                   table2_rounds
 (extra)   Ablations: transport link model, agreement engine       ablations
 (extra)   Scaling sweep: transport wall-clock at 10×-paper N      scaling_sweep
+Figure 13 Client recovery under the DDoS, 10k–10M dir-clients    figure13_clients
 ========  =====================================================  =========================
 """
 
@@ -44,6 +47,13 @@ from repro.experiments.figure12_faults import (
     default_fault_mixes,
     run_figure12,
     render_figure12,
+)
+from repro.experiments.figure13_clients import (
+    Figure13Cell,
+    default_client_workload,
+    figure13_spec,
+    render_figure13,
+    run_figure13,
 )
 from repro.experiments.table1_complexity import run_table1, render_table1
 from repro.experiments.table2_rounds import run_table2, render_table2
@@ -76,6 +86,11 @@ __all__ = [
     "default_fault_mixes",
     "run_figure12",
     "render_figure12",
+    "Figure13Cell",
+    "default_client_workload",
+    "figure13_spec",
+    "run_figure13",
+    "render_figure13",
     "run_table1",
     "render_table1",
     "run_table2",

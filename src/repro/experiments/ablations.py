@@ -1,4 +1,6 @@
-"""Ablations of design choices called out in DESIGN.md (not in the paper).
+"""Ablations of design choices called out in the DESIGN-*.md notes (not in
+the paper): the transport model in DESIGN-transport.md, the document-size
+calibration they run against in DESIGN-calibration.md.
 
 Two knobs materially affect the reproduction's conclusions and are therefore
 worth sweeping explicitly:

@@ -1,0 +1,286 @@
+"""Figure 13 (beyond the paper): what the DDoS does to Tor's *users*.
+
+The paper's Figures 1/10/11 stop at the authorities: the attack prevents (or
+delays) a signed consensus.  The user-visible harm the paper gestures at —
+millions of dir-clients bootstrapping from stale or missing consensuses —
+needs the consensus-*distribution* layer: this experiment runs the Figure-1
+attack (a majority of authorities flooded to ~zero usable bandwidth for the
+first 300 s) with a cohort-aggregated client population fetching the signed
+consensus through a directory-mirror tier, and reports the recovery curve
+clients actually experience:
+
+* the fraction of clients holding a fresh consensus by the end of the run,
+* p50/p99 time-to-fresh-consensus and mean staleness-seconds per client,
+* the fetch success rate (failed attempts are the "giving up downloading
+  networkstatus" lines a real client logs).
+
+Populations sweep 10k → 10M modeled clients across the three protocols.
+Cohort aggregation (32 cohorts regardless of population; see
+``DESIGN-clients.md``) keeps the 10M-client cells at thousands of simulator
+events, so the whole three-protocol 10M row regenerates in seconds —
+``benchmarks/test_bench_clients.py`` asserts a 60 s wall-clock budget and
+commits the numbers as ``BENCH_clients.json``.
+
+Cells run serially and in-process (never through a result cache) because the
+committed payload carries wall-clock timings, exactly like the scaling
+sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.analysis.reporting import format_table
+from repro.attack.ddos import majority_attack_plan
+from repro.clients.workload import ClientWorkload
+from repro.runtime.spec import PROTOCOL_NAMES, RunSpec
+from repro.utils.validation import ensure
+
+#: Client populations plotted by default: 10k to 10M modeled clients.
+DEFAULT_POPULATIONS = (10_000, 100_000, 1_000_000, 10_000_000)
+
+#: Cohort count used at every population (event cost tracks cohorts ×
+#: waves, not clients, which is the whole point of the aggregation).
+DEFAULT_COHORT_COUNT = 32
+
+#: Directory-mirror tier size (the live network serves clients through
+#: thousands of relay caches; 256 keeps per-mirror load realistic for the
+#: populations swept here).
+DEFAULT_MIRROR_COUNT = 256
+
+#: Format version of the ``BENCH_clients.json`` payload.
+BENCH_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Figure13Cell:
+    """One timed (protocol × population) run of the client-recovery grid."""
+
+    protocol: str
+    population: int
+    cohort_count: int
+    mirror_count: int
+    run_success: bool
+    fresh_fraction: float
+    fetch_success_rate: Optional[float]
+    time_to_fresh_p50_s: Optional[float]
+    time_to_fresh_p99_s: Optional[float]
+    mean_staleness_s: float
+    first_publish_time_s: Optional[float]
+    fetch_attempts: int
+    wall_clock_s: float
+    virtual_end_s: float
+
+
+def default_client_workload(
+    population: int,
+    cohort_count: int = DEFAULT_COHORT_COUNT,
+    mirror_count: int = DEFAULT_MIRROR_COUNT,
+) -> ClientWorkload:
+    """The workload every Figure 13 cell uses, scaled to ``population``.
+
+    Clients poll for a fresh consensus every ~5 minutes on average (Poisson),
+    give up an attempt after the 18 s directory connection timeout, and back
+    off two minutes after a failure — roughly a live client's schedule while
+    bootstrapping.  Batches split across 8 mirrors per wave so directory
+    load spreads like independent client arrivals would.
+    """
+    return ClientWorkload(
+        population=population,
+        cohort_count=cohort_count,
+        arrival="poisson",
+        fetch_interval_s=300.0,
+        wave_interval_s=10.0,
+        retry_backoff_s=120.0,
+        connection_timeout_s=18.0,
+        servers_per_wave=8,
+        mirror_count=mirror_count,
+    )
+
+
+def figure13_spec(
+    protocol: str,
+    population: int,
+    cohort_count: int = DEFAULT_COHORT_COUNT,
+    mirror_count: int = DEFAULT_MIRROR_COUNT,
+    relay_count: int = 120,
+    seed: int = 7,
+    max_time: float = 1800.0,
+    residual_bandwidth_mbps: float = 0.05,
+) -> RunSpec:
+    """One cell's frozen spec: the Figure-1 attack plus the client workload."""
+    attack = majority_attack_plan(residual_bandwidth_mbps=residual_bandwidth_mbps)
+    return RunSpec(
+        protocol=protocol,
+        relay_count=relay_count,
+        seed=seed,
+        max_time=max_time,
+        bandwidth_overrides=attack.bandwidth_overrides(),
+        client_workload=default_client_workload(
+            population, cohort_count=cohort_count, mirror_count=mirror_count
+        ),
+    )
+
+
+def run_figure13(
+    populations: Sequence[int] = DEFAULT_POPULATIONS,
+    protocols: Sequence[str] = PROTOCOL_NAMES,
+    cohort_count: int = DEFAULT_COHORT_COUNT,
+    mirror_count: int = DEFAULT_MIRROR_COUNT,
+    relay_count: int = 120,
+    seed: int = 7,
+    max_time: float = 1800.0,
+    progress: Optional[Callable[[Figure13Cell], None]] = None,
+) -> List[Figure13Cell]:
+    """Execute the grid serially, timing each cell's wall clock.
+
+    ``progress`` (if given) fires after each cell — a 12-cell grid with 10M
+    clients is not instant, and silence reads as a hang.
+    """
+    from repro.protocols.runner import execute_spec
+
+    ensure(len(populations) > 0, "need at least one population")
+    ensure(len(protocols) > 0, "need at least one protocol")
+    cells: List[Figure13Cell] = []
+    for population in populations:
+        for protocol in protocols:
+            spec = figure13_spec(
+                protocol,
+                population,
+                cohort_count=cohort_count,
+                mirror_count=mirror_count,
+                relay_count=relay_count,
+                seed=seed,
+                max_time=max_time,
+            )
+            started = time.perf_counter()
+            result = execute_spec(spec)
+            elapsed = time.perf_counter() - started
+            clients = result.client_summary
+            cell = Figure13Cell(
+                protocol=protocol,
+                population=population,
+                cohort_count=cohort_count,
+                mirror_count=mirror_count,
+                run_success=result.success,
+                fresh_fraction=clients["fresh_fraction"],
+                fetch_success_rate=clients["fetch_success_rate"],
+                time_to_fresh_p50_s=clients["time_to_fresh_p50_s"],
+                time_to_fresh_p99_s=clients["time_to_fresh_p99_s"],
+                mean_staleness_s=clients["mean_staleness_s"],
+                first_publish_time_s=clients["first_publish_time_s"],
+                fetch_attempts=clients["fetch_attempts"],
+                wall_clock_s=elapsed,
+                virtual_end_s=result.end_time,
+            )
+            cells.append(cell)
+            if progress is not None:
+                progress(cell)
+    return cells
+
+
+def render_figure13(cells: Sequence[Figure13Cell]) -> str:
+    """Render the client-recovery table (one row per protocol × population)."""
+    rows = []
+    for cell in cells:
+        rows.append(
+            (
+                "{:,}".format(cell.population),
+                cell.protocol,
+                "ok" if cell.run_success else "FAIL",
+                "%.1f%%" % (100.0 * cell.fresh_fraction),
+                "%.0f s" % cell.time_to_fresh_p50_s
+                if cell.time_to_fresh_p50_s is not None
+                else "never",
+                "%.0f s" % cell.time_to_fresh_p99_s
+                if cell.time_to_fresh_p99_s is not None
+                else "never",
+                "%.0f s" % cell.mean_staleness_s,
+                "%.1f%%" % (100.0 * cell.fetch_success_rate)
+                if cell.fetch_success_rate is not None
+                else "n/a",
+                "%.1f s" % cell.wall_clock_s,
+            )
+        )
+    return format_table(
+        [
+            "Clients",
+            "Protocol",
+            "Consensus",
+            "Fresh at end",
+            "p50 fresh",
+            "p99 fresh",
+            "Staleness",
+            "Fetch ok",
+            "Wall clock",
+        ],
+        rows,
+        title="Figure 13: client recovery under the 5-minute DDoS on 5 authorities",
+    )
+
+
+def write_bench_json(
+    cells: Sequence[Figure13Cell], path: Union[str, Path] = "BENCH_clients.json"
+) -> Path:
+    """Write the grid's cells (metrics + wall clocks) to ``path``."""
+    path = Path(path)
+    payload = {
+        "format": BENCH_FORMAT_VERSION,
+        "cells": [asdict(cell) for cell in cells],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: run the grid, print the table, emit the JSON."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_clients.json", help="output path for the JSON payload"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="single-population smoke (1M clients, 32 cohorts, all three "
+        "protocols) for CI wall-clock budgets",
+    )
+    parser.add_argument(
+        "--populations",
+        type=int,
+        nargs="+",
+        default=None,
+        help="override the population grid",
+    )
+    args = parser.parse_args(argv)
+    if args.populations is not None:
+        populations: Sequence[int] = tuple(args.populations)
+    elif args.quick:
+        populations = (1_000_000,)
+    else:
+        populations = DEFAULT_POPULATIONS
+
+    def progress(cell: Figure13Cell) -> None:
+        print(
+            "cell done: %s @ %s clients — fresh %.1f%%, %.1f s wall"
+            % (
+                cell.protocol,
+                "{:,}".format(cell.population),
+                100.0 * cell.fresh_fraction,
+                cell.wall_clock_s,
+            )
+        )
+
+    cells = run_figure13(populations=populations, progress=progress)
+    print(render_figure13(cells))
+    out = write_bench_json(cells, args.out)
+    print("wrote %s" % out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    raise SystemExit(main())

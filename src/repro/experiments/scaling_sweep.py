@@ -36,7 +36,7 @@ import json
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.reporting import format_table
 from repro.runtime.spec import RunSpec
@@ -139,14 +139,24 @@ def run_scaling_sweep(
     seed: int = 7,
     max_time: float = 600.0,
     legacy_fair_counts: Sequence[int] = DEFAULT_LEGACY_FAIR_COUNTS,
+    progress: Optional[Callable[[ScalingCell], None]] = None,
 ) -> List[ScalingCell]:
     """Execute the scaling grid serially, timing each cell's wall clock.
 
     Every (count × protocol × transport) cell runs on the default lazy
     engine; ``legacy_fair_counts`` adds ``fair`` cells on the legacy engine
     (at counts also present in the main grid) for the old-vs-new table.
+    ``progress`` (if given) fires after each cell — the 120-authority cells
+    take minutes on slow machines and silence reads as a hang.
     """
     cells: List[ScalingCell] = []
+
+    def _run(spec: RunSpec, engine: str) -> None:
+        cell = _timed_cell(spec, engine)
+        cells.append(cell)
+        if progress is not None:
+            progress(cell)
+
     for spec in scaling_specs(
         authority_counts=authority_counts,
         protocols=protocols,
@@ -156,9 +166,9 @@ def run_scaling_sweep(
         seed=seed,
         max_time=max_time,
     ):
-        cells.append(_timed_cell(spec, "lazy"))
+        _run(spec, "lazy")
         if spec.transport == "fair" and spec.authority_count in legacy_fair_counts:
-            cells.append(_timed_cell(spec, "legacy"))
+            _run(spec, "legacy")
     return cells
 
 
@@ -312,10 +322,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "for CI wall-clock budgets",
     )
     args = parser.parse_args(argv)
+
+    def progress(cell: ScalingCell) -> None:
+        print(
+            "cell done: %s@%d transport=%s engine=%s — %.2f s wall"
+            % (cell.protocol, cell.authority_count, cell.transport, cell.engine, cell.wall_clock_s)
+        )
+
     if args.quick:
-        cells = run_scaling_sweep(authority_counts=(9, 18, 30), legacy_fair_counts=())
+        cells = run_scaling_sweep(
+            authority_counts=(9, 18, 30), legacy_fair_counts=(), progress=progress
+        )
     else:
-        cells = run_scaling_sweep()
+        cells = run_scaling_sweep(progress=progress)
     print(render_scaling(cells))
     out = write_bench_json(cells, args.out)
     print("wrote %s" % out)

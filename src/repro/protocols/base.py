@@ -10,6 +10,7 @@ from repro.directory.aggregate import AggregationConfig, aggregate_votes
 from repro.directory.authority import DirectoryAuthority
 from repro.directory.consensus_doc import ConsensusDocument
 from repro.directory.vote import VoteDocument
+from repro.simnet.message import Message
 from repro.simnet.network import TransferStats
 from repro.simnet.node import ProtocolNode
 from repro.simnet.trace import TraceLog
@@ -79,7 +80,9 @@ class AuthorityOutcome:
 
 #: Format version of :meth:`ProtocolRunResult.summary` payloads.
 #: Version 2 added fault accounting (``stats.messages_dropped`` + ``faults``).
-RESULT_SUMMARY_VERSION = 2
+#: Version 3 added the consensus-distribution layer's ``clients`` block
+#: (empty for runs without a client workload).
+RESULT_SUMMARY_VERSION = 3
 
 
 @dataclass
@@ -100,6 +103,11 @@ class ProtocolRunResult:
     #: breakdown), partition and crash authority-seconds, and which
     #: authorities were crashed / Byzantine.
     fault_summary: Dict[str, Any] = field(default_factory=dict)
+    #: Client-side metrics from the run's
+    #: :class:`~repro.clients.distribution.ConsensusDistribution` (empty for
+    #: runs without a :class:`~repro.clients.workload.ClientWorkload`): state
+    #: counts, fetch success rate, p50/p99 time-to-fresh, staleness-seconds.
+    client_summary: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def successful_authorities(self) -> List[int]:
@@ -147,6 +155,7 @@ class ProtocolRunResult:
                 "messages_dropped": self.stats.messages_dropped,
             },
             "faults": dict(self.fault_summary),
+            "clients": dict(self.client_summary),
         }
 
     @classmethod
@@ -187,6 +196,7 @@ class ProtocolRunResult:
             end_time=data["end_time"],
             relay_count=data.get("relay_count", 0),
             fault_summary=dict(data.get("faults", {})),
+            client_summary=dict(data.get("clients", {})),
         )
 
 
@@ -197,6 +207,20 @@ class DirectoryAuthorityNode(ProtocolNode):
     outcome record; provides the consensus computation + signing helper that
     all three protocols share (they differ only in *which* votes reach the
     aggregation and *when*).
+
+    Authorities are also the origin servers of the consensus-*distribution*
+    layer: a run no longer terminates at signing.  Two seams carry that:
+
+    * **Consensus-published hook** — listeners registered with
+      :meth:`add_consensus_listener` fire inside :meth:`record_success`, the
+      moment this authority holds a majority-signed consensus it can serve.
+    * **Client service** — with a service attached
+      (:meth:`attach_client_service`, done by
+      :class:`~repro.clients.distribution.ConsensusDistribution`), incoming
+      ``CLIENT/*`` messages are routed to it instead of the protocol's own
+      ``on_message``, so the three protocol implementations stay oblivious
+      to the client plane.  Without a service the node behaves exactly as
+      before.
     """
 
     def __init__(
@@ -216,6 +240,8 @@ class DirectoryAuthorityNode(ProtocolNode):
         self.config = config
         self.outcome = AuthorityOutcome(authority_id=authority.authority_id)
         self.consensus: Optional[ConsensusDocument] = None
+        self._client_service = None
+        self._consensus_listeners: List[Any] = []
 
     # -- common helpers ----------------------------------------------------
     @property
@@ -252,13 +278,51 @@ class DirectoryAuthorityNode(ProtocolNode):
         self.consensus = consensus
         return consensus
 
+    # -- consensus distribution seams ---------------------------------------
+    def attach_client_service(self, service) -> None:
+        """Route this node's ``CLIENT/*`` messages to ``service``.
+
+        ``service`` needs one method,
+        ``handle_fetch(server_node, message, now)`` (see
+        :class:`~repro.clients.distribution.ConsensusDistribution`).
+        ``None`` detaches.
+        """
+        self._client_service = service
+
+    def add_consensus_listener(self, listener) -> None:
+        """Register ``listener(node, consensus, time)`` for publication.
+
+        Fires inside :meth:`record_success` — the instant this authority
+        holds a consensus with a majority of signatures.
+        """
+        self._consensus_listeners.append(listener)
+
+    def serveable_consensus(self) -> Optional[ConsensusDocument]:
+        """The consensus this authority can serve to dir-clients, if any.
+
+        An authority serves only a *fully valid* consensus — one its own run
+        declared successful (majority signatures over its digest) — matching
+        a live authority answering consensus requests only once the document
+        is signed.
+        """
+        return self.consensus if self.outcome.success else None
+
+    def receive(self, message: Message) -> None:
+        """Deliver ``message``, routing the client plane to the service."""
+        if self._client_service is not None and message.msg_type.startswith("CLIENT/"):
+            self._client_service.handle_fetch(self, message, self.now)
+            return
+        super().receive(message)
+
     def record_success(self, completion_time: float, network_latency: Optional[float] = None) -> None:
-        """Mark this authority's run as successful."""
+        """Mark this authority's run as successful and publish the consensus."""
         self.outcome.success = True
         self.outcome.completion_time = completion_time
         self.outcome.network_latency = network_latency
         if self.consensus is not None:
             self.outcome.consensus_digest = self.consensus.digest_hex()
+            for listener in self._consensus_listeners:
+                listener(self, self.consensus, completion_time)
 
     def record_failure(self, reason: str) -> None:
         """Mark this authority's run as failed (idempotent, keeps first reason)."""

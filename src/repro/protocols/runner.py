@@ -19,8 +19,8 @@ The module has two halves, split so run configuration can be reified:
 
 Large sweeps (Figures 7 and 10 go up to 10,000 relays) materialise a capped
 sample of relays per vote and use ``padded_relay_count`` so the bandwidth
-model still sees full-size documents; see DESIGN.md for the calibration
-discussion.
+model still sees full-size documents; see DESIGN-calibration.md for the
+calibration discussion.
 """
 
 from __future__ import annotations
@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
+from repro.clients.distribution import ConsensusDistribution
+from repro.clients.workload import ClientWorkload
 from repro.crypto.keys import KeyRing
 from repro.directory.authority import DirectoryAuthority, make_authorities
 from repro.directory.vote import VoteDocument
@@ -66,6 +68,9 @@ class Scenario:
     #: Conflicting votes presented by equivocating authorities (authority id →
     #: alternate vote); populated only when the fault plan declares equivocators.
     alternate_votes: Dict[int, VoteDocument] = field(default_factory=dict)
+    #: Dir-client population fetching the signed consensus (None: the run
+    #: has no client side, exactly the pre-distribution behaviour).
+    client_workload: Optional[ClientWorkload] = None
 
     def with_bandwidth_schedules(self, schedules: Dict[int, BandwidthSchedule]) -> "Scenario":
         """Return a copy with some authorities' bandwidth schedules replaced."""
@@ -153,6 +158,8 @@ def scenario_from_spec(spec: RunSpec) -> Scenario:
                 for override in spec.bandwidth_overrides
             }
         )
+    if spec.client_workload is not None:
+        scenario = replace(scenario, client_workload=spec.client_workload)
     return scenario
 
 
@@ -226,6 +233,16 @@ def run_protocol(
 
     injector = _install_fault_injector(scenario, network)
 
+    # The consensus-distribution layer: cohort (and mirror) nodes join the
+    # network before start() so their wave/poll timers boot with everyone
+    # else, and the authorities publish into the distribution hook instead
+    # of the run terminating at signing.
+    distribution: Optional[ConsensusDistribution] = None
+    if scenario.client_workload is not None:
+        distribution = ConsensusDistribution(
+            scenario.client_workload, network, nodes, seed=scenario.seed
+        )
+
     network.start(at=0.0)
     end_time = network.run(until=max_time)
 
@@ -261,6 +278,7 @@ def run_protocol(
         end_time=end_time,
         relay_count=scenario.relay_count,
         fault_summary=injector.fault_summary(end_time) if injector is not None else {},
+        client_summary=distribution.summary(end_time) if distribution is not None else {},
     )
 
 

@@ -17,6 +17,7 @@ protocol runs through this layer; it is also the seam future sharding or
 multi-backend execution plugs into.
 """
 
+from repro.clients.workload import ClientWorkload
 from repro.faults.plan import AuthorityFault, FaultPlan, LinkFault
 from repro.runtime.spec import (
     DEFAULT_CONTENT_RELAY_CAP,
@@ -34,6 +35,7 @@ __all__ = [
     "PROTOCOL_NAMES",
     "AuthorityFault",
     "BandwidthOverride",
+    "ClientWorkload",
     "FaultPlan",
     "LinkFault",
     "RunSpec",

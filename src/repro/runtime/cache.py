@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
 from repro.runtime.spec import RunSpec
+from repro.utils.validation import ensure
 
 #: On-disk entry format version; bump when the summary layout changes.
 #: Version 2: summaries carry fault accounting (``stats.messages_dropped``
@@ -31,7 +32,10 @@ from repro.runtime.spec import RunSpec
 #: (spec format v4) — summaries for equal fair/fifo specs differ from v3
 #: builds at float-rounding level, so v3 entries must read as misses
 #: rather than mis-hit with stale trajectories.
-CACHE_FORMAT_VERSION = 4
+#: Version 5: specs may carry a ``client_workload`` (spec format v5) and
+#: summaries a ``clients`` block (result summary v3); older entries read
+#: as misses.
+CACHE_FORMAT_VERSION = 5
 
 
 class ResultCache:
@@ -114,4 +118,34 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        return removed
+
+    def prune(self, max_entries: int) -> int:
+        """Evict least-recently-written entries down to ``max_entries``.
+
+        LRU is approximated by file modification time (``put`` rewrites an
+        entry's file, refreshing it).  Entries that vanish mid-prune — a
+        concurrent ``clear`` or another pruner — are skipped, and concurrent
+        writers' ``*.tmp`` staging files are never touched (only ``*.json``
+        entries are considered).  Returns how many entries were removed;
+        a cache at or under the limit is a no-op.
+        """
+        ensure(max_entries >= 0, "max_entries must be non-negative")
+        stamped = []
+        for path in self._entry_paths():
+            try:
+                stamped.append((path.stat().st_mtime, path))
+            except OSError:
+                continue  # removed concurrently
+        excess = len(stamped) - max_entries
+        if excess <= 0:
+            return 0
+        stamped.sort(key=lambda entry: (entry[0], str(entry[1])))
+        removed = 0
+        for _mtime, path in stamped[:excess]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue  # removed concurrently
         return removed

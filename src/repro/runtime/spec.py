@@ -33,8 +33,9 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro.clients.workload import ClientWorkload
 from repro.faults.plan import EMPTY_FAULT_PLAN, FaultPlan
 from repro.simnet.bandwidth import BandwidthSchedule
 from repro.simnet.linkmodel import link_model_names
@@ -55,8 +56,11 @@ DEFAULT_CONTENT_RELAY_CAP = 120
 #: produce float trajectories that differ from v3 builds at rounding level
 #: (summary-level equivalence is pinned by the old-vs-new conformance
 #: properties; golden traces were regenerated, GOLDEN format 2).
-#: :meth:`RunSpec.from_dict` reads v2 and v3 dicts unchanged.
-SPEC_FORMAT_VERSION = 4
+#: Version 5 added the optional ``client_workload`` (the consensus-
+#: distribution layer).  The workload joins :meth:`RunSpec.key` only when
+#: present, so specs *without* one hash exactly as they did under v4.
+#: :meth:`RunSpec.from_dict` reads v2 through v4 dicts unchanged.
+SPEC_FORMAT_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -175,6 +179,10 @@ class RunSpec:
     config_overrides: Tuple[Tuple[str, Any], ...] = ()
     bandwidth_overrides: Tuple[BandwidthOverride, ...] = ()
     fault_plan: FaultPlan = EMPTY_FAULT_PLAN
+    #: Dir-client population fetching the signed consensus (the consensus-
+    #: distribution layer); None keeps the run client-free and the spec hash
+    #: identical to pre-v5 builds.
+    client_workload: Optional[ClientWorkload] = None
 
     def __post_init__(self) -> None:
         ensure(
@@ -204,6 +212,8 @@ class RunSpec:
             )
         ensure_type(self.fault_plan, FaultPlan, "fault_plan")
         self.fault_plan.validate_for(self.authority_count)
+        if self.client_workload is not None:
+            ensure_type(self.client_workload, ClientWorkload, "client_workload")
 
     # -- derived configuration --------------------------------------------
     def protocol_config(self):
@@ -254,10 +264,19 @@ class RunSpec:
         """Return a copy with ``plan`` merged into the existing fault plan."""
         return replace(self, fault_plan=self.fault_plan.merged(plan))
 
+    def with_clients(self, workload: Optional[ClientWorkload]) -> "RunSpec":
+        """Return a copy with ``workload`` as its dir-client population."""
+        return replace(self, client_workload=workload)
+
     # -- hashing and serialization ----------------------------------------
     def key(self) -> Tuple:
-        """Canonical tuple of everything that defines this run."""
-        return (
+        """Canonical tuple of everything that defines this run.
+
+        The client workload is appended *only when present*: a spec without
+        one keys (and therefore hashes and caches) exactly as it did before
+        the distribution layer existed.
+        """
+        base = (
             self.protocol,
             self.relay_count,
             float(self.bandwidth_mbps),
@@ -276,6 +295,9 @@ class RunSpec:
             ),
             self.fault_plan.key(),
         )
+        if self.client_workload is None:
+            return base
+        return base + (self.client_workload.key(),)
 
     def spec_hash(self) -> str:
         """Stable content hash: equal specs hash equally across processes."""
@@ -284,7 +306,7 @@ class RunSpec:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable form (inverse of :meth:`from_dict`)."""
-        return {
+        data = {
             "format": SPEC_FORMAT_VERSION,
             "protocol": self.protocol,
             "relay_count": self.relay_count,
@@ -301,6 +323,9 @@ class RunSpec:
             "bandwidth_overrides": [o.to_dict() for o in self.bandwidth_overrides],
             "fault_plan": self.fault_plan.to_dict(),
         }
+        if self.client_workload is not None:
+            data["client_workload"] = self.client_workload.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
@@ -326,6 +351,11 @@ class RunSpec:
                 for entry in data.get("bandwidth_overrides", ())
             ),
             fault_plan=FaultPlan.from_dict(data.get("fault_plan", {})),
+            client_workload=(
+                ClientWorkload.from_dict(data["client_workload"])
+                if data.get("client_workload")
+                else None
+            ),
         )
 
 

@@ -110,7 +110,16 @@ def use_shared_engine(engine: str) -> Iterator[None]:
 
 
 class Flow:
-    """One in-flight transfer: transport-level state for a single message."""
+    """One in-flight transfer: transport-level state for a single message.
+
+    ``weight`` is the number of identical endpoint transfers this flow stands
+    in for (cohort-aggregated dir-clients fetch with ``weight == batch
+    size``).  A weight-``w`` flow occupies ``w`` shares of every shared link
+    it crosses and carries the *aggregate* byte count in ``message.size_bytes``
+    — which makes it exactly equivalent, under weighted fair sharing, to
+    ``w`` unit flows started at the same instant.  Ordinary protocol traffic
+    always has weight 1 and is bit-identical to the pre-weight transport.
+    """
 
     __slots__ = (
         "flow_id",
@@ -121,6 +130,7 @@ class Flow:
         "start_time",
         "deadline",
         "rate",
+        "weight",
         "last_update",
         "pending",
         "on_timeout",
@@ -137,6 +147,7 @@ class Flow:
         deadline: Optional[float],
         on_timeout: Optional[Callable[[Message, str], None]],
         on_delivered: Optional[Callable[[Message, str, float], None]],
+        weight: int = 1,
     ) -> None:
         self.flow_id = flow_id
         self.src = src
@@ -146,22 +157,11 @@ class Flow:
         self.start_time = start_time
         self.deadline = deadline
         self.rate = 0.0
+        self.weight = weight
         self.last_update = start_time
         self.pending: Optional[EventHandle] = None
         self.on_timeout = on_timeout
         self.on_delivered = on_delivered
-
-
-class _LinkCounts:
-    """Read-only ``node name -> active flow count`` view over a flow index."""
-
-    __slots__ = ("_index",)
-
-    def __init__(self, index: Dict[str, Dict[int, Flow]]) -> None:
-        self._index = index
-
-    def __getitem__(self, name: str) -> int:
-        return len(self._index[name])
 
 
 class FlowScheduler:
@@ -198,6 +198,12 @@ class FlowScheduler:
         self._flows: Dict[int, Flow] = {}
         self._by_src: Dict[str, Dict[int, Flow]] = {}
         self._by_dst: Dict[str, Dict[int, Flow]] = {}
+        # Weighted occupancy per active link side (sum of flow weights; equal
+        # to the bucket length when every flow has weight 1).  Maintained here
+        # so every scheduling regime and link model shares one definition of
+        # "how loaded is this link".
+        self._src_weight: Dict[str, int] = {}
+        self._dst_weight: Dict[str, int] = {}
 
     # -- queries -----------------------------------------------------------
     def active_count(self) -> int:
@@ -209,14 +215,22 @@ class FlowScheduler:
         self._flows[flow.flow_id] = flow
         self._by_src.setdefault(flow.src, {})[flow.flow_id] = flow
         self._by_dst.setdefault(flow.dst, {})[flow.flow_id] = flow
+        self._src_weight[flow.src] = self._src_weight.get(flow.src, 0) + flow.weight
+        self._dst_weight[flow.dst] = self._dst_weight.get(flow.dst, 0) + flow.weight
 
     def _remove(self, flow: Flow) -> None:
         del self._flows[flow.flow_id]
-        for index, name in ((self._by_src, flow.src), (self._by_dst, flow.dst)):
+        for index, weights, name in (
+            (self._by_src, self._src_weight, flow.src),
+            (self._by_dst, self._dst_weight, flow.dst),
+        ):
             bucket = index[name]
             del bucket[flow.flow_id]
             if not bucket:
                 del index[name]
+                del weights[name]
+            else:
+                weights[name] -= flow.weight
 
     def _clamp_residual(self, flow: Flow) -> None:
         """Clamp a completing flow's residual to exactly zero, once.
@@ -377,8 +391,8 @@ class SharedLinkScheduler(FlowScheduler):
             self._links,
             now,
             affected=affected.values(),
-            up_counts=_LinkCounts(self._by_src),
-            down_counts=_LinkCounts(self._by_dst),
+            up_counts=self._src_weight,
+            down_counts=self._dst_weight,
         )
 
     def _schedule_recompute(self, now: float) -> None:

@@ -59,6 +59,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class LinkModel:
     """Rate policy for concurrent flows over shared links.
 
+    Two transport-wide conventions every model honours:
+
+    * **Flow weight.**  A flow of weight ``w`` (see
+      :class:`~repro.simnet.flows.Flow`) occupies ``w`` shares of every
+      shared link and is entitled to ``w`` units of rate — the aggregate
+      stand-in for ``w`` identical unit transfers.  ``up_counts`` /
+      ``down_counts`` are therefore *weighted* occupancies (sums of flow
+      weights, integer-valued), which collapse to plain flow counts when
+      every weight is 1 — the arithmetic is bit-identical in that case.
+    * **Aggregate endpoints.**  A link flagged
+      :attr:`~repro.simnet.network.LinkConfig.aggregate` carries *per-client*
+      capacity: it stands in for ``N`` independent physical access links
+      (one per client of a cohort), so its flows never share it — each
+      weight unit gets the full scheduled rate.  Only the cohort endpoints of
+      the consensus-distribution layer set this; ordinary nodes share links
+      exactly as before.
+
     Class attributes
     ----------------
     name:
@@ -118,13 +135,24 @@ class FairShareLinkModel(LinkModel):
             up_counts = {}
             down_counts = {}
             for flow in affected:
-                up_counts[flow.src] = up_counts.get(flow.src, 0) + 1
-                down_counts[flow.dst] = down_counts.get(flow.dst, 0) + 1
+                up_counts[flow.src] = up_counts.get(flow.src, 0) + flow.weight
+                down_counts[flow.dst] = down_counts.get(flow.dst, 0) + flow.weight
         for flow in affected:
-            up_rate = links[flow.src].uplink.rate_at(now)
-            down_rate = links[flow.dst].downlink.rate_at(now)
-            up_share = up_rate / up_counts[flow.src]
-            down_share = down_rate / down_counts[flow.dst]
+            up_link = links[flow.src]
+            down_link = links[flow.dst]
+            up_rate = up_link.uplink.rate_at(now)
+            down_rate = down_link.downlink.rate_at(now)
+            weight = flow.weight
+            up_share = (
+                up_rate * weight
+                if up_link.aggregate
+                else up_rate * weight / up_counts[flow.src]
+            )
+            down_share = (
+                down_rate * weight
+                if down_link.aggregate
+                else down_rate * weight / down_counts[flow.dst]
+            )
             flow.rate = min(up_share, down_share)
 
 
@@ -141,29 +169,45 @@ class FifoLinkModel(LinkModel):
         if not flows:
             return
         uplink_users: Dict[str, List["Flow"]] = {}
-        for flow in flows.values():
-            uplink_users.setdefault(flow.src, []).append(flow)
-
         eligible: List["Flow"] = []
+        for flow in flows.values():
+            if links[flow.src].aggregate:
+                # An aggregate uplink stands in for one access link per
+                # client: its flows never queue behind each other.
+                eligible.append(flow)
+            else:
+                uplink_users.setdefault(flow.src, []).append(flow)
+
         for queue in uplink_users.values():
             queue.sort(key=lambda f: f.flow_id)
             eligible.append(queue[0])
 
         eligible_ids = {flow.flow_id for flow in eligible}
-        serving_up: Dict[str, int] = {}
+        # A served flow from a queued (non-aggregate) uplink is one transfer
+        # at a time regardless of weight — serial service — while flows from
+        # aggregate uplinks stand for `weight` parallel per-client transfers.
         serving_down: Dict[str, int] = {}
         for flow in eligible:
-            serving_up[flow.src] = serving_up.get(flow.src, 0) + 1
-            serving_down[flow.dst] = serving_down.get(flow.dst, 0) + 1
+            concurrency = flow.weight if links[flow.src].aggregate else 1
+            serving_down[flow.dst] = serving_down.get(flow.dst, 0) + concurrency
 
         for flow in flows.values():
             if flow.flow_id not in eligible_ids:
                 flow.rate = 0.0
                 continue
-            up_rate = links[flow.src].uplink.rate_at(now)
-            down_rate = links[flow.dst].downlink.rate_at(now)
-            up_share = up_rate / serving_up[flow.src]
-            down_share = down_rate / serving_down[flow.dst]
+            up_link = links[flow.src]
+            down_link = links[flow.dst]
+            up_rate = up_link.uplink.rate_at(now)
+            down_rate = down_link.downlink.rate_at(now)
+            # One invariant: share = rate × concurrency (÷ the downlink's
+            # weighted serving set when it is shared).
+            concurrency = flow.weight if up_link.aggregate else 1
+            up_share = up_rate * concurrency
+            down_share = (
+                down_rate * concurrency
+                if down_link.aggregate
+                else down_rate * concurrency / serving_down[flow.dst]
+            )
             flow.rate = min(up_share, down_share)
 
 
@@ -174,7 +218,9 @@ class LatencyOnlyLinkModel(LinkModel):
     shared = False
 
     def flow_rate(self, flow, links, now):
-        return min(
+        # Every flow moves at full capacity; a weight-w flow stands in for w
+        # unshared transfers, so it gets w times the per-transfer rate.
+        return flow.weight * min(
             links[flow.src].uplink.rate_at(now),
             links[flow.dst].downlink.rate_at(now),
         )

@@ -44,10 +44,19 @@ from repro.utils.validation import ReproError, ValidationError, ensure
 
 @dataclass(frozen=True)
 class LinkConfig:
-    """Uplink/downlink capacity schedules for one node."""
+    """Uplink/downlink capacity schedules for one node.
+
+    ``aggregate`` marks a first-class *aggregate endpoint*: the node stands
+    in for many identical clients (a :class:`~repro.clients.cohort.ClientCohortNode`)
+    and its schedules give the **per-client** capacity.  Flows to/from an
+    aggregate link never share it — every unit of flow weight gets the full
+    scheduled rate, as if each client had its own physical access link.
+    Ordinary nodes leave the flag False and share capacity exactly as before.
+    """
 
     uplink: BandwidthSchedule
     downlink: BandwidthSchedule
+    aggregate: bool = False
 
     @classmethod
     def symmetric(cls, schedule: BandwidthSchedule) -> "LinkConfig":
@@ -59,10 +68,28 @@ class LinkConfig:
         """Constant symmetric capacity given in Mbit/s."""
         return cls.symmetric(BandwidthSchedule.constant_mbps(mbps))
 
+    @classmethod
+    def per_client(
+        cls, uplink_mbps: float, downlink_mbps: float
+    ) -> "LinkConfig":
+        """An aggregate endpoint with constant per-client capacities (Mbit/s)."""
+        return cls(
+            uplink=BandwidthSchedule.constant_mbps(uplink_mbps),
+            downlink=BandwidthSchedule.constant_mbps(downlink_mbps),
+            aggregate=True,
+        )
+
 
 @dataclass
 class TransferStats:
-    """Byte and message accounting for a simulation run (used by Table 1)."""
+    """Byte and message accounting for a simulation run (used by Table 1).
+
+    Weighted transfers (cohort-aggregated client fetches) count their weight
+    into the message counters — a weight-``w`` fetch is ``w`` client
+    requests — while byte totals come from ``message.size_bytes``, which
+    already carries the aggregate size.  Ordinary unit messages behave
+    exactly as before.
+    """
 
     bytes_sent: Dict[str, float] = field(default_factory=dict)
     bytes_delivered: Dict[str, float] = field(default_factory=dict)
@@ -72,26 +99,26 @@ class TransferStats:
     messages_timed_out: int = 0
     messages_dropped: int = 0
 
-    def record_sent(self, sender: str, message: Message) -> None:
+    def record_sent(self, sender: str, message: Message, count: int = 1) -> None:
         """Account an attempted send."""
         self.bytes_sent[sender] = self.bytes_sent.get(sender, 0.0) + message.size_bytes
-        self.messages_sent += 1
+        self.messages_sent += count
 
-    def record_delivered(self, sender: str, message: Message) -> None:
+    def record_delivered(self, sender: str, message: Message, count: int = 1) -> None:
         """Account a completed delivery."""
         self.bytes_delivered[sender] = self.bytes_delivered.get(sender, 0.0) + message.size_bytes
         self.bytes_by_type[message.msg_type] = (
             self.bytes_by_type.get(message.msg_type, 0.0) + message.size_bytes
         )
-        self.messages_delivered += 1
+        self.messages_delivered += count
 
-    def record_timeout(self) -> None:
+    def record_timeout(self, count: int = 1) -> None:
         """Account an aborted transfer."""
-        self.messages_timed_out += 1
+        self.messages_timed_out += count
 
-    def record_dropped(self) -> None:
+    def record_dropped(self, count: int = 1) -> None:
         """Account a message suppressed by the fault injector."""
-        self.messages_dropped += 1
+        self.messages_dropped += count
 
     @property
     def total_bytes_sent(self) -> float:
@@ -276,10 +303,14 @@ class SimNetwork:
         timeout: Optional[float] = None,
         on_timeout: Optional[Callable[[Message, str], None]] = None,
         on_delivered: Optional[Callable[[Message, str, float], None]] = None,
+        weight: int = 1,
     ) -> int:
         """Initiate a transfer of ``message`` from ``sender`` to ``destination``.
 
-        Returns the flow id (0 when no flow was created: latency-only
+        ``weight`` aggregates identical endpoint transfers into one flow
+        (cohort client fetches): the flow takes ``weight`` shares of every
+        shared link and ``message.size_bytes`` must carry the aggregate byte
+        count.  Returns the flow id (0 when no flow was created: latency-only
         deliveries of empty messages, or messages dropped by the fault
         injector at send initiation).
         """
@@ -289,14 +320,15 @@ class SimNetwork:
             raise UnknownNodeError("unknown destination %r" % destination)
         if sender == destination:
             raise ValidationError("a node cannot send a message to itself")
+        ensure(weight >= 1, "flow weight must be at least 1")
         message.sender = sender
         now = self.simulator.now
-        self.stats.record_sent(sender, message)
+        self.stats.record_sent(sender, message, count=weight)
 
         if self._fault_injector is not None:
             filtered = self._fault_injector.filter_send(sender, destination, message, now)
             if filtered is None:
-                self.stats.record_dropped()
+                self.stats.record_dropped(count=weight)
                 return 0
             filtered.sender = sender
             message = filtered
@@ -304,7 +336,7 @@ class SimNetwork:
         if message.size_bytes <= 0:
             self.simulator.schedule_in(
                 self._delivery_latency(sender, destination),
-                self._deliver, sender, destination, message, on_delivered,
+                self._deliver, sender, destination, message, on_delivered, weight,
             )
             return 0
 
@@ -317,6 +349,7 @@ class SimNetwork:
             deadline=None if timeout is None else now + timeout,
             on_timeout=on_timeout,
             on_delivered=on_delivered,
+            weight=weight,
         )
         self._scheduler.start_flow(flow, now)
         return flow.flow_id
@@ -335,11 +368,12 @@ class SimNetwork:
             flow.dst,
             flow.message,
             flow.on_delivered,
+            flow.weight,
         )
 
     def _expire_flow(self, flow: Flow) -> None:
         """A flow hit its deadline; account it and notify the sender."""
-        self.stats.record_timeout()
+        self.stats.record_timeout(count=flow.weight)
         if flow.on_timeout is not None:
             flow.on_timeout(flow.message, flow.dst)
 
@@ -357,13 +391,14 @@ class SimNetwork:
         destination: str,
         message: Message,
         on_delivered: Optional[Callable[[Message, str, float], None]],
+        weight: int = 1,
     ) -> None:
         if self._fault_injector is not None and not self._fault_injector.filter_delivery(
             sender, destination, message, self.simulator.now
         ):
-            self.stats.record_dropped()
+            self.stats.record_dropped(count=weight)
             return
-        self.stats.record_delivered(sender, message)
+        self.stats.record_delivered(sender, message, count=weight)
         if on_delivered is not None:
             on_delivered(message, destination, self.simulator.now)
         self._nodes[destination].receive(message)

@@ -52,13 +52,16 @@ class ProtocolNode:
         timeout: Optional[float] = None,
         on_timeout: Optional[Callable[[Message, str], None]] = None,
         on_delivered: Optional[Callable[[Message, str, float], None]] = None,
+        weight: int = 1,
     ) -> None:
         """Send ``message`` to ``destination``.
 
         ``timeout`` (seconds) bounds how long the transfer may take; when it
         expires the transfer is aborted and ``on_timeout(message, destination)``
         is invoked on the sender.  ``on_delivered`` is invoked on the sender
-        when the transfer completes.
+        when the transfer completes.  ``weight`` aggregates identical
+        endpoint transfers into one weighted flow (see
+        :meth:`repro.simnet.network.SimNetwork.send`).
         """
         self._require_network().send(
             self.name,
@@ -67,6 +70,7 @@ class ProtocolNode:
             timeout=timeout,
             on_timeout=on_timeout,
             on_delivered=on_delivered,
+            weight=weight,
         )
 
     def broadcast(

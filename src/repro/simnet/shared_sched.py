@@ -96,6 +96,9 @@ class LazyRater:
         by_dst: Dict[str, Dict[int, Flow]],
         up_cap: Dict[str, float],
         down_cap: Dict[str, float],
+        src_weight: Dict[str, int],
+        dst_weight: Dict[str, int],
+        links,
     ) -> None:
         self._by_src = by_src
         self._by_dst = by_dst
@@ -108,6 +111,13 @@ class LazyRater:
         #: event.
         self._up_cap = up_cap
         self._down_cap = down_cap
+        #: Weighted occupancy per active link side (scheduler-maintained; the
+        #: plain flow count when every weight is 1).
+        self._src_weight = src_weight
+        self._dst_weight = dst_weight
+        #: The network's live ``node name -> LinkConfig`` mapping, consulted
+        #: for the ``aggregate`` endpoint flag (per-client capacity links).
+        self._links = links
 
     def on_flow_added(self, flow: Flow) -> Iterable[Flow]:
         """Observe an arrival (already in the indexes); return touched flows."""
@@ -146,8 +156,19 @@ class FairLazyRater(LazyRater):
         return list(index.get(name, {}).values())
 
     def rate_of(self, flow: Flow, now: float) -> float:
-        up_share = self._up_cap[flow.src] / len(self._by_src[flow.src])
-        down_share = self._down_cap[flow.dst] / len(self._by_dst[flow.dst])
+        weight = flow.weight
+        up_cap = self._up_cap[flow.src]
+        down_cap = self._down_cap[flow.dst]
+        up_share = (
+            up_cap * weight
+            if self._links[flow.src].aggregate
+            else up_cap * weight / self._src_weight[flow.src]
+        )
+        down_share = (
+            down_cap * weight
+            if self._links[flow.dst].aggregate
+            else down_cap * weight / self._dst_weight[flow.dst]
+        )
         return min(up_share, down_share)
 
     def _link_union(self, flow: Flow) -> List[Flow]:
@@ -171,19 +192,26 @@ class FifoLazyRater(LazyRater):
     touched at all.
     """
 
-    def __init__(self, by_src, by_dst, up_cap, down_cap) -> None:
-        super().__init__(by_src, by_dst, up_cap, down_cap)
+    def __init__(self, by_src, by_dst, up_cap, down_cap, src_weight, dst_weight, links) -> None:
+        super().__init__(by_src, by_dst, up_cap, down_cap, src_weight, dst_weight, links)
         #: Per-uplink arrival queue of (flow_id, Flow); the head is eligible.
+        #: Aggregate uplinks (per-client capacity) never queue — their flows
+        #: go straight to serving and are tracked only in the serving sets.
         self._queues: Dict[str, List[Tuple[int, Flow]]] = {}
         #: Flow ids lazily deleted from their queue (expired while queued).
         self._gone: Set[int] = set()
-        #: Current head (the served flow) per uplink.
+        #: Current head (the served flow) per non-aggregate uplink.
         self._head: Dict[str, Flow] = {}
         #: Eligible flows per destination, keyed by flow id.
         self._serving_by_dst: Dict[str, Dict[int, Flow]] = {}
+        #: Weighted size of each serving set (sum of weights; equals the
+        #: bucket length when every weight is 1).
+        self._serving_weight: Dict[str, int] = {}
 
     # -- transitions -------------------------------------------------------
     def on_flow_added(self, flow: Flow) -> Iterable[Flow]:
+        if self._links[flow.src].aggregate:
+            return self._serve(flow)
         queue = self._queues.setdefault(flow.src, [])
         heapq.heappush(queue, (flow.flow_id, flow))
         if flow.src in self._head:
@@ -193,6 +221,8 @@ class FifoLazyRater(LazyRater):
         return self._promote(flow.src)
 
     def on_flow_removed(self, flow: Flow) -> Iterable[Flow]:
+        if self._links[flow.src].aggregate:
+            return list(self._unserve(flow).values())
         if self._head.get(flow.src) is flow:
             touched = dict(self._demote(flow))
             for other in self._promote(flow.src):
@@ -204,19 +234,56 @@ class FifoLazyRater(LazyRater):
 
     def on_link_rate_changed(self, side: str, name: str) -> Iterable[Flow]:
         if side == "uplink":
+            if self._links[name].aggregate:
+                return list(self._by_src.get(name, {}).values())
             head = self._head.get(name)
             return [head] if head is not None else []
         return list(self._serving_by_dst.get(name, {}).values())
 
     def rate_of(self, flow: Flow, now: float) -> float:
-        if self._head.get(flow.src) is not flow:
+        src_aggregate = self._links[flow.src].aggregate
+        if not src_aggregate and self._head.get(flow.src) is not flow:
             return 0.0
-        return min(
-            self._up_cap[flow.src],
-            self._down_cap[flow.dst] / len(self._serving_by_dst[flow.dst]),
+        # A served flow from a *queued* (non-aggregate) uplink moves one
+        # transfer at a time regardless of weight — serial service — so it
+        # occupies one downlink share and one client's receive capacity.
+        # Flows from aggregate uplinks are w parallel per-client transfers.
+        concurrency = flow.weight if src_aggregate else 1
+        up_share = self._up_cap[flow.src] * concurrency
+        down_cap = self._down_cap[flow.dst]
+        down_share = (
+            down_cap * concurrency
+            if self._links[flow.dst].aggregate
+            else down_cap * concurrency / self._serving_weight[flow.dst]
         )
+        return min(up_share, down_share)
 
     # -- machinery ---------------------------------------------------------
+    def _concurrency(self, flow: Flow) -> int:
+        """How many simultaneous transfers ``flow`` stands for (see rate_of)."""
+        return flow.weight if self._links[flow.src].aggregate else 1
+
+    def _serve(self, flow: Flow) -> List[Flow]:
+        """Add ``flow`` to its destination's serving set; return touched flows."""
+        bucket = self._serving_by_dst.setdefault(flow.dst, {})
+        bucket[flow.flow_id] = flow
+        self._serving_weight[flow.dst] = (
+            self._serving_weight.get(flow.dst, 0) + self._concurrency(flow)
+        )
+        # The flow itself and every flow sharing its downlink re-split.
+        return list(bucket.values())
+
+    def _unserve(self, flow: Flow) -> Dict[int, Flow]:
+        """Drop ``flow`` from its serving set; return the remaining sharers."""
+        bucket = self._serving_by_dst[flow.dst]
+        del bucket[flow.flow_id]
+        if not bucket:
+            del self._serving_by_dst[flow.dst]
+            del self._serving_weight[flow.dst]
+            return {}
+        self._serving_weight[flow.dst] -= self._concurrency(flow)
+        return dict(bucket)
+
     def _promote(self, src: str) -> List[Flow]:
         """Make the oldest queued flow of ``src`` the served one."""
         queue = self._queues.get(src)
@@ -227,10 +294,7 @@ class FifoLazyRater(LazyRater):
                 self._gone.discard(flow_id)
                 continue
             self._head[src] = flow
-            bucket = self._serving_by_dst.setdefault(flow.dst, {})
-            bucket[flow.flow_id] = flow
-            # The new head and every flow sharing its downlink re-split.
-            return list(bucket.values())
+            return self._serve(flow)
         if queue is not None and not queue:
             del self._queues[src]
         return []
@@ -242,12 +306,7 @@ class FifoLazyRater(LazyRater):
         # The head is never lazy-deleted, so it sits at the heap root.
         assert queue[0][1] is flow, "fifo head out of sync"
         heapq.heappop(queue)
-        bucket = self._serving_by_dst[flow.dst]
-        del bucket[flow.flow_id]
-        if not bucket:
-            del self._serving_by_dst[flow.dst]
-            return {}
-        return dict(bucket)
+        return self._unserve(flow)
 
 
 #: LinkModel name -> rater class; the lazy scheduler applies to models
@@ -278,7 +337,13 @@ class LazySharedLinkScheduler(FlowScheduler):
         self._down_cap: Dict[str, float] = {}
         rater_class = LAZY_RATERS[model.name]
         self._rater: LazyRater = rater_class(
-            self._by_src, self._by_dst, self._up_cap, self._down_cap
+            self._by_src,
+            self._by_dst,
+            self._up_cap,
+            self._down_cap,
+            self._src_weight,
+            self._dst_weight,
+            links,
         )
         #: (side, name) -> pending breakpoint watcher (None: constant link).
         self._watchers: Dict[Tuple[str, str], Optional[object]] = {}

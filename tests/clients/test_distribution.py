@@ -1,0 +1,120 @@
+"""Distribution-layer behaviour: hooks, serving, mirrors, state accounting."""
+
+import pytest
+
+from repro.clients.workload import ClientWorkload
+from repro.protocols.runner import execute_spec
+from repro.runtime.spec import BandwidthOverride, RunSpec
+
+
+def small_spec(**workload_kwargs):
+    defaults = dict(
+        population=40,
+        cohort_count=4,
+        arrival="deterministic",
+        wave_interval_s=20.0,
+        retry_backoff_s=30.0,
+    )
+    defaults.update(workload_kwargs)
+    return RunSpec(
+        protocol="current",
+        relay_count=30,
+        authority_count=5,
+        max_time=900.0,
+        client_workload=ClientWorkload(**defaults),
+    )
+
+
+def client_block(spec):
+    return execute_spec(spec).client_summary
+
+
+def test_runs_without_a_workload_have_an_empty_clients_block():
+    result = execute_spec(RunSpec(protocol="current", relay_count=30, max_time=700.0))
+    assert result.client_summary == {}
+    assert result.summary()["clients"] == {}
+
+
+def test_clients_fetch_the_signed_consensus_after_publication():
+    clients = client_block(small_spec())
+    assert clients["population"] == 40
+    assert clients["cohorts"] == 4
+    # The current protocol publishes at the end of round 4 (600 s); every
+    # attempt before that is answered "not ready", after it clients converge.
+    assert clients["first_publish_time_s"] == pytest.approx(600.0)
+    assert clients["states"]["fresh"] == 40
+    assert clients["fresh_fraction"] == 1.0
+    assert clients["fetch_not_ready"] > 0
+    assert clients["time_to_fresh_p50_s"] > 600.0
+    # Time-to-fresh and staleness coincide while everyone starts stale and
+    # ends fresh.
+    assert clients["mean_staleness_s"] == pytest.approx(
+        clients["time_to_fresh_p50_s"], rel=0.2
+    )
+
+
+def test_state_counts_always_partition_the_population():
+    for spec in (
+        small_spec(),
+        small_spec(arrival="poisson", fetch_interval_s=60.0),
+        small_spec(mirror_count=2),
+    ):
+        clients = client_block(spec)
+        assert sum(clients["states"].values()) == clients["population"]
+        assert clients["fetch_successes"] <= clients["fetch_attempts"]
+        assert (
+            clients["fetch_successes"]
+            + clients["fetch_timeouts"]
+            + clients["fetch_not_ready"]
+            <= clients["fetch_attempts"]
+        )
+
+
+def test_mirror_tier_obtains_and_serves_the_consensus():
+    clients = client_block(small_spec(mirror_count=3))
+    assert clients["mirror_count"] == 3
+    assert clients["mirrors_serving"] == 3
+    assert clients["states"]["fresh"] == 40
+
+
+def test_clients_never_succeed_when_no_authority_publishes():
+    # A DDoS-grade bandwidth floor on every authority with full-size votes:
+    # the current protocol cannot produce a consensus, so every fetch fails
+    # and all clients stay stale — the user-facing side of Figure 1.
+    spec = small_spec()
+    attacked = spec.derive(
+        relay_count=800,
+        bandwidth_overrides=tuple(
+            BandwidthOverride(authority_id=authority_id, base_mbps=0.05)
+            for authority_id in range(5)
+        ),
+        max_time=700.0,
+    )
+    result = execute_spec(attacked)
+    clients = result.client_summary
+    assert not result.success
+    assert clients["first_publish_time_s"] is None
+    assert clients["states"]["fresh"] == 0
+    assert clients["fetch_successes"] == 0
+    assert clients["fresh_fraction"] == 0.0
+    assert clients["time_to_fresh_p50_s"] is None
+    # Everyone was stale for the entire run.
+    assert clients["mean_staleness_s"] == pytest.approx(result.end_time)
+
+
+def test_client_metrics_survive_the_summary_round_trip():
+    from repro.protocols.base import ProtocolRunResult
+
+    result = execute_spec(small_spec())
+    restored = ProtocolRunResult.from_summary(result.summary())
+    assert restored.client_summary == result.client_summary
+
+
+def test_weighted_fetches_join_transfer_accounting():
+    spec = small_spec()
+    result = execute_spec(spec)
+    baseline = execute_spec(spec.derive(client_workload=None))
+    # Weighted client messages count per client, so the run with 40 clients
+    # must account many more messages than its client-free twin.
+    extra = result.stats.messages_sent - baseline.stats.messages_sent
+    assert extra >= result.client_summary["fetch_attempts"]

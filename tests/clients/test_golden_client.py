@@ -1,0 +1,66 @@
+"""Golden client-run regression: the canonical client summary must reproduce.
+
+One small canonical client run — the current protocol with a deterministic
+40-client workload over a mirror tier — is committed under ``tests/data/``
+with the byte-exact summary it produced.  Any refactor that changes the
+distribution layer's results (wave scheduling, weighted-flow arithmetic,
+retry accounting, metric derivation) fails here instead of silently shifting
+the Figure 13 table.
+
+To intentionally re-baseline after a *deliberate* semantic change:
+
+    PYTHONPATH=src python tests/clients/test_golden_client.py regenerate
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.clients.workload import ClientWorkload
+from repro.protocols.runner import execute_spec
+from repro.runtime.spec import RunSpec
+
+DATA_DIR = Path(__file__).resolve().parent.parent / "data"
+GOLDEN_PATH = DATA_DIR / "golden_client_run.json"
+
+
+def _canonical_spec() -> RunSpec:
+    return RunSpec(
+        protocol="current",
+        relay_count=30,
+        authority_count=5,
+        seed=11,
+        max_time=900.0,
+        client_workload=ClientWorkload(
+            population=40,
+            cohort_count=4,
+            arrival="poisson",
+            fetch_interval_s=90.0,
+            wave_interval_s=20.0,
+            retry_backoff_s=30.0,
+            mirror_count=2,
+            servers_per_wave=2,
+        ),
+    )
+
+
+def test_execute_spec_reproduces_the_golden_client_summary_exactly():
+    entry = json.loads(GOLDEN_PATH.read_text())
+    spec = RunSpec.from_dict(entry["spec"])
+    # The committed spec must be the canonical one (guards the data file).
+    assert spec == _canonical_spec()
+    assert execute_spec(spec).summary() == entry["summary"]
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance entry point
+    spec = _canonical_spec()
+    summary = execute_spec(spec).summary()
+    GOLDEN_PATH.write_text(
+        json.dumps({"spec": spec.to_dict(), "summary": summary}, indent=2, sort_keys=True)
+        + "\n"
+    )
+    print("rebaselined", GOLDEN_PATH)
+
+
+if __name__ == "__main__" and "regenerate" in sys.argv[1:]:  # pragma: no cover
+    regenerate()

@@ -52,7 +52,8 @@ def test_serialized_flags_are_sorted():
 
 def test_entry_size_realistic():
     # Vote entries on the live network are a few hundred bytes; the bandwidth
-    # calibration in DESIGN.md assumes roughly 300-450 bytes per relay.
+    # calibration in DESIGN-calibration.md assumes roughly 300-450 bytes per
+    # relay.
     size = make_relay().entry_size_bytes
     assert 250 <= size <= 600
 

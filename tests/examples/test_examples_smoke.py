@@ -1,0 +1,57 @@
+"""CI smoke tests for the README quickstart examples.
+
+Each example under ``examples/`` runs as a real subprocess (the way a reader
+would run it) with ``REPRO_EXAMPLE_QUICK=1``, which caps run sizes via the
+examples' own quick mode — same code paths, minutes shrunk to seconds — so
+the quickstart cannot silently rot.  Scripts run from a temporary working
+directory: the on-disk sweep caches some examples create must not land in
+the repository.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Generous per-example budget; quick mode runs in a few seconds each.
+TIMEOUT_S = 300
+
+
+def test_every_example_is_covered():
+    # A new example joins this smoke suite automatically via the glob; this
+    # guards against the directory being empty or moved.
+    assert [path.name for path in EXAMPLES] == [
+        "bandwidth_planning.py",
+        "ddos_attack_demo.py",
+        "icps_basics.py",
+        "protocol_comparison.py",
+        "quickstart.py",
+    ]
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.stem)
+def test_example_runs_clean_in_quick_mode(script, tmp_path):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_QUICK"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT_S,
+    )
+    assert completed.returncode == 0, (
+        "%s failed\n--- stdout ---\n%s\n--- stderr ---\n%s"
+        % (script.name, completed.stdout[-4000:], completed.stderr[-4000:])
+    )
+    assert completed.stdout.strip(), "%s printed nothing" % script.name

@@ -61,6 +61,69 @@ def test_clear_removes_all_entries(tmp_path):
     assert cache.get(SPEC) is None
 
 
+def test_prune_is_a_no_op_at_or_under_the_limit(tmp_path):
+    cache = ResultCache(tmp_path)
+    for seed in range(3):
+        cache.put(SPEC.derive(seed=seed), {"seed": seed})
+    assert cache.prune(max_entries=3) == 0
+    assert cache.prune(max_entries=10) == 0
+    assert len(cache) == 3
+
+
+def test_prune_evicts_oldest_entries_first(tmp_path):
+    import os
+
+    cache = ResultCache(tmp_path)
+    specs = [SPEC.derive(seed=seed) for seed in range(5)]
+    for age, spec in enumerate(specs):
+        path = cache.put(spec, {"seed": spec.seed})
+        # Deterministic mtimes: seed 0 oldest, seed 4 newest.
+        os.utime(path, (1_000_000 + age, 1_000_000 + age))
+
+    assert cache.prune(max_entries=2) == 3
+    assert len(cache) == 2
+    # The two newest survive.
+    assert cache.get(specs[3]) == {"seed": 3}
+    assert cache.get(specs[4]) == {"seed": 4}
+    for old in specs[:3]:
+        assert cache.get(old) is None
+
+
+def test_put_refreshes_an_entry_against_pruning(tmp_path):
+    import os
+
+    cache = ResultCache(tmp_path)
+    specs = [SPEC.derive(seed=seed) for seed in range(3)]
+    for age, spec in enumerate(specs):
+        path = cache.put(spec, {"seed": spec.seed})
+        os.utime(path, (1_000_000 + age, 1_000_000 + age))
+    # Rewriting the oldest entry makes it the newest.
+    refreshed = cache.put(specs[0], {"seed": 0, "refreshed": True})
+    os.utime(refreshed, (1_000_010, 1_000_010))
+
+    assert cache.prune(max_entries=1) == 2
+    assert cache.get(specs[0]) == {"seed": 0, "refreshed": True}
+
+
+def test_prune_ignores_concurrent_writers_tmp_files(tmp_path):
+    cache = ResultCache(tmp_path)
+    path = cache.put(SPEC, {"k": 1})
+    # A concurrent writer's staging file in the same shard directory.
+    staging = path.parent / "inflight0123.tmp"
+    staging.write_text("{}", encoding="utf-8")
+
+    assert cache.prune(max_entries=0) == 1
+    assert staging.exists()
+    assert cache.get(SPEC) is None
+
+
+def test_prune_rejects_negative_limits(tmp_path):
+    import pytest
+
+    with pytest.raises(Exception):
+        ResultCache(tmp_path).prune(max_entries=-1)
+
+
 def test_legacy_engine_runs_cache_separately_from_default_runs(tmp_path):
     # The shared-scheduler engine is an execution flag, not a spec field,
     # but fair/fifo summaries differ between engines at rounding level — a

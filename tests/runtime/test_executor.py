@@ -80,3 +80,47 @@ def test_run_one_full_keeps_the_trace_and_feeds_the_cache(tmp_path):
 def test_invalid_worker_count_rejected():
     with pytest.raises(Exception):
         SweepExecutor(workers=0)
+
+
+@pytest.mark.parametrize("workers", (1, 2))
+def test_on_result_fires_once_per_position_with_cached_flag(tmp_path, workers):
+    cache = ResultCache(tmp_path)
+    SweepExecutor(workers=1, cache=cache).run_summaries(list(GRID)[:2])  # warm 2 of 4
+
+    events = []
+
+    def on_result(index, spec, summary, cached):
+        events.append((index, spec, summary["success"], cached))
+
+    executor = SweepExecutor(workers=workers, cache=cache, on_result=on_result)
+    summaries = executor.run_summaries(GRID)
+
+    assert sorted(index for index, *_ in events) == list(range(len(GRID)))
+    by_index = {index: (spec, success, cached) for index, spec, success, cached in events}
+    for index, spec in enumerate(GRID):
+        reported_spec, success, cached = by_index[index]
+        assert reported_spec == spec
+        assert success == summaries[index]["success"]
+        assert cached == (index < 2)
+
+
+def test_per_call_on_result_overrides_the_constructor_default():
+    constructor_events, call_events = [], []
+    executor = SweepExecutor(
+        on_result=lambda *args: constructor_events.append(args)
+    )
+    specs = list(GRID)[:1]
+    executor.run_summaries(specs)
+    assert len(constructor_events) == 1
+    executor.run_summaries(specs, on_result=lambda *args: call_events.append(args))
+    assert len(call_events) == 1
+    assert len(constructor_events) == 1  # not called again
+
+
+def test_on_result_covers_duplicate_spec_positions():
+    spec = RunSpec(protocol="current", relay_count=150, max_time=900.0)
+    indexes = []
+    executor = SweepExecutor(on_result=lambda index, *_: indexes.append(index))
+    executor.run([spec, spec, spec])
+    assert executor.executed_runs == 1
+    assert sorted(indexes) == [0, 1, 2]
