@@ -16,13 +16,17 @@ Usage::
     PYTHONPATH=src python benchmarks/profile_scaling.py --out cell.prof
     PYTHONPATH=src python benchmarks/profile_scaling.py \\
         --authorities 9 --clients 1000000 --cohorts 32
+    PYTHONPATH=src python benchmarks/profile_scaling.py \\
+        --authorities 120 --compare
 
 ``--out`` writes the raw pstats dump for ``snakeviz``/``pstats`` digging;
 without it the report just prints.  The cell always executes in-process and
 uncached, so the profile measures simulation cost only.  ``--clients``
 attaches a consensus-distribution workload (``--cohorts`` cohorts, the
 Figure 13 defaults otherwise), making the client layer profilable exactly
-like the transport.
+like the transport.  ``--compare`` skips the profiler and instead times the
+same cell once per engine, printing a scalar-vs-vector speedup table (the
+quick sanity check before trusting a profile's relative numbers).
 """
 
 from __future__ import annotations
@@ -30,14 +34,48 @@ from __future__ import annotations
 import argparse
 import cProfile
 import pstats
+import time
 from typing import Optional, Sequence
 
 from repro.protocols.runner import execute_spec
 from repro.runtime.spec import RunSpec
-from repro.simnet.flows import SHARED_ENGINES, use_shared_engine
+from repro.simnet.flows import (
+    SHARED_ENGINES,
+    effective_shared_engine,
+    use_shared_engine,
+)
 
 #: Default cohort count for --clients (the Figure 13 grid's).
 DEFAULT_COHORTS = 32
+
+
+def _cell_spec(
+    authorities: int,
+    transport: str,
+    protocol: str,
+    relay_count: int,
+    seed: int,
+    max_time: float,
+    clients: int,
+    cohorts: int,
+) -> RunSpec:
+    workload = None
+    if clients:
+        # Imported lazily: client-free transport profiling must not depend
+        # on the experiments package.
+        from repro.experiments.figure13_clients import default_client_workload
+
+        workload = default_client_workload(clients, cohort_count=cohorts)
+    return RunSpec(
+        protocol=protocol,
+        relay_count=relay_count,
+        bandwidth_mbps=250.0,
+        seed=seed,
+        transport=transport,
+        authority_count=authorities,
+        max_time=max_time,
+        client_workload=workload,
+    )
 
 
 def profile_cell(
@@ -52,22 +90,8 @@ def profile_cell(
     cohorts: int = DEFAULT_COHORTS,
 ) -> cProfile.Profile:
     """Run one scaling cell under cProfile and return the profiler."""
-    workload = None
-    if clients:
-        # Imported lazily: client-free transport profiling must not depend
-        # on the experiments package.
-        from repro.experiments.figure13_clients import default_client_workload
-
-        workload = default_client_workload(clients, cohort_count=cohorts)
-    spec = RunSpec(
-        protocol=protocol,
-        relay_count=relay_count,
-        bandwidth_mbps=250.0,
-        seed=seed,
-        transport=transport,
-        authority_count=authorities,
-        max_time=max_time,
-        client_workload=workload,
+    spec = _cell_spec(
+        authorities, transport, protocol, relay_count, seed, max_time, clients, cohorts
     )
     profiler = cProfile.Profile()
     with use_shared_engine(engine):
@@ -91,6 +115,55 @@ def profile_cell(
     return profiler
 
 
+def compare_engines(
+    authorities: int = 90,
+    transport: str = "fair",
+    protocol: str = "current",
+    relay_count: int = 200,
+    seed: int = 7,
+    max_time: float = 600.0,
+    clients: int = 0,
+    cohorts: int = DEFAULT_COHORTS,
+    engines: Sequence[str] = SHARED_ENGINES,
+) -> None:
+    """Time the same cell once per engine and print a speedup table.
+
+    The baseline row is the lazy engine (the default); each row reports its
+    wall clock and the lazy/engine speedup factor.  On a numpy-less install
+    the ``vector`` row runs the lazy fallback and says so.
+    """
+    spec = _cell_spec(
+        authorities, transport, protocol, relay_count, seed, max_time, clients, cohorts
+    )
+    timings = []
+    for engine in engines:
+        with use_shared_engine(engine):
+            effective = effective_shared_engine()
+            started = time.perf_counter()
+            result = execute_spec(spec)
+            elapsed = time.perf_counter() - started
+        timings.append((engine, effective, elapsed, result.stats.messages_sent))
+    baseline = next(
+        (elapsed for engine, _eff, elapsed, _m in timings if engine == "lazy"),
+        timings[0][2],
+    )
+    print(
+        "engine comparison: %s@%d transport=%s (%d engines, baseline lazy)"
+        % (protocol, authorities, transport, len(timings))
+    )
+    header = "%-8s %-10s %10s %10s %10s" % (
+        "engine", "effective", "wall (s)", "lazy/x", "messages",
+    )
+    print(header)
+    print("-" * len(header))
+    for engine, effective, elapsed, messages in timings:
+        note = effective if effective == engine else "%s (fallback)" % effective
+        print(
+            "%-8s %-10s %10.2f %10.2f %10d"
+            % (engine, note, elapsed, baseline / elapsed if elapsed else 0.0, messages)
+        )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--authorities", type=int, default=90)
@@ -109,12 +182,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=DEFAULT_COHORTS,
         help="cohort count for --clients",
     )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="time the cell once per engine and print a speedup table "
+        "instead of profiling",
+    )
     parser.add_argument("--top", type=int, default=30, help="functions to print")
     parser.add_argument(
         "--sort", default="cumulative", help="pstats sort key (cumulative, tottime, ...)"
     )
     parser.add_argument("--out", default=None, help="write raw pstats dump here")
     args = parser.parse_args(argv)
+
+    if args.compare:
+        compare_engines(
+            authorities=args.authorities,
+            transport=args.transport,
+            protocol=args.protocol,
+            clients=args.clients,
+            cohorts=args.cohorts,
+        )
+        return 0
 
     profiler = profile_cell(
         authorities=args.authorities,

@@ -1,17 +1,22 @@
 """Scaling sweep: transport wall-clock cost beyond 10×-paper node counts.
 
 Unlike the figure benchmarks this one measures the *simulator itself*: the
-same consensus runs at 9, 30, 90 and 120 authorities under the ``fair`` and
-``latency-only`` transports (plus ``fair`` on the legacy scheduler engine at
-9–90), timed cell by cell.  It deliberately bypasses the session sweep
-executor and its cache — a cache hit would report a near-zero wall clock and
-poison the comparison.
+same consensus runs at 9, 30, 90, 120 and 300 authorities under the ``fair``
+and ``latency-only`` transports — ``fair`` on the vector engine at every
+count, on the lazy engine up to 120, and on the legacy engine up to 90 —
+timed cell by cell.  It deliberately bypasses the session sweep executor and
+its cache — a cache hit would report a near-zero wall clock and poison the
+comparison.
 
-Two acceptance bars are asserted:
+Three acceptance bars are asserted:
 
 * the lazy-advance bar — ``fair`` on the lazy engine ≥3× faster than the
   same spec on the legacy global-recompute engine at the 10×-paper point
   (measured ~5.9× on the reference machine); and
+* the vectorized bar — ``fair`` on the structure-of-arrays vector engine
+  ≥3× faster than the same spec on the lazy engine at the 120-authority
+  point (skipped without numpy, where vector requests run the lazy
+  fallback); and
 * the fast-model bar — ``latency-only`` still ahead of ``fair`` at the
   120-authority stretch point.  PR 3's original ≥3× form of this bar was
   *obsoleted by the lazy engine*: once shared-model per-event cost became
@@ -21,8 +26,9 @@ Two acceptance bars are asserted:
   largest N, where the remaining coupling cost is widest.
 
 The sweep's numbers are written to ``BENCH_scaling.json`` next to this
-run's working directory (a committed format-2 snapshot from the reference
-machine lives at the repo root).
+run's working directory (a committed format-3 snapshot from the reference
+machine lives at the repo root; format 3 adds the 300-authority cells, the
+per-cell ``peak_rss_mb`` high-water mark, and the lazy→vector table).
 """
 
 import pytest
@@ -32,14 +38,20 @@ from repro.experiments.scaling_sweep import (
     render_scaling,
     run_scaling_sweep,
     speedup_at,
+    vector_speedup_at,
     write_bench_json,
 )
+from repro.simnet.vector_sched import vector_available
 
 #: The headline grid point: 10× the paper's nine authorities.
 TEN_X_PAPER = 90
 
 #: The stretch grid point the lazy engine made affordable.
 STRETCH = 120
+
+#: The extreme grid point the vector engine makes affordable: the shared
+#: ``fair`` transport at 33x the paper's authority count.
+EXTREME = 300
 
 
 @pytest.mark.paper_artifact("scaling-sweep")
@@ -61,6 +73,22 @@ def test_bench_scaling_sweep(benchmark, tmp_path):
     assert engine_speedup >= 3.0, (
         "lazy-engine fair speedup at N=%d was %.2fx" % (TEN_X_PAPER, engine_speedup)
     )
+    if vector_available():
+        vector_speedup = vector_speedup_at(cells, STRETCH)
+        assert vector_speedup is not None
+        # The vectorized acceptance bar: batch rate recompute over numpy
+        # slot arrays must beat the scalar lazy loop >=3x where coupling
+        # cost is widest.
+        assert vector_speedup >= 3.0, (
+            "vector-engine fair speedup at N=%d was %.2fx" % (STRETCH, vector_speedup)
+        )
+        # The 300-authority cells exist and succeeded on the vector engine.
+        extreme = [
+            cell for cell in cells
+            if cell.authority_count == EXTREME and cell.transport == "fair"
+        ]
+        assert extreme and all(cell.engine == "vector" for cell in extreme)
+
     transport_speedup = speedup_at(cells, STRETCH)
     assert transport_speedup is not None
     # The fast-model bar, re-anchored post-lazy (see module docstring): the

@@ -17,8 +17,10 @@ tick the cohort decides how many eligible clients start a fetch:
 * ``poisson`` — each client polls at exponential intervals with mean
   ``fetch_interval_s``; over one tick a client starts with probability
   ``p = 1 - exp(-tick / interval)``, so the batch is a Binomial(eligible, p)
-  draw from the cohort's seeded stream (exact Bernoulli sum for small
-  cohorts, Gaussian approximation beyond — see :meth:`_draw_batch`).
+  draw from the cohort's seeded stream: one inverse-transform sample from a
+  single uniform pull for small cohorts, the Gaussian approximation from a
+  single z-score beyond (see :mod:`repro.clients.sampling`).  Either way
+  the draw costs one stream pull per wave, never one per client.
 * ``deterministic`` — every eligible client fetches at every tick and the
   serving directory rotates with the wave index.  No randomness at all:
   a K-cohort run is *exactly* equal to the same population simulated as
@@ -35,15 +37,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.clients.metrics import ClientMetrics
+from repro.clients.sampling import binomial_from_uniform, gaussian_binomial
 from repro.clients.workload import ClientWorkload, even_split
 from repro.simnet.engine import EventHandle
 from repro.simnet.message import Message
 from repro.simnet.node import ProtocolNode
 from repro.utils.rng import DeterministicRNG
 from repro.utils.validation import ensure
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.clients.waves import CohortWaveScheduler
 
 #: A cohort (or mirror) asking a directory server for the signed consensus.
 FETCH_MSG = "CLIENT/FETCH"
@@ -115,6 +121,9 @@ class ClientCohortNode(ProtocolNode):
         self._rotation_offset = (
             rng.randint(0, len(self.servers) - 1) if workload.arrival == "poisson" else 0
         )
+        #: Batched wave driver this cohort enrolls with, if one is attached
+        #: before start; None means the cohort owns its own wave timer.
+        self.wave_scheduler: Optional["CohortWaveScheduler"] = None
 
     # -- state reporting ---------------------------------------------------
     def state_counts(self) -> Dict[str, int]:
@@ -131,23 +140,46 @@ class ClientCohortNode(ProtocolNode):
         """Clients of this cohort holding the signed consensus."""
         return self._fresh
 
+    @property
+    def eligible_clients(self) -> int:
+        """Clients that would start a fetch if drawn this wave."""
+        return self._stale + self._retry_eligible
+
+    @property
+    def exact_binomial_limit(self) -> int:
+        """Largest eligible count drawn exactly instead of approximated."""
+        return _EXACT_BINOMIAL_LIMIT
+
     # -- lifecycle ---------------------------------------------------------
     def on_start(self) -> None:
-        self.set_timer(self.workload.wave_interval_s, self._on_wave)
+        if self.wave_scheduler is not None:
+            self.wave_scheduler.enroll(self, self.now + self.workload.wave_interval_s)
+        else:
+            self.set_timer(self.workload.wave_interval_s, self._on_wave)
 
     def _on_wave(self) -> None:
-        self._wave_index += 1
-        eligible = self._stale + self._retry_eligible
-        batch = self._draw_batch(eligible)
-        if batch > 0:
-            for server, weight in self._split_batch(batch):
-                self._start_fetch(server, weight)
+        self._run_wave(self._draw_batch(self.eligible_clients))
         if self._fresh < self.population:
             self.set_timer(self.workload.wave_interval_s, self._on_wave)
 
     # -- wave machinery ----------------------------------------------------
+    def _run_wave(self, batch: int) -> None:
+        """Advance the wave index and issue ``batch`` fetches, split across
+        this wave's serving directories.  The draw happened upstream — in
+        :meth:`_on_wave` (per-cohort timers) or batched across cohorts by a
+        :class:`~repro.clients.waves.CohortWaveScheduler`."""
+        self._wave_index += 1
+        if batch > 0:
+            for server, weight in self._split_batch(batch):
+                self._start_fetch(server, weight)
+
     def _draw_batch(self, eligible: int) -> int:
-        """How many of the ``eligible`` clients start a fetch this wave."""
+        """How many of the ``eligible`` clients start a fetch this wave.
+
+        One stream pull regardless of cohort size: an exact inverse-transform
+        Binomial sample from a single uniform up to the exact limit, the
+        Gaussian approximation from a single z-score beyond.
+        """
         if eligible <= 0:
             return 0
         if self.workload.arrival == "deterministic":
@@ -156,12 +188,8 @@ class ClientCohortNode(ProtocolNode):
             -self.workload.wave_interval_s / self.workload.fetch_interval_s
         )
         if eligible <= _EXACT_BINOMIAL_LIMIT:
-            return sum(1 for _ in range(eligible) if self.rng.bernoulli(probability))
-        # Gaussian approximation of Binomial(eligible, p): one draw per wave
-        # regardless of cohort size.  Documented in DESIGN-clients.md.
-        mean = eligible * probability
-        sigma = math.sqrt(eligible * probability * (1.0 - probability))
-        return min(eligible, max(0, round(mean + sigma * self.rng.gauss(0.0, 1.0))))
+            return binomial_from_uniform(eligible, probability, self.rng.random())
+        return gaussian_binomial(eligible, probability, self.rng.gauss(0.0, 1.0))
 
     def _split_batch(self, batch: int) -> List[Tuple[str, int]]:
         """Split ``batch`` clients across this wave's serving directories.

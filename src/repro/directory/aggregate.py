@@ -28,7 +28,9 @@ Rules reproduced from Figure 2:
 from __future__ import annotations
 
 import re
+from collections import OrderedDict
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.directory.relay import ExitPolicySummary, Relay
@@ -72,12 +74,15 @@ class AggregationConfig:
 _VERSION_RE = re.compile(r"(\d+)")
 
 
+@lru_cache(maxsize=4096)
 def version_sort_key(version: str) -> Tuple:
     """Sort key implementing "the largest version is selected".
 
     Versions like ``"Tor 0.4.8.12"`` are compared numerically component by
     component; non-numeric versions fall back to lexicographic comparison.
     The key is a tuple so mixed populations still order deterministically.
+    Cached: a run draws versions from a small population pool but compares
+    them once per relay per vote per aggregating authority.
     """
     numbers = [int(part) for part in _VERSION_RE.findall(version)]
     return (tuple(numbers), version)
@@ -168,6 +173,35 @@ def aggregate_relay(
     )
 
 
+#: Memo of the expensive aggregation pass, keyed by the exact vote *set*
+#: (digests in authority-ID order) and the aggregation knobs.  Aggregation is
+#: a pure function of that key — the docstring contract below — and every
+#: authority of a fault-free round aggregates the identical vote set, so an
+#: N-authority run would otherwise repeat the same O(relays × votes) pass N
+#: times.  Values hold the aggregated relay map; documents are built fresh
+#: per call because they carry a mutable per-authority ``signatures`` list.
+_AGGREGATION_MEMO_MAX = 64
+_aggregation_memo: "OrderedDict[Tuple, Dict[str, Relay]]" = OrderedDict()
+
+
+def _aggregate_relay_map(
+    ordered: Sequence[VoteDocument], config: AggregationConfig
+) -> Dict[str, Relay]:
+    """The O(relays × votes) heart of aggregation (uncached)."""
+    total_votes = len(ordered)
+    per_relay: Dict[str, Dict[int, Relay]] = {}
+    for vote in ordered:
+        for fingerprint, relay in vote.relays.items():
+            per_relay.setdefault(fingerprint, {})[vote.authority_id] = relay
+
+    consensus_relays: Dict[str, Relay] = {}
+    for fingerprint in sorted(per_relay):
+        aggregated = aggregate_relay(per_relay[fingerprint], total_votes, config)
+        if aggregated is not None:
+            consensus_relays[fingerprint] = aggregated
+    return consensus_relays
+
+
 def aggregate_votes(
     votes: Sequence[VoteDocument],
     config: Optional[AggregationConfig] = None,
@@ -178,7 +212,12 @@ def aggregate_votes(
     The function is deterministic in the *set* of votes: the order in which
     votes are passed does not affect the output, and duplicate votes from the
     same authority raise :class:`ValidationError` (equivocation must be
-    resolved by the protocol layer before aggregation).
+    resolved by the protocol layer before aggregation).  That determinism is
+    load-bearing twice over — it is the paper's safety argument (same votes
+    ⇒ byte-identical consensus ⇒ signatures add up) *and* what makes the
+    relay-map memo above sound: the vote digests identify the inputs
+    exactly, so repeated aggregations of one round's vote set (one per
+    authority) compute the relay map once.
     """
     config = config or AggregationConfig()
     ensure(len(votes) > 0, "cannot aggregate an empty set of votes")
@@ -191,24 +230,26 @@ def aggregate_votes(
         seen_authorities.add(vote.authority_id)
 
     ordered = sorted(votes, key=lambda vote: vote.authority_id)
-    total_votes = len(ordered)
+    source_digests = tuple(vote.digest_hex() for vote in ordered)
 
-    per_relay: Dict[str, Dict[int, Relay]] = {}
-    for vote in ordered:
-        for fingerprint, relay in vote.relays.items():
-            per_relay.setdefault(fingerprint, {})[vote.authority_id] = relay
-
-    consensus_relays: Dict[str, Relay] = {}
-    for fingerprint in sorted(per_relay):
-        aggregated = aggregate_relay(per_relay[fingerprint], total_votes, config)
-        if aggregated is not None:
-            consensus_relays[fingerprint] = aggregated
+    memo_key = (source_digests, config.inclusion_rule, config.voting_interval)
+    consensus_relays = _aggregation_memo.get(memo_key)
+    if consensus_relays is None:
+        consensus_relays = _aggregate_relay_map(ordered, config)
+        _aggregation_memo[memo_key] = consensus_relays
+        if len(_aggregation_memo) > _AGGREGATION_MEMO_MAX:
+            _aggregation_memo.popitem(last=False)
+    else:
+        _aggregation_memo.move_to_end(memo_key)
 
     if valid_after is None:
         valid_after = ordered[0].valid_after
     return ConsensusDocument(
         valid_after=valid_after,
-        relays=consensus_relays,
-        source_vote_digests=tuple(vote.digest_hex() for vote in ordered),
+        # A shallow copy per document: entries are frozen Relay dataclasses,
+        # but the mapping itself must not be shared between the documents of
+        # different authorities (serialize_body memoizes on its length).
+        relays=dict(consensus_relays),
+        source_vote_digests=source_digests,
         voting_interval=config.voting_interval,
     )

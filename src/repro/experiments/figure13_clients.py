@@ -14,12 +14,21 @@ clients actually experience:
 * the fetch success rate (failed attempts are the "giving up downloading
   networkstatus" lines a real client logs).
 
-Populations sweep 10k → 10M modeled clients across the three protocols.
-Cohort aggregation (32 cohorts regardless of population; see
-``DESIGN-clients.md``) keeps the 10M-client cells at thousands of simulator
-events, so the whole three-protocol 10M row regenerates in seconds —
-``benchmarks/test_bench_clients.py`` asserts a 60 s wall-clock budget and
-commits the numbers as ``BENCH_clients.json``.
+Populations sweep 10k → 10M modeled clients across the three protocols,
+plus an *extreme* row at 100M clients in 1000 cohorts.  Cohort aggregation
+(32 cohorts for the standard rows; see ``DESIGN-clients.md``) keeps the
+10M-client cells at thousands of simulator events, so the whole
+three-protocol 10M row regenerates in seconds — and the extreme row leans
+on the vectorized core (batched wave draws + the vector transport engine)
+to fit the same 60 s three-protocol budget at 10× the population and 31×
+the cohort grid.  ``benchmarks/test_bench_clients.py`` asserts both budgets
+and commits the numbers as ``BENCH_clients.json``.
+
+The extreme row is also where the mirror tier's *capacity* becomes the
+story: 256 mirrors serving 100M clients cannot push everyone a consensus
+within the run window, so even the partial-synchrony protocol leaves most
+clients stale at t=1800 — the recovering fraction, not recovery of
+everyone, is the signal.
 
 Cells run serially and in-process (never through a result cache) because the
 committed payload carries wall-clock timings, exactly like the scaling
@@ -30,7 +39,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import resource
 import time
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Union
@@ -39,22 +50,37 @@ from repro.analysis.reporting import format_table
 from repro.attack.ddos import majority_attack_plan
 from repro.clients.workload import ClientWorkload
 from repro.runtime.spec import PROTOCOL_NAMES, RunSpec
+from repro.simnet.flows import effective_shared_engine, use_shared_engine
 from repro.utils.validation import ensure
 
 #: Client populations plotted by default: 10k to 10M modeled clients.
 DEFAULT_POPULATIONS = (10_000, 100_000, 1_000_000, 10_000_000)
 
-#: Cohort count used at every population (event cost tracks cohorts ×
-#: waves, not clients, which is the whole point of the aggregation).
+#: Cohort count used at the standard populations (event cost tracks cohorts
+#: × waves, not clients, which is the whole point of the aggregation).
 DEFAULT_COHORT_COUNT = 32
+
+#: The extreme row: 100M modeled clients in 1000 cohorts, run on the vector
+#: engine.  Populations at or above this threshold default to the extreme
+#: cohort grid.
+EXTREME_POPULATION = 100_000_000
+EXTREME_COHORT_COUNT = 1_000
 
 #: Directory-mirror tier size (the live network serves clients through
 #: thousands of relay caches; 256 keeps per-mirror load realistic for the
 #: populations swept here).
 DEFAULT_MIRROR_COUNT = 256
 
-#: Format version of the ``BENCH_clients.json`` payload.
-BENCH_FORMAT_VERSION = 1
+#: Format version of the ``BENCH_clients.json`` payload.  Version 2: the
+#: grid gains the 100M-client/1000-cohort extreme row, and cells carry the
+#: scheduler ``engine`` and ``peak_rss_mb`` (process high-water mark at
+#: cell end, cheapest cells first — growth is attributable to scale).
+BENCH_FORMAT_VERSION = 2
+
+
+def cohort_count_for(population: int) -> int:
+    """The default cohort grid for ``population`` (extreme rows get 1000)."""
+    return EXTREME_COHORT_COUNT if population >= EXTREME_POPULATION else DEFAULT_COHORT_COUNT
 
 
 @dataclass(frozen=True)
@@ -75,6 +101,8 @@ class Figure13Cell:
     fetch_attempts: int
     wall_clock_s: float
     virtual_end_s: float
+    engine: str = "lazy"
+    peak_rss_mb: float = 0.0
 
 
 def default_client_workload(
@@ -87,18 +115,36 @@ def default_client_workload(
     Clients poll for a fresh consensus every ~5 minutes on average (Poisson),
     give up an attempt after the 18 s directory connection timeout, and back
     off two minutes after a failure — roughly a live client's schedule while
-    bootstrapping.  Batches split across 8 mirrors per wave so directory
-    load spreads like independent client arrivals would.
+    bootstrapping.  Batches split across 8 mirrors per wave (at the default
+    32-cohort grid) so directory load spreads like independent client
+    arrivals would.
+
+    Two knobs coarsen with the cohort grid so simulated-flow count stays
+    bounded as the grid grows — they change aggregation granularity, never
+    the modeled client behaviour:
+
+    * ``servers_per_wave`` shrinks to hold cohorts × servers-per-wave (the
+      flows admitted per tick) near the default 256;
+    * ``wave_interval_s`` doubles past an 8×-default grid, halving tick
+      count the same way the 32-cohort default already trades arrival
+      granularity for event cost.
+
+    At the default 32 cohorts both knobs keep their historical values, so
+    standard-row specs (and their cache hashes) are unchanged.
     """
+    servers_per_wave = max(
+        1, min(8, (8 * DEFAULT_COHORT_COUNT) // max(1, cohort_count))
+    )
+    wave_interval_s = 10.0 if cohort_count <= 8 * DEFAULT_COHORT_COUNT else 20.0
     return ClientWorkload(
         population=population,
         cohort_count=cohort_count,
         arrival="poisson",
         fetch_interval_s=300.0,
-        wave_interval_s=10.0,
+        wave_interval_s=wave_interval_s,
         retry_backoff_s=120.0,
         connection_timeout_s=18.0,
-        servers_per_wave=8,
+        servers_per_wave=servers_per_wave,
         mirror_count=mirror_count,
     )
 
@@ -130,17 +176,22 @@ def figure13_spec(
 def run_figure13(
     populations: Sequence[int] = DEFAULT_POPULATIONS,
     protocols: Sequence[str] = PROTOCOL_NAMES,
-    cohort_count: int = DEFAULT_COHORT_COUNT,
+    cohort_count: Optional[int] = None,
     mirror_count: int = DEFAULT_MIRROR_COUNT,
     relay_count: int = 120,
     seed: int = 7,
     max_time: float = 1800.0,
+    engine: Optional[str] = None,
     progress: Optional[Callable[[Figure13Cell], None]] = None,
 ) -> List[Figure13Cell]:
     """Execute the grid serially, timing each cell's wall clock.
 
-    ``progress`` (if given) fires after each cell — a 12-cell grid with 10M
-    clients is not instant, and silence reads as a hang.
+    ``cohort_count`` of None applies the per-population default
+    (:func:`cohort_count_for`: 32, or 1000 at the extreme population).
+    ``engine`` of None runs the ambient shared engine; the extreme row is
+    normally run with ``engine="vector"`` (downgrading to lazy without
+    numpy).  ``progress`` (if given) fires after each cell — a 12-cell grid
+    with 10M clients is not instant, and silence reads as a hang.
     """
     from repro.protocols.runner import execute_spec
 
@@ -148,24 +199,27 @@ def run_figure13(
     ensure(len(protocols) > 0, "need at least one protocol")
     cells: List[Figure13Cell] = []
     for population in populations:
+        cell_cohorts = cohort_count if cohort_count is not None else cohort_count_for(population)
         for protocol in protocols:
             spec = figure13_spec(
                 protocol,
                 population,
-                cohort_count=cohort_count,
+                cohort_count=cell_cohorts,
                 mirror_count=mirror_count,
                 relay_count=relay_count,
                 seed=seed,
                 max_time=max_time,
             )
-            started = time.perf_counter()
-            result = execute_spec(spec)
-            elapsed = time.perf_counter() - started
+            with use_shared_engine(engine) if engine is not None else nullcontext():
+                effective = effective_shared_engine()
+                started = time.perf_counter()
+                result = execute_spec(spec)
+                elapsed = time.perf_counter() - started
             clients = result.client_summary
             cell = Figure13Cell(
                 protocol=protocol,
                 population=population,
-                cohort_count=cohort_count,
+                cohort_count=cell_cohorts,
                 mirror_count=mirror_count,
                 run_success=result.success,
                 fresh_fraction=clients["fresh_fraction"],
@@ -177,6 +231,8 @@ def run_figure13(
                 fetch_attempts=clients["fetch_attempts"],
                 wall_clock_s=elapsed,
                 virtual_end_s=result.end_time,
+                engine=effective,
+                peak_rss_mb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
             )
             cells.append(cell)
             if progress is not None:
@@ -256,11 +312,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="override the population grid",
     )
+    parser.add_argument(
+        "--no-extreme",
+        action="store_true",
+        help="skip the 100M-client/1000-cohort vector-engine row",
+    )
     args = parser.parse_args(argv)
+    extreme = not args.no_extreme
     if args.populations is not None:
         populations: Sequence[int] = tuple(args.populations)
+        extreme = False
     elif args.quick:
         populations = (1_000_000,)
+        extreme = False
     else:
         populations = DEFAULT_POPULATIONS
 
@@ -275,7 +339,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         )
 
+    from repro.simnet.vector_sched import vector_available
+
     cells = run_figure13(populations=populations, progress=progress)
+    if extreme and not vector_available():
+        print("skipping the 100M-client row: the vector engine needs numpy "
+              "(install the [perf] extra)")
+        extreme = False
+    if extreme:
+        # The vectorized-core showcase row: 100M clients, 1000 cohorts, on
+        # the vector engine.
+        cells += run_figure13(
+            populations=(EXTREME_POPULATION,), engine="vector", progress=progress
+        )
     print(render_figure13(cells))
     out = write_bench_json(cells, args.out)
     print("wrote %s" % out)

@@ -11,28 +11,36 @@ measures both:
   stated cost of losing congestion (the mechanism behind the paper's DDoS
   results).  It is the fast model for large-N protocol-behaviour studies,
   not for bandwidth-sensitive figures.
-* **Scheduler engine.**  The paper-faithful shared models themselves now run
-  on the lazy-advance heap-driven scheduler
-  (:mod:`repro.simnet.shared_sched`, O(touched flows) per event); the
-  pre-lazy global-recompute loop survives as the ``legacy`` engine.  The
-  sweep times ``fair`` under both engines, so the committed
-  ``BENCH_scaling.json`` carries the old-vs-new speedup table that
-  ``benchmarks/test_bench_scaling.py`` asserts against (≥3× at 10×-paper
-  scale).
+* **Scheduler engine.**  The paper-faithful shared models run on three
+  engines: the default lazy-advance heap-driven scheduler
+  (:mod:`repro.simnet.shared_sched`, O(touched flows) per event), the
+  pre-lazy global-recompute loop surviving as ``legacy``, and the
+  vectorized structure-of-arrays scheduler (:mod:`repro.simnet.vector_sched`,
+  batch rate recompute over numpy slot arrays — requires the ``[perf]``
+  extra, silently downgrading to lazy without it).  The sweep times ``fair``
+  under all three, so the committed ``BENCH_scaling.json`` carries both the
+  legacy→lazy and the lazy→vector speedup tables that
+  ``benchmarks/test_bench_scaling.py`` asserts against (each ≥3× at its
+  anchor count).
 
 The grid runs the same consensus spec at growing authority counts — up to
-120, beyond 13× the paper's nine — under ``fair`` and ``latency-only`` on
-the default (lazy) engine, plus ``fair`` on the legacy engine at the counts
-where the old loop is still affordable.  Cells run serially and in-process
-(never through a result cache) so the timings measure simulation cost, not
-cache or pool behaviour.  :func:`write_bench_json` emits the numbers (format
-2: cells carry an ``engine`` field and the payload a legacy→lazy table).
+300, beyond 33× the paper's nine — under ``fair`` and ``latency-only``.
+``latency-only`` (engine-independent) and ``fair`` on the vector engine run
+at every count; ``fair`` on the lazy engine stops at 120 and on the legacy
+engine at 90, the counts where each scalar loop is still affordable — the
+300-authority shared-transport cells exist *because* the vector engine makes
+them tractable.  Cells run serially and in-process (never through a result
+cache) so the timings measure simulation cost, not cache or pool behaviour.
+:func:`write_bench_json` emits the numbers (format 3: 300-authority cells,
+per-cell ``engine`` and ``peak_rss_mb``, and the ``speedup_fair_lazy_to_vector``
+table).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import resource
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -40,31 +48,51 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.reporting import format_table
 from repro.runtime.spec import RunSpec
-from repro.simnet.flows import use_shared_engine
+from repro.simnet.flows import effective_shared_engine, use_shared_engine
 from repro.utils.validation import ensure
 
 #: Authority count evaluated throughout the paper (the live Tor network).
 PAPER_AUTHORITY_COUNT = 9
 
-#: Default sweep: paper scale, intermediate points, 10× paper scale, and the
-#: 120-authority stretch goal the lazy engine makes affordable.
-DEFAULT_AUTHORITY_COUNTS = (9, 30, 90, 120)
+#: Default sweep: paper scale, intermediate points, 10× paper scale, the
+#: 120-authority point the lazy engine made affordable, and the
+#: 300-authority stretch goal the vector engine makes affordable.
+DEFAULT_AUTHORITY_COUNTS = (9, 30, 90, 120, 300)
 
 #: Transport models compared by default: the TCP-like shared model the
 #: figures use, and the sharing-free fast model.
 DEFAULT_TRANSPORTS = ("fair", "latency-only")
 
 #: Counts at which ``fair`` is additionally timed on the legacy engine for
-#: the old-vs-new speedup table.  120 is deliberately absent: the legacy
+#: the old-vs-new speedup table.  120+ is deliberately absent: the legacy
 #: loop's whole-run cost grows roughly quadratically with concurrency and
 #: the point of the table is made at 90.
 DEFAULT_LEGACY_FAIR_COUNTS = (9, 30, 90)
 
+#: Counts at which ``fair`` runs on the lazy engine.  300 is deliberately
+#: absent from the default: the scalar per-touched-flow loop takes minutes
+#: there, and the lazy→vector speedup table makes its point at 120.
+DEFAULT_LAZY_FAIR_COUNTS = (9, 30, 90, 120)
+
 #: Format version of the ``BENCH_scaling.json`` payload.  Version 2: cells
 #: carry the scheduler ``engine`` ("lazy"/"legacy"), the default grid
 #: reaches 120 authorities, and ``speedup_fair_legacy_to_lazy`` reports the
-#: old-engine→new-engine wall-clock ratio per authority count.
-BENCH_FORMAT_VERSION = 2
+#: old-engine→new-engine wall-clock ratio per authority count.  Version 3:
+#: the grid reaches 300 authorities (``fair`` there on the vector engine
+#: only), cells carry ``peak_rss_mb``, and ``speedup_fair_lazy_to_vector``
+#: reports the scalar→vectorized wall-clock ratio per authority count.
+BENCH_FORMAT_VERSION = 3
+
+
+def _peak_rss_mb() -> float:
+    """Process-lifetime peak resident set size in MiB (``ru_maxrss``).
+
+    A high-water mark, not a per-cell measurement: a cell's value is the
+    largest footprint *any* cell so far has needed, which is exactly the
+    capacity-planning number a benchmark consumer wants (the grid runs
+    cheapest-first, so growth across cells is attributable to scale).
+    """
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
 @dataclass(frozen=True)
@@ -80,6 +108,7 @@ class ScalingCell:
     virtual_end_s: float
     messages_sent: int
     engine: str = "lazy"
+    peak_rss_mb: float = 0.0
 
 
 def scaling_specs(
@@ -114,6 +143,9 @@ def _timed_cell(spec: RunSpec, engine: str) -> ScalingCell:
     from repro.protocols.runner import execute_spec
 
     with use_shared_engine(engine):
+        # Record what actually ran: a vector request on a numpy-less install
+        # executes (and must be labelled as) the lazy engine.
+        effective = effective_shared_engine()
         started = time.perf_counter()
         result = execute_spec(spec)
         elapsed = time.perf_counter() - started
@@ -126,7 +158,8 @@ def _timed_cell(spec: RunSpec, engine: str) -> ScalingCell:
         wall_clock_s=elapsed,
         virtual_end_s=result.end_time,
         messages_sent=result.stats.messages_sent,
-        engine=engine,
+        engine=effective,
+        peak_rss_mb=_peak_rss_mb(),
     )
 
 
@@ -139,16 +172,27 @@ def run_scaling_sweep(
     seed: int = 7,
     max_time: float = 600.0,
     legacy_fair_counts: Sequence[int] = DEFAULT_LEGACY_FAIR_COUNTS,
+    lazy_fair_counts: Optional[Sequence[int]] = None,
     progress: Optional[Callable[[ScalingCell], None]] = None,
 ) -> List[ScalingCell]:
     """Execute the scaling grid serially, timing each cell's wall clock.
 
-    Every (count × protocol × transport) cell runs on the default lazy
-    engine; ``legacy_fair_counts`` adds ``fair`` cells on the legacy engine
-    (at counts also present in the main grid) for the old-vs-new table.
-    ``progress`` (if given) fires after each cell — the 120-authority cells
-    take minutes on slow machines and silence reads as a hang.
+    ``latency-only`` cells (engine-independent) run on the default lazy
+    engine at every count.  ``fair`` cells run per engine schedule: lazy at
+    ``lazy_fair_counts`` (default: every requested count ≤ 120), legacy at
+    ``legacy_fair_counts``, and vector at *every* count — the vector engine
+    is what makes the largest shared-transport cells affordable at all.
+    On a numpy-less install the vector cells are *skipped*, not downgraded:
+    a downgraded cell would be a duplicate lazy run, and at 300 authorities
+    minutes of scalar loop for no information.
+    ``progress`` (if given) fires after each cell — the largest cells take
+    minutes on slow machines and silence reads as a hang.
     """
+    from repro.simnet.vector_sched import vector_available
+    if lazy_fair_counts is None:
+        lazy_fair_counts = tuple(
+            count for count in authority_counts if count <= max(DEFAULT_LAZY_FAIR_COUNTS)
+        )
     cells: List[ScalingCell] = []
 
     def _run(spec: RunSpec, engine: str) -> None:
@@ -166,9 +210,15 @@ def run_scaling_sweep(
         seed=seed,
         max_time=max_time,
     ):
-        _run(spec, "lazy")
-        if spec.transport == "fair" and spec.authority_count in legacy_fair_counts:
+        if spec.transport != "fair":
+            _run(spec, "lazy")
+            continue
+        if spec.authority_count in lazy_fair_counts:
+            _run(spec, "lazy")
+        if spec.authority_count in legacy_fair_counts:
             _run(spec, "legacy")
+        if vector_available():
+            _run(spec, "vector")
     return cells
 
 
@@ -242,6 +292,38 @@ def engine_speedups(
     return results
 
 
+def vector_speedup_at(
+    cells: Sequence[ScalingCell],
+    authority_count: int,
+    protocol: str = "current",
+    transport: str = "fair",
+) -> Optional[float]:
+    """Lazy-engine → vector-engine wall-clock speedup at one grid point.
+
+    None where either engine's cell is absent — including numpy-less runs,
+    where vector requests execute (and are labelled) as lazy cells.
+    """
+    by_key = _cell_lookup(cells, authority_count, protocol)
+    lazy = by_key.get((transport, "lazy"))
+    vector = by_key.get((transport, "vector"))
+    if lazy is None or vector is None or vector.wall_clock_s <= 0:
+        return None
+    return lazy.wall_clock_s / vector.wall_clock_s
+
+
+def vector_speedups(
+    cells: Sequence[ScalingCell],
+) -> List[Tuple[str, int, float]]:
+    """Every grid point's lazy→vector fair speedup as (protocol, N, speedup)."""
+    results: List[Tuple[str, int, float]] = []
+    for authority_count in sorted({cell.authority_count for cell in cells}):
+        for protocol in sorted({cell.protocol for cell in cells}):
+            speedup = vector_speedup_at(cells, authority_count, protocol)
+            if speedup is not None:
+                results.append((protocol, authority_count, speedup))
+    return results
+
+
 def render_scaling(cells: Sequence[ScalingCell]) -> str:
     """Render the sweep as a table with per-N speedup annotations."""
     rows = []
@@ -282,6 +364,11 @@ def render_scaling(cells: Sequence[ScalingCell]) -> str:
         % (authority_count, protocol, speedup)
         for protocol, authority_count, speedup in engine_speedups(cells)
     )
+    notes.extend(
+        "N=%d %s: vector fair engine is %.1fx faster than lazy"
+        % (authority_count, protocol, speedup)
+        for protocol, authority_count, speedup in vector_speedups(cells)
+    )
     return table + ("\n" + "\n".join(notes) if notes else "")
 
 
@@ -298,12 +385,17 @@ def write_bench_json(
         "%s@%d" % (protocol, authority_count): speedup
         for protocol, authority_count, speedup in engine_speedups(cells)
     }
+    lazy_to_vector = {
+        "%s@%d" % (protocol, authority_count): speedup
+        for protocol, authority_count, speedup in vector_speedups(cells)
+    }
     payload = {
         "format": BENCH_FORMAT_VERSION,
         "paper_authority_count": PAPER_AUTHORITY_COUNT,
         "cells": [asdict(cell) for cell in cells],
         "speedup_fair_to_latency_only": transport_speedups,
         "speedup_fair_legacy_to_lazy": legacy_to_lazy,
+        "speedup_fair_lazy_to_vector": lazy_to_vector,
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
@@ -318,8 +410,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="small-N smoke (9, 18, and 30 authorities; no legacy cells) "
-        "for CI wall-clock budgets",
+        help="small-N smoke (9, 18, and 30 authorities; lazy + vector "
+        "fair cells, no legacy) for CI wall-clock budgets",
     )
     args = parser.parse_args(argv)
 

@@ -54,11 +54,13 @@ class ResultCache:
         level — so the non-default engine stores under a suffixed name.
         Runs under ``REPRO_SHARED_ENGINE=legacy`` (the conformance knob)
         therefore never hit entries produced by default runs, or vice versa.
+        The *effective* engine is what matters: a ``vector`` request on a
+        numpy-less install runs the lazy engine and must hit lazy entries.
         """
-        from repro.simnet.flows import resolve_shared_engine
+        from repro.simnet.flows import effective_shared_engine
 
         digest = spec.spec_hash()
-        engine = resolve_shared_engine()
+        engine = effective_shared_engine()
         suffix = "" if engine == "lazy" else ".%s" % engine
         return self.root / digest[:2] / ("%s%s.json" % (digest, suffix))
 

@@ -65,11 +65,11 @@ _COMPLETION_EPSILON_BYTES = 1e-6
 _TIME_EPSILON = 1e-9
 
 #: Environment variable selecting the shared-regime engine for networks that
-#: do not pass one explicitly (values: "lazy" or "legacy").
+#: do not pass one explicitly (values: "lazy", "legacy" or "vector").
 SHARED_ENGINE_ENV = "REPRO_SHARED_ENGINE"
 
 #: The shared-regime engines :func:`make_flow_scheduler` knows how to build.
-SHARED_ENGINES = ("lazy", "legacy")
+SHARED_ENGINES = ("lazy", "legacy", "vector")
 
 
 def resolve_shared_engine(explicit: Optional[str] = None) -> str:
@@ -78,13 +78,29 @@ def resolve_shared_engine(explicit: Optional[str] = None) -> str:
     The flag exists for the conformance gate of the lazy-advance scheduler:
     the legacy loop stays selectable so old-engine-vs-new-engine equivalence
     properties (and the byte-pinned ``*_legacy`` golden traces) can run both
-    inside one process.  Production entry points always use the default.
+    inside one process, and ``"vector"`` opts in to the numpy
+    structure-of-arrays engine (:mod:`repro.simnet.vector_sched`).
+    Production entry points always use the default.
     """
     engine = explicit if explicit is not None else os.environ.get(SHARED_ENGINE_ENV, "lazy")
     if engine not in SHARED_ENGINES:
         raise ValidationError(
             "unknown shared engine %r; expected one of %r" % (engine, SHARED_ENGINES)
         )
+    return engine
+
+
+def effective_shared_engine(explicit: Optional[str] = None) -> str:
+    """The engine that would actually run: ``"vector"`` downgrades to
+    ``"lazy"`` when numpy is not installed, so callers that key behaviour on
+    the engine (the result cache) agree with :func:`make_flow_scheduler`.
+    """
+    engine = resolve_shared_engine(explicit)
+    if engine == "vector":
+        from repro.simnet.vector_sched import vector_available
+
+        if not vector_available():
+            return "lazy"
     return engine
 
 
@@ -498,15 +514,28 @@ def make_flow_scheduler(
 
     For shared models, ``shared_engine`` (default: the
     ``REPRO_SHARED_ENGINE`` environment variable, else ``"lazy"``) selects
-    between the lazy-advance engine and the legacy global-recompute loop.
-    Shared models without a registered lazy rater always get the legacy
-    scheduler — it handles any ``assign_rates`` implementation.
+    between the lazy-advance engine, the numpy structure-of-arrays engine
+    (``"vector"``; requires the ``[perf]`` extra and a registered vector
+    policy, otherwise it silently falls back to lazy), and the legacy
+    global-recompute loop.  Shared models without a registered lazy rater
+    always get the legacy scheduler — it handles any ``assign_rates``
+    implementation.
     """
     if not model.shared:
         return IndependentFlowScheduler(model, simulator, links, complete, expire)
     from repro.simnet.shared_sched import LAZY_RATERS, LazySharedLinkScheduler
 
     engine = resolve_shared_engine(shared_engine)
+    if engine == "vector":
+        from repro.simnet.vector_sched import (
+            VECTOR_POLICIES,
+            VectorSharedLinkScheduler,
+            vector_available,
+        )
+
+        if vector_available() and model.name in VECTOR_POLICIES:
+            return VectorSharedLinkScheduler(model, simulator, links, complete, expire)
+        engine = "lazy"  # pure-Python install or unvectorized model
     if engine == "lazy" and model.name in LAZY_RATERS:
         return LazySharedLinkScheduler(model, simulator, links, complete, expire)
     return SharedLinkScheduler(model, simulator, links, complete, expire)

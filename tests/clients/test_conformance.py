@@ -88,7 +88,7 @@ def deterministic_workloads(draw):
 @given(
     workload=deterministic_workloads(),
     transport=st.sampled_from(("fair", "fifo", "latency-only")),
-    engine=st.sampled_from(("lazy", "legacy")),
+    engine=st.sampled_from(("lazy", "legacy", "vector")),
     seed=st.integers(min_value=0, max_value=2**16),
 )
 def test_cohorts_match_individual_clients_exactly_under_deterministic_arrivals(
@@ -173,9 +173,9 @@ def test_poisson_runs_are_deterministic_per_seed_and_vary_across_seeds():
 
 
 def test_client_runs_agree_across_shared_engines():
-    # The lazy/legacy equivalence contract of the shared transport extends to
-    # weighted client flows: identical integer accounting, float metrics to
-    # rounding.
+    # The lazy/legacy/vector equivalence contract of the shared transport
+    # extends to weighted client flows: identical integer accounting, float
+    # metrics to rounding.
     workload = ClientWorkload(
         population=120,
         cohort_count=3,
@@ -190,15 +190,16 @@ def test_client_runs_agree_across_shared_engines():
         max_time=800.0,
         client_workload=workload,
     )
-    with use_shared_engine("legacy"):
-        legacy = run_client_metrics(spec)
     with use_shared_engine("lazy"):
         lazy = run_client_metrics(spec)
-    for key in EXACT_METRIC_KEYS:
-        assert legacy[key] == lazy[key], key
-    for key in FLOAT_METRIC_KEYS:
-        a, b = legacy[key], lazy[key]
-        if a is None or b is None:
-            assert a == b, key
-        else:
-            assert math.isclose(a, b, rel_tol=1e-6, abs_tol=1e-9), (key, a, b)
+    for engine in ("legacy", "vector"):
+        with use_shared_engine(engine):
+            other = run_client_metrics(spec)
+        for key in EXACT_METRIC_KEYS:
+            assert other[key] == lazy[key], (engine, key)
+        for key in FLOAT_METRIC_KEYS:
+            a, b = other[key], lazy[key]
+            if a is None or b is None:
+                assert a == b, (engine, key)
+            else:
+                assert math.isclose(a, b, rel_tol=1e-6, abs_tol=1e-9), (engine, key, a, b)

@@ -10,8 +10,11 @@ from repro.experiments.scaling_sweep import (
     run_scaling_sweep,
     scaling_specs,
     speedup_at,
+    vector_speedup_at,
+    vector_speedups,
     write_bench_json,
 )
+from repro.simnet.vector_sched import vector_available
 
 
 def synthetic_cells():
@@ -33,6 +36,7 @@ def synthetic_cells():
         cell("latency-only", 9, 0.1),
         cell("fair", 90, 10.0),
         cell("fair", 90, 40.0, engine="legacy"),
+        cell("fair", 90, 2.5, engine="vector"),
         cell("latency-only", 90, 5.0),
     ]
 
@@ -52,12 +56,13 @@ def test_small_scaling_sweep_runs_and_reports(tmp_path):
     cells = run_scaling_sweep(
         authority_counts=(5,), relay_count=30, max_time=600.0, legacy_fair_counts=(5,)
     )
-    # fair on both engines, latency-only on the lazy engine only.
-    assert [(cell.transport, cell.engine) for cell in cells] == [
-        ("fair", "lazy"),
-        ("fair", "legacy"),
-        ("latency-only", "lazy"),
-    ]
+    # fair on every available engine, latency-only on the lazy engine
+    # only.  Numpy-less installs skip (not downgrade) the vector cells.
+    expected = [("fair", "lazy"), ("fair", "legacy")]
+    if vector_available():
+        expected.append(("fair", "vector"))
+    expected.append(("latency-only", "lazy"))
+    assert [(cell.transport, cell.engine) for cell in cells] == expected
     assert all(cell.success for cell in cells)
     assert all(cell.wall_clock_s > 0 for cell in cells)
     # Identical protocol work under every transport and engine.
@@ -68,10 +73,13 @@ def test_small_scaling_sweep_runs_and_reports(tmp_path):
 
     out = write_bench_json(cells, tmp_path / "BENCH_scaling.json")
     payload = json.loads(out.read_text())
-    assert payload["format"] == 2
-    assert len(payload["cells"]) == 3
+    assert payload["format"] == 3
+    assert len(payload["cells"]) == (4 if vector_available() else 3)
     assert "current@5" in payload["speedup_fair_to_latency_only"]
     assert "current@5" in payload["speedup_fair_legacy_to_lazy"]
+    if vector_available():
+        assert "current@5" in payload["speedup_fair_lazy_to_vector"]
+    assert all(cell["peak_rss_mb"] > 0 for cell in payload["cells"])
 
 
 def test_speedup_at_reads_the_grid_point():
@@ -90,7 +98,15 @@ def test_engine_speedup_compares_legacy_to_lazy_fair_cells():
     assert engine_speedups(cells) == [("current", 90, 4.0)]
 
 
+def test_vector_speedup_compares_lazy_to_vector_fair_cells():
+    cells = synthetic_cells()
+    assert vector_speedup_at(cells, 90) == 4.0
+    assert vector_speedup_at(cells, 9) is None  # no vector cell at N=9
+    assert vector_speedups(cells) == [("current", 90, 4.0)]
+
+
 def test_render_scaling_annotates_speedups():
     text = render_scaling(synthetic_cells())
     assert "N=90 current: latency-only is 2.0x faster than fair" in text
     assert "N=90 current: lazy fair engine is 4.0x faster than legacy" in text
+    assert "N=90 current: vector fair engine is 4.0x faster than lazy" in text
