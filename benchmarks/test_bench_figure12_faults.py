@@ -36,6 +36,15 @@ def test_bench_figure12_fault_mixes(benchmark, sweep_executor):
     for protocol in ("current", "synchronous", "ours"):
         assert not by_cell[("flash-flood", protocol)].success
 
+    # The leaky variant on the tcp transport is just as fatal — p ≈ 0.998
+    # message loss plus collapsed congestion windows — but the drops are
+    # probabilistic losses, not partition cuts.
+    for protocol in ("current", "synchronous", "ours"):
+        tcp_cell = by_cell[("flash-flood-tcp", protocol)]
+        assert not tcp_cell.success
+        assert tcp_cell.messages_dropped > 0
+        assert tcp_cell.partition_seconds == 0.0
+
     # Fault accounting flows through the executor and cache unharmed.
     assert by_cell[("lossy-links", "ours")].messages_dropped > 0
     assert by_cell[("minority-partition", "ours")].partition_seconds == 360.0

@@ -25,6 +25,14 @@ Default mixes (all three protocols each):
     bandwidth-override form (transfers crawl but survive), dropped messages
     are *gone* — so this mix also shows which protocols rely on
     retransmission to recover.
+``flash-flood-tcp``
+    The same flood with a sliver of residual bandwidth, run on the ``tcp``
+    transport (every mix has a ``transport``; this is the only non-default
+    one).  The residual turns the plan drop-typed (p ≈ 0.998 inside the
+    window), and on ``tcp`` those drops feed
+    :meth:`~repro.faults.injector.FaultInjector.tcp_loss_event`: the
+    authorities' congestion windows collapse for the whole window, so the
+    cell shows the fault → congestion-control coupling end-to-end.
 ``byzantine``
     One vote-equivocating authority plus one withholding authority.
 
@@ -51,10 +59,16 @@ from repro.utils.validation import ensure
 
 @dataclass(frozen=True)
 class FaultMix:
-    """A named fault plan swept by the experiment."""
+    """A named fault plan swept by the experiment.
+
+    ``transport`` selects the link model the mix runs under — almost always
+    the default ``fair``, but drop-typed plans only couple into congestion
+    control on ``tcp`` (see ``flash-flood-tcp``).
+    """
 
     name: str
     plan: FaultPlan
+    transport: str = "fair"
 
 
 def default_fault_mixes(authority_count: int = 9) -> Tuple[FaultMix, ...]:
@@ -66,6 +80,15 @@ def default_fault_mixes(authority_count: int = 9) -> Tuple[FaultMix, ...]:
         start=0.0,
         duration=300.0,
         residual_bandwidth_mbps=0.0,
+    )
+    # The drop-typed variant: a sliver of residual bandwidth turns the
+    # plan from partition windows into per-message loss (p ≈ 0.998), the
+    # form that drives tcp's multiplicative decrease.
+    leaky_flood = DDoSAttackPlan(
+        target_authority_ids=tuple(range(majority)),
+        start=0.0,
+        duration=300.0,
+        residual_bandwidth_mbps=0.5,
     )
     return (
         FaultMix(
@@ -88,6 +111,7 @@ def default_fault_mixes(authority_count: int = 9) -> Tuple[FaultMix, ...]:
             ),
         ),
         FaultMix("flash-flood", flood.fault_plan()),
+        FaultMix("flash-flood-tcp", leaky_flood.fault_plan(), transport="tcp"),
         FaultMix(
             "byzantine",
             FaultPlan.byzantine(0, "equivocate").merged(
@@ -161,6 +185,7 @@ def figure12_sweep(
                 engine=engine,
                 authority_count=authority_count,
                 max_time=max_time,
+                transport=mix.transport,
                 config_overrides=config_overrides,
                 fault_plan=mix.plan,
             )

@@ -24,12 +24,14 @@ measures both:
   anchor count).
 
 The grid runs the same consensus spec at growing authority counts — up to
-300, beyond 33× the paper's nine — under ``fair`` and ``latency-only``.
-``latency-only`` (engine-independent) and ``fair`` on the vector engine run
-at every count; ``fair`` on the lazy engine stops at 120 and on the legacy
-engine at 90, the counts where each scalar loop is still affordable — the
-300-authority shared-transport cells exist *because* the vector engine makes
-them tractable.  Cells run serially and in-process (never through a result
+300, beyond 33× the paper's nine — under ``fair``, ``latency-only``, and
+``tcp``.  ``latency-only`` (engine-independent) and ``fair`` on the vector
+engine run at every count; ``fair`` on the lazy engine stops at 120 and on
+the legacy engine at 90, the counts where each scalar loop is still
+affordable — the 300-authority shared-transport cells exist *because* the
+vector engine makes them tractable.  ``tcp`` (no vector policy; lazy engine
+only) runs at paper scale and 30 authorities, pricing per-flow congestion
+control against the memoryless ``fair`` model.  Cells run serially and in-process (never through a result
 cache) so the timings measure simulation cost, not cache or pool behaviour.
 :func:`write_bench_json` emits the numbers (format 3: 300-authority cells,
 per-cell ``engine`` and ``peak_rss_mb``, and the ``speedup_fair_lazy_to_vector``
@@ -59,9 +61,10 @@ PAPER_AUTHORITY_COUNT = 9
 #: 300-authority stretch goal the vector engine makes affordable.
 DEFAULT_AUTHORITY_COUNTS = (9, 30, 90, 120, 300)
 
-#: Transport models compared by default: the TCP-like shared model the
-#: figures use, and the sharing-free fast model.
-DEFAULT_TRANSPORTS = ("fair", "latency-only")
+#: Transport models compared by default: the fair shared model the figures
+#: use, the sharing-free fast model, and the congestion-controlled ``tcp``
+#: model (lazy engine only, at :data:`DEFAULT_TCP_COUNTS`).
+DEFAULT_TRANSPORTS = ("fair", "latency-only", "tcp")
 
 #: Counts at which ``fair`` is additionally timed on the legacy engine for
 #: the old-vs-new speedup table.  120+ is deliberately absent: the legacy
@@ -73,6 +76,12 @@ DEFAULT_LEGACY_FAIR_COUNTS = (9, 30, 90)
 #: absent from the default: the scalar per-touched-flow loop takes minutes
 #: there, and the lazy→vector speedup table makes its point at 120.
 DEFAULT_LAZY_FAIR_COUNTS = (9, 30, 90, 120)
+
+#: Counts at which ``tcp`` cells run.  The model has no vector policy (it
+#: downgrades to lazy), so its per-tick cost is scalar; paper scale and the
+#: first 10×/3 point are enough to price congestion control against
+#: ``fair``, and the CI perf-smoke budget asserts the tcp@30 cell.
+DEFAULT_TCP_COUNTS = (9, 30)
 
 #: Format version of the ``BENCH_scaling.json`` payload.  Version 2: cells
 #: carry the scheduler ``engine`` ("lazy"/"legacy"), the default grid
@@ -144,8 +153,9 @@ def _timed_cell(spec: RunSpec, engine: str) -> ScalingCell:
 
     with use_shared_engine(engine):
         # Record what actually ran: a vector request on a numpy-less install
-        # executes (and must be labelled as) the lazy engine.
-        effective = effective_shared_engine()
+        # — or for a transport without a vector policy (tcp) — executes
+        # (and must be labelled as) the lazy engine.
+        effective = effective_shared_engine(transport=spec.transport)
         started = time.perf_counter()
         result = execute_spec(spec)
         elapsed = time.perf_counter() - started
@@ -173,6 +183,7 @@ def run_scaling_sweep(
     max_time: float = 600.0,
     legacy_fair_counts: Sequence[int] = DEFAULT_LEGACY_FAIR_COUNTS,
     lazy_fair_counts: Optional[Sequence[int]] = None,
+    tcp_counts: Sequence[int] = DEFAULT_TCP_COUNTS,
     progress: Optional[Callable[[ScalingCell], None]] = None,
 ) -> List[ScalingCell]:
     """Execute the scaling grid serially, timing each cell's wall clock.
@@ -185,6 +196,9 @@ def run_scaling_sweep(
     On a numpy-less install the vector cells are *skipped*, not downgraded:
     a downgraded cell would be a duplicate lazy run, and at 300 authorities
     minutes of scalar loop for no information.
+    ``tcp`` cells run on the lazy engine only (the model has no vector
+    policy) and only at ``tcp_counts`` — counts outside it are skipped, so
+    small custom grids stay tcp-free unless asked.
     ``progress`` (if given) fires after each cell — the largest cells take
     minutes on slow machines and silence reads as a hang.
     """
@@ -210,6 +224,10 @@ def run_scaling_sweep(
         seed=seed,
         max_time=max_time,
     ):
+        if spec.transport == "tcp":
+            if spec.authority_count in tcp_counts:
+                _run(spec, "lazy")
+            continue
         if spec.transport != "fair":
             _run(spec, "lazy")
             continue
@@ -411,7 +429,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--quick",
         action="store_true",
         help="small-N smoke (9, 18, and 30 authorities; lazy + vector "
-        "fair cells, no legacy) for CI wall-clock budgets",
+        "fair cells, no legacy; tcp at 9 and 30) for CI wall-clock budgets",
     )
     args = parser.parse_args(argv)
 

@@ -9,7 +9,10 @@ The network consults the injector at three deterministic points —
   partition suppression, withholding, seeded probabilistic loss, and
   equivocation rewriting;
 * **delivery instant** (:meth:`FaultInjector.filter_delivery`): partitions
-  and crashes re-checked, so a transfer in flight when a window opens is cut;
+  and crashes re-checked, and probabilistic loss re-checked *conditionally*
+  — a loss window that opened mid-flight exposes the message to the
+  residual probability the send-instant draw did not cover — so a transfer
+  in flight when a window opens is cut;
 * **timer firing** (:meth:`FaultInjector.timer_suppressed`): a crashed
   authority's timers do not run (the process is down), which is what keeps a
   crashed lock-step authority from "acting" mid-outage.
@@ -137,27 +140,88 @@ class FaultInjector:
         return message
 
     def filter_delivery(
-        self, sender: str, destination: str, message: Message, now: float
+        self,
+        sender: str,
+        destination: str,
+        message: Message,
+        now: float,
+        sent_at: Optional[float] = None,
     ) -> bool:
-        """False when the delivery must be cut at the delivery instant."""
+        """False when the delivery must be cut at the delivery instant.
+
+        ``sent_at`` is the instant the message entered the transport.  When
+        given, probabilistic loss is re-checked for windows that opened
+        mid-flight: the send-instant draw covered a loss exposure of
+        ``p_sent``, so if the exposure at delivery is ``p_now > p_sent`` the
+        message faces one extra draw against the conditional residual
+        ``(p_now - p_sent) / (1 - p_sent)`` — which makes the *total* loss
+        probability exactly ``p_now``, and consumes no draw at all when the
+        exposure did not change (constant whole-run loss keeps its pre-fix
+        trajectory bit-for-bit).  Without ``sent_at`` the check is skipped,
+        matching the historical send-draw-only semantics.
+        """
         if self.is_down(destination, now):
             self._drop("crash")
             return False
         if self.is_partitioned(sender, now) or self.is_partitioned(destination, now):
             self._drop("partition")
             return False
+        if sent_at is not None:
+            p_now = self._loss_probability(sender, destination, now)
+            if p_now > 0.0:
+                p_sent = self._loss_probability(sender, destination, sent_at)
+                if p_now > p_sent:
+                    residual = (p_now - p_sent) / (1.0 - p_sent)
+                    if self._derived_draw("loss-delivery", sender, destination) < residual:
+                        self._drop("loss")
+                        return False
         return True
 
-    def delivery_jitter(self, sender: str, destination: str) -> float:
-        """Extra propagation latency for one delivery (0 on unjittered links)."""
+    def delivery_jitter(self, sender: str, destination: str, now: float) -> float:
+        """Extra propagation latency for one delivery (0 on unjittered links).
+
+        Jitter is a *windowed* degradation like probabilistic loss: a
+        :class:`LinkFault` with ``loss_windows`` jitters deliveries only
+        inside them (:meth:`LinkFault.jitter_at`); one without applies for
+        the whole run.  Draws are only consumed while some covering fault is
+        active, so runs outside every window are bit-identical to unjittered
+        ones.
+        """
         bound = 0.0
         for name in (sender, destination):
             fault = self._link_faults.get(name)
             if fault is not None:
-                bound += fault.jitter_s
+                bound += fault.jitter_at(now)
         if bound <= 0.0:
             return 0.0
         return self._derived_draw("jitter", sender, destination) * bound
+
+    def tcp_loss_event(
+        self, sender: str, destination: str, now: float, segments: int = 1
+    ) -> bool:
+        """Whether a tcp ack round between the pair observes segment loss.
+
+        The congestion-control seam for the ``tcp`` link model: crashes and
+        partitions are certain loss (every in-flight segment dies), and a
+        drop-typed fault with loss probability ``p`` loses at least one of
+        ``segments`` independent segments with probability
+        ``1 - (1 - p)^segments``.  Draws come from a dedicated
+        ``"tcp-loss"`` per-pair stream (so transport ticks never perturb the
+        message-level loss draws), are consumed only while a loss fault
+        covers the pair, and do **not** count into ``drops_by_cause`` — a
+        congestion signal is not a dropped message.
+        """
+        if self.is_down(sender, now) or self.is_down(destination, now):
+            return True
+        if self.is_partitioned(sender, now) or self.is_partitioned(destination, now):
+            return True
+        probability = self._loss_probability(sender, destination, now)
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        window_loss = 1.0 - (1.0 - probability) ** max(1, segments)
+        return self._derived_draw("tcp-loss", sender, destination) < window_loss
 
     def timer_suppressed(self, node_name: str, now: float) -> bool:
         """True when a timer of ``node_name`` fires while it is crashed."""

@@ -91,12 +91,13 @@ class LinkFault:
         Independent probability that any single message to or from this
         authority is lost (drawn from the run's seeded fault RNG).
     loss_windows:
-        ``(start, end)`` windows confining ``drop_probability``: outside
-        every window the link is loss-free.  Empty (the default) means the
-        probability applies for the whole run.
+        ``(start, end)`` windows confining ``drop_probability`` *and*
+        ``jitter_s``: outside every window the link is loss-free and
+        jitter-free.  Empty (the default) means both degradations apply for
+        the whole run.
     jitter_s:
         Upper bound of uniform extra propagation latency added to deliveries
-        to or from this authority.
+        to or from this authority (confined by ``loss_windows`` when given).
     """
 
     authority_id: int
@@ -113,8 +114,8 @@ class LinkFault:
         )
         ensure(self.jitter_s >= 0, "jitter_s must be non-negative, got %r" % (self.jitter_s,))
         ensure(
-            not self.loss_windows or self.drop_probability > 0.0,
-            "loss_windows without a drop_probability have no effect",
+            not self.loss_windows or self.drop_probability > 0.0 or self.jitter_s > 0.0,
+            "loss_windows without a drop_probability or jitter_s have no effect",
         )
         object.__setattr__(
             self, "partition_windows", _normalize_windows(self.partition_windows, "partition")
@@ -139,6 +140,16 @@ class LinkFault:
         if self.loss_windows and not _windows_cover(self.loss_windows, time):
             return 0.0
         return self.drop_probability
+
+    def jitter_at(self, time: float) -> float:
+        """Jitter bound on this link at virtual time ``time``.
+
+        Bounded exactly like the loss probability: inside the fault's
+        ``loss_windows`` when it declares any, for the whole run otherwise.
+        """
+        if self.loss_windows and not _windows_cover(self.loss_windows, time):
+            return 0.0
+        return self.jitter_s
 
     def key(self) -> Tuple:
         """Canonical tuple for hashing."""

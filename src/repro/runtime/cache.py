@@ -55,12 +55,13 @@ class ResultCache:
         Runs under ``REPRO_SHARED_ENGINE=legacy`` (the conformance knob)
         therefore never hit entries produced by default runs, or vice versa.
         The *effective* engine is what matters: a ``vector`` request on a
-        numpy-less install runs the lazy engine and must hit lazy entries.
+        numpy-less install — or for a shared model without a vector policy
+        (``tcp``) — runs the lazy engine and must hit lazy entries.
         """
         from repro.simnet.flows import effective_shared_engine
 
         digest = spec.spec_hash()
-        engine = effective_shared_engine()
+        engine = effective_shared_engine(transport=spec.transport)
         suffix = "" if engine == "lazy" else ".%s" % engine
         return self.root / digest[:2] / ("%s%s.json" % (digest, suffix))
 

@@ -90,17 +90,29 @@ def resolve_shared_engine(explicit: Optional[str] = None) -> str:
     return engine
 
 
-def effective_shared_engine(explicit: Optional[str] = None) -> str:
+def effective_shared_engine(
+    explicit: Optional[str] = None, transport: Optional[str] = None
+) -> str:
     """The engine that would actually run: ``"vector"`` downgrades to
     ``"lazy"`` when numpy is not installed, so callers that key behaviour on
     the engine (the result cache) agree with :func:`make_flow_scheduler`.
+
+    When ``transport`` is given, the downgrade also accounts for shared
+    models without a vector policy (``tcp``): a vector request for such a
+    model runs — and is cache-keyed as — the lazy engine.
     """
     engine = resolve_shared_engine(explicit)
     if engine == "vector":
-        from repro.simnet.vector_sched import vector_available
+        from repro.simnet.vector_sched import VECTOR_POLICIES, vector_available
 
         if not vector_available():
             return "lazy"
+        if transport is not None:
+            from repro.simnet.linkmodel import get_link_model
+
+            model = get_link_model(transport)
+            if model.shared and model.name not in VECTOR_POLICIES:
+                return "lazy"
     return engine
 
 
@@ -151,6 +163,7 @@ class Flow:
         "pending",
         "on_timeout",
         "on_delivered",
+        "arrival_seq",
     )
 
     def __init__(
@@ -178,6 +191,12 @@ class Flow:
         self.pending: Optional[EventHandle] = None
         self.on_timeout = on_timeout
         self.on_delivered = on_delivered
+        # Explicit arrival order for FIFO service.  Defaults to the flow id
+        # (today's ids come from the simulator's serial counter, so id order
+        # *is* arrival order); schedulers overwrite it with their own arrival
+        # counter in ``_add`` so an id source that recycles or reorders ids
+        # cannot corrupt FIFO queues.
+        self.arrival_seq = flow_id
 
 
 class FlowScheduler:
@@ -220,6 +239,9 @@ class FlowScheduler:
         # "how loaded is this link".
         self._src_weight: Dict[str, int] = {}
         self._dst_weight: Dict[str, int] = {}
+        # Monotone arrival counter stamped onto flows in ``_add``; the fifo
+        # model's service order is defined over this, not over flow ids.
+        self._arrival_counter = 0
 
     # -- queries -----------------------------------------------------------
     def active_count(self) -> int:
@@ -228,6 +250,8 @@ class FlowScheduler:
 
     # -- index maintenance -------------------------------------------------
     def _add(self, flow: Flow) -> None:
+        flow.arrival_seq = self._arrival_counter
+        self._arrival_counter += 1
         self._flows[flow.flow_id] = flow
         self._by_src.setdefault(flow.src, {})[flow.flow_id] = flow
         self._by_dst.setdefault(flow.dst, {})[flow.flow_id] = flow
@@ -428,6 +452,9 @@ class SharedLinkScheduler(FlowScheduler):
                 change = getattr(self._links[name], side).next_change_after(now)
                 if change is not None:
                     candidates.append(change)
+        model_next = self.model.next_event_time(self._flows, now)
+        if model_next is not None:
+            candidates.append(model_next)
         if not candidates:
             return
         next_time = max(min(candidates), now)

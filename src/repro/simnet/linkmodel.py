@@ -8,7 +8,7 @@ fault seams belong to :class:`~repro.simnet.network.SimNetwork`.  Keeping the
 rate policy behind this seam is what lets one experiment swap the transport
 without touching either neighbour layer.
 
-Three models ship in the registry:
+Four models ship in the registry:
 
 ``"fair"``
     Max-min style fair sharing: all flows on an uplink (or downlink) split
@@ -28,6 +28,17 @@ Three models ship in the registry:
     arrival queues and serving counts incrementally
     (:class:`repro.simnet.shared_sched.FifoLazyRater`) and touches only the
     promoted flow and the two affected downlinks.
+
+``"tcp"``
+    Per-flow Tahoe-style congestion control on top of weighted fair link
+    shares: each flow carries a congestion window (slow start → congestion
+    avoidance), EWMA estRTT/devRTT derived from propagation latency plus
+    queue-induced delay, and an RTO with exponential backoff.  Its rate is
+    ``min(fair share, window / estRTT)``, so on loss-free static links it
+    converges to exactly the ``fair`` share after slow-start ramp-up — while
+    drop-typed faults (via :meth:`repro.faults.injector.FaultInjector.tcp_loss_event`)
+    trigger multiplicative decrease, making congestion collapse under a
+    DDoS flood representable.  See ``DESIGN-transport.md``.
 
 ``"latency-only"``
     No sharing at all: every flow moves at the full ``min(uplink, downlink)``
@@ -114,6 +125,24 @@ class LinkModel:
         """True when :meth:`assign_rates` honours the ``affected`` subset."""
         return False
 
+    def attach(self, network) -> None:
+        """Bind the model to its owning :class:`~repro.simnet.network.SimNetwork`.
+
+        Called once at network construction.  Most models are pure functions
+        of flows and links and ignore it; stateful models (``tcp``) use it to
+        reach propagation latencies and the fault injector.
+        """
+
+    def next_event_time(self, flows: Mapping[int, "Flow"], now: float) -> Optional[float]:
+        """Earliest future instant at which the model itself changes rates.
+
+        The shared schedulers fold this into their recompute candidates so
+        models with internal dynamics (``tcp`` ack ticks) are advanced on
+        time.  Memoryless models return ``None`` (the default): their rates
+        only change when flows or link capacities do.
+        """
+        return None
+
     # -- independent-model interface (used by IndependentFlowScheduler) -----
     def flow_rate(self, flow: "Flow", links: Mapping[str, "LinkConfig"], now: float) -> float:
         """Instantaneous rate of one flow, independent of all other flows."""
@@ -179,7 +208,10 @@ class FifoLinkModel(LinkModel):
                 uplink_users.setdefault(flow.src, []).append(flow)
 
         for queue in uplink_users.values():
-            queue.sort(key=lambda f: f.flow_id)
+            # Service order is the scheduler-stamped arrival sequence, not the
+            # flow id: ids happen to be assigned in arrival order today, but
+            # FIFO semantics must not depend on that.
+            queue.sort(key=lambda f: f.arrival_seq)
             eligible.append(queue[0])
 
         eligible_ids = {flow.flow_id for flow in eligible}
@@ -209,6 +241,190 @@ class FifoLinkModel(LinkModel):
                 else down_rate * concurrency / serving_down[flow.dst]
             )
             flow.rate = min(up_share, down_share)
+
+
+#: TCP segment size used to translate congestion windows into rates (bytes).
+TCP_MSS_BYTES = 1500.0
+
+#: Initial congestion window / slow-start threshold, in MSS units (Tahoe).
+TCP_INITIAL_CWND = 1.0
+TCP_INITIAL_SSTHRESH = 64.0
+
+#: Floor on the modelled round-trip time (zero-latency links still ack).
+TCP_MIN_RTT_S = 1e-3
+
+#: Round-trip time assumed when the model runs detached from a network
+#: (direct ``assign_rates`` calls in tests): twice the default 50 ms
+#: propagation latency.
+TCP_DEFAULT_RTT_S = 0.1
+
+#: RTO clamp, RFC 6298-style.
+TCP_MIN_RTO_S = 0.2
+TCP_MAX_RTO_S = 60.0
+
+#: Slack when comparing ack-tick instants against virtual time (matches the
+#: flow layer's time epsilon; duplicated to keep this module import-free of
+#: :mod:`repro.simnet.flows`, which imports us).
+_TICK_EPSILON = 1e-9
+
+
+class _TcpFlowState:
+    """Per-flow Tahoe congestion state (cwnd and friends, in MSS units)."""
+
+    __slots__ = ("cwnd", "ssthresh", "srtt", "devrtt", "rto", "base_rtt", "next_tick")
+
+    def __init__(self, base_rtt: float, now: float) -> None:
+        self.cwnd = TCP_INITIAL_CWND
+        self.ssthresh = TCP_INITIAL_SSTHRESH
+        self.base_rtt = base_rtt
+        self.srtt = base_rtt
+        self.devrtt = base_rtt / 2.0
+        self.rto = min(max(self.srtt + 4.0 * self.devrtt, TCP_MIN_RTO_S), TCP_MAX_RTO_S)
+        self.next_tick = now + self.srtt
+
+    def window_rate(self, weight: int) -> float:
+        """The window-limited send rate: ``weight × cwnd × MSS / estRTT``."""
+        return weight * self.cwnd * TCP_MSS_BYTES / self.srtt
+
+
+class TcpLinkModel(LinkModel):
+    """Tahoe-style congestion control over weighted fair link shares.
+
+    Each flow stands in for ``weight`` identical TCP connections sharing one
+    congestion state.  The model keeps the ``fair`` share as the capacity
+    constraint and caps it by the window-limited rate ``cwnd × MSS / estRTT``;
+    the congestion state advances at *ack ticks* (one per estimated RTT),
+    which the flow schedulers drive through :meth:`next_event_time` (legacy
+    engine) or per-flow simulator events
+    (:class:`repro.simnet.shared_sched.TcpLazyRater`).
+
+    At each tick the flow's granted rate since the previous tick plays the
+    role of the ack stream:
+
+    * granted rate zero (starved link) or a loss event from the fault
+      injector (:meth:`~repro.faults.injector.FaultInjector.tcp_loss_event`,
+      one Bernoulli draw per window segment) → Tahoe timeout: ``ssthresh =
+      cwnd/2``, ``cwnd = 1``, RTO doubled, next tick one RTO out;
+    * otherwise an RTT sample ``max(base_rtt, cwnd × MSS / per-connection
+      rate)`` — propagation plus self-induced queueing delay — feeds the
+      EWMA estimators (gains 1/8 and 1/4, RFC 6298) and the window opens:
+      doubling per RTT in slow start, +1 MSS per RTT in congestion
+      avoidance.
+
+    On loss-free static links the queue-delay sample makes ``estRTT`` track
+    ``cwnd × MSS / share`` once the window exceeds the share, so the
+    window-limited rate converges to the fair share from above and the
+    assigned rate ``min(share, window rate)`` converges to exactly the
+    ``fair`` model's rate — the conformance property pinned in
+    ``tests/simnet/test_tcp_transport.py``.
+    """
+
+    name = "tcp"
+    shared = True
+
+    def __init__(self) -> None:
+        self._states: Dict[int, _TcpFlowState] = {}
+        self._network = None
+
+    # -- wiring -------------------------------------------------------------
+    def attach(self, network) -> None:
+        self._network = network
+
+    def base_rtt(self, flow: "Flow") -> float:
+        """The flow's loss-free round-trip floor: twice its propagation latency."""
+        if self._network is None:
+            return TCP_DEFAULT_RTT_S
+        return max(TCP_MIN_RTT_S, 2.0 * self._network.latency(flow.src, flow.dst))
+
+    def state_of(self, flow: "Flow", now: float) -> _TcpFlowState:
+        """The flow's congestion state, created on first contact."""
+        state = self._states.get(flow.flow_id)
+        if state is None:
+            state = self._states[flow.flow_id] = _TcpFlowState(self.base_rtt(flow), now)
+        return state
+
+    def drop_state(self, flow_id: int) -> None:
+        """Forget a departed flow's congestion state."""
+        self._states.pop(flow_id, None)
+
+    # -- congestion machinery ----------------------------------------------
+    def advance_flow(self, flow: "Flow", state: _TcpFlowState, now: float) -> None:
+        """Process one ack tick: sample the RTT, grow or collapse the window."""
+        granted = flow.rate
+        lost = False
+        injector = None if self._network is None else self._network.fault_injector
+        if injector is not None:
+            segments = max(1, int(state.cwnd))
+            lost = injector.tcp_loss_event(flow.src, flow.dst, now, segments)
+        if lost or granted <= 0.0:
+            # Tahoe timeout: multiplicative decrease, window back to one
+            # segment, exponential RTO backoff.
+            state.ssthresh = max(state.cwnd / 2.0, 2.0)
+            state.cwnd = TCP_INITIAL_CWND
+            state.rto = min(state.rto * 2.0, TCP_MAX_RTO_S)
+            state.next_tick = now + state.rto
+            return
+        # Ack round: the RTT sample is propagation latency plus the queueing
+        # delay of a full window draining at the per-connection granted rate.
+        sample = max(state.base_rtt, state.cwnd * TCP_MSS_BYTES / (granted / flow.weight))
+        error = sample - state.srtt
+        state.devrtt += 0.25 * (abs(error) - state.devrtt)
+        state.srtt += 0.125 * error
+        state.rto = min(max(state.srtt + 4.0 * state.devrtt, TCP_MIN_RTO_S), TCP_MAX_RTO_S)
+        if state.cwnd < state.ssthresh:
+            state.cwnd = min(state.cwnd * 2.0, state.ssthresh)
+        else:
+            state.cwnd += 1.0
+        state.next_tick = now + state.srtt
+
+    # -- shared-model interface --------------------------------------------
+    def assign_rates(self, flows, links, now, affected=None, up_counts=None, down_counts=None):
+        # Stateful dynamics cannot scope to touched links (an ack tick can be
+        # due on an untouched flow), so tcp re-rates the full flow set and
+        # ignores the `affected` hint — exactly like fifo.
+        if not flows:
+            self._states.clear()
+            return
+        if len(self._states) > len(flows):
+            for flow_id in [fid for fid in self._states if fid not in flows]:
+                del self._states[flow_id]
+
+        up_counts = {}
+        down_counts = {}
+        for flow in flows.values():
+            up_counts[flow.src] = up_counts.get(flow.src, 0) + flow.weight
+            down_counts[flow.dst] = down_counts.get(flow.dst, 0) + flow.weight
+
+        for flow in flows.values():
+            state = self.state_of(flow, now)
+            if state.next_tick <= now + _TICK_EPSILON:
+                self.advance_flow(flow, state, now)
+            up_link = links[flow.src]
+            down_link = links[flow.dst]
+            up_rate = up_link.uplink.rate_at(now)
+            down_rate = down_link.downlink.rate_at(now)
+            weight = flow.weight
+            up_share = (
+                up_rate * weight
+                if up_link.aggregate
+                else up_rate * weight / up_counts[flow.src]
+            )
+            down_share = (
+                down_rate * weight
+                if down_link.aggregate
+                else down_rate * weight / down_counts[flow.dst]
+            )
+            flow.rate = min(up_share, down_share, state.window_rate(weight))
+
+    def next_event_time(self, flows, now):
+        best = None
+        for flow in flows.values():
+            state = self._states.get(flow.flow_id)
+            if state is None:
+                continue
+            if best is None or state.next_tick < best:
+                best = state.next_tick
+        return best
 
 
 class LatencyOnlyLinkModel(LinkModel):
@@ -258,6 +474,6 @@ def get_link_model(name: str) -> LinkModel:
     return model_class()
 
 
-for _model in (FairShareLinkModel, FifoLinkModel, LatencyOnlyLinkModel):
+for _model in (FairShareLinkModel, FifoLinkModel, TcpLinkModel, LatencyOnlyLinkModel):
     register_link_model(_model)
 del _model

@@ -171,6 +171,9 @@ class SimNetwork:
         self._links: Dict[str, LinkConfig] = {}
         self._latency: Dict[Tuple[str, str], float] = {}
         self._model = model
+        # Stateful models (tcp) reach latencies and the fault injector
+        # through this back reference; pure models ignore it.
+        model.attach(self)
         self._scheduler: FlowScheduler = make_flow_scheduler(
             model,
             self.simulator,
@@ -336,7 +339,7 @@ class SimNetwork:
         if message.size_bytes <= 0:
             self.simulator.schedule_in(
                 self._delivery_latency(sender, destination),
-                self._deliver, sender, destination, message, on_delivered, weight,
+                self._deliver, sender, destination, message, on_delivered, weight, now,
             )
             return 0
 
@@ -369,6 +372,7 @@ class SimNetwork:
             flow.message,
             flow.on_delivered,
             flow.weight,
+            flow.start_time,
         )
 
     def _expire_flow(self, flow: Flow) -> None:
@@ -382,7 +386,9 @@ class SimNetwork:
         """Propagation latency plus any fault-injected jitter for one delivery."""
         latency = self.latency(sender, destination)
         if self._fault_injector is not None:
-            latency += self._fault_injector.delivery_jitter(sender, destination)
+            latency += self._fault_injector.delivery_jitter(
+                sender, destination, self.simulator.now
+            )
         return latency
 
     def _deliver(
@@ -392,9 +398,10 @@ class SimNetwork:
         message: Message,
         on_delivered: Optional[Callable[[Message, str, float], None]],
         weight: int = 1,
+        sent_at: Optional[float] = None,
     ) -> None:
         if self._fault_injector is not None and not self._fault_injector.filter_delivery(
-            sender, destination, message, self.simulator.now
+            sender, destination, message, self.simulator.now, sent_at=sent_at
         ):
             self.stats.record_dropped(count=weight)
             return

@@ -1,4 +1,4 @@
-"""Lazy-advance scheduling for shared link models (fair, fifo).
+"""Lazy-advance scheduling for shared link models (fair, fifo, tcp).
 
 The legacy :class:`~repro.simnet.flows.SharedLinkScheduler` keeps one global
 recompute event and, when it fires, advances *every* active flow and scans
@@ -34,6 +34,11 @@ changed, which each link model knows how to enumerate through its
   per-uplink arrival queue and per-downlink serving counts incrementally, so
   a completion touches only the promoted flow and the eligible flows on the
   two affected downlinks (queued flows have rate 0 and are never touched).
+* ``tcp`` — the fair share capped by each flow's Tahoe congestion window
+  (:class:`repro.simnet.linkmodel.TcpLinkModel`); the rater adds one
+  simulator *ack-tick* event per flow that advances its congestion state and
+  re-aims only that flow, so window dynamics ride on the fair rater's
+  touched sets unchanged.
 
 Models without a rater (third-party shared models) keep the legacy
 scheduler automatically; the legacy engine also remains selectable via
@@ -72,6 +77,7 @@ __all__ = [
     "LazyRater",
     "FairLazyRater",
     "FifoLazyRater",
+    "TcpLazyRater",
     "LazySharedLinkScheduler",
 ]
 
@@ -183,9 +189,10 @@ class FifoLazyRater(LazyRater):
     The legacy model re-rates the whole flow set per event because a
     finishing flow promotes the next queued flow, whose destination's
     serving count then changes one hop away.  Maintained incrementally the
-    cascade is tiny: per uplink an arrival-order queue (a min-heap over flow
-    ids — flow ids are the simulator's serial counter, so heap order *is*
-    arrival order — with lazy deletion for mid-queue expiries), per downlink
+    cascade is tiny: per uplink an arrival-order queue (a min-heap over the
+    scheduler-stamped ``arrival_seq`` — explicit arrival order, so FIFO
+    service cannot silently depend on how flow ids are assigned — with lazy
+    deletion for mid-queue expiries), per downlink
     the count of flows currently being served into it, and per downlink the
     set of those eligible flows.  A queued flow's rate is exactly 0 and
     nothing a neighbour does can change that, so queued flows are never
@@ -194,11 +201,12 @@ class FifoLazyRater(LazyRater):
 
     def __init__(self, by_src, by_dst, up_cap, down_cap, src_weight, dst_weight, links) -> None:
         super().__init__(by_src, by_dst, up_cap, down_cap, src_weight, dst_weight, links)
-        #: Per-uplink arrival queue of (flow_id, Flow); the head is eligible.
-        #: Aggregate uplinks (per-client capacity) never queue — their flows
-        #: go straight to serving and are tracked only in the serving sets.
+        #: Per-uplink arrival queue of (arrival_seq, Flow); the head is
+        #: eligible.  Aggregate uplinks (per-client capacity) never queue —
+        #: their flows go straight to serving and are tracked only in the
+        #: serving sets.
         self._queues: Dict[str, List[Tuple[int, Flow]]] = {}
-        #: Flow ids lazily deleted from their queue (expired while queued).
+        #: Arrival seqs lazily deleted from their queue (expired while queued).
         self._gone: Set[int] = set()
         #: Current head (the served flow) per non-aggregate uplink.
         self._head: Dict[str, Flow] = {}
@@ -213,7 +221,7 @@ class FifoLazyRater(LazyRater):
         if self._links[flow.src].aggregate:
             return self._serve(flow)
         queue = self._queues.setdefault(flow.src, [])
-        heapq.heappush(queue, (flow.flow_id, flow))
+        heapq.heappush(queue, (flow.arrival_seq, flow))
         if flow.src in self._head:
             # Queued behind the served flow: its rate is 0 and nobody else
             # is affected.
@@ -229,7 +237,7 @@ class FifoLazyRater(LazyRater):
                 touched[other.flow_id] = other
             return list(touched.values())
         # Expired while queued: lazy-delete; its rate was already 0.
-        self._gone.add(flow.flow_id)
+        self._gone.add(flow.arrival_seq)
         return []
 
     def on_link_rate_changed(self, side: str, name: str) -> Iterable[Flow]:
@@ -288,10 +296,10 @@ class FifoLazyRater(LazyRater):
         """Make the oldest queued flow of ``src`` the served one."""
         queue = self._queues.get(src)
         while queue:
-            flow_id, flow = queue[0]
-            if flow_id in self._gone:
+            arrival_seq, flow = queue[0]
+            if arrival_seq in self._gone:
                 heapq.heappop(queue)
-                self._gone.discard(flow_id)
+                self._gone.discard(arrival_seq)
                 continue
             self._head[src] = flow
             return self._serve(flow)
@@ -309,11 +317,79 @@ class FifoLazyRater(LazyRater):
         return self._unserve(flow)
 
 
+class TcpLazyRater(FairLazyRater):
+    """Tahoe congestion control over lazy fair shares.
+
+    The capacity side is exactly :class:`FairLazyRater` — occupancy-coupled
+    equal splits with the same touched sets.  On top of it, each flow's rate
+    is capped by its congestion window
+    (:class:`repro.simnet.linkmodel.TcpLinkModel` owns the per-flow state),
+    and the rater keeps one pending simulator event per flow at the flow's
+    next *ack tick*.  A tick advances only that flow's congestion state and
+    re-aims only that flow: a window change never moves a neighbour's fair
+    share, so the fair rater's touched-set contract carries over unchanged.
+
+    Ticks fire once per estimated RTT, and the queue-delay RTT sample
+    inflates ``estRTT`` as the window grows — so per-flow tick frequency is
+    self-limiting (roughly ``sqrt`` of transfer progress), which is what the
+    perf-smoke ``tcp@30`` budget in CI pins.
+
+    Unlike fair/fifo, tcp makes no cross-engine trajectory claim: the lazy
+    engine advances windows at exact tick instants while the legacy engine
+    folds due ticks into its recompute events, so each engine is pinned by
+    its own golden trace.
+    """
+
+    def __init__(self, by_src, by_dst, up_cap, down_cap, src_weight, dst_weight, links) -> None:
+        super().__init__(by_src, by_dst, up_cap, down_cap, src_weight, dst_weight, links)
+        self._scheduler: Optional["LazySharedLinkScheduler"] = None
+        self._model = None
+        #: flow_id -> pending ack-tick event.
+        self._ticks: Dict[int, object] = {}
+
+    def bind_scheduler(self, scheduler: "LazySharedLinkScheduler") -> None:
+        """Late wiring: the scheduler (and its model/simulator) the ticks drive."""
+        self._scheduler = scheduler
+        self._model = scheduler.model
+
+    # -- transitions -------------------------------------------------------
+    def on_flow_added(self, flow: Flow) -> Iterable[Flow]:
+        state = self._model.state_of(flow, self._scheduler.simulator.now)
+        self._arm_tick(flow, state)
+        return super().on_flow_added(flow)
+
+    def on_flow_removed(self, flow: Flow) -> Iterable[Flow]:
+        handle = self._ticks.pop(flow.flow_id, None)
+        if handle is not None:
+            handle.cancel()
+        self._model.drop_state(flow.flow_id)
+        return super().on_flow_removed(flow)
+
+    def rate_of(self, flow: Flow, now: float) -> float:
+        share = super().rate_of(flow, now)
+        state = self._model.state_of(flow, now)
+        return min(share, state.window_rate(flow.weight))
+
+    # -- ack ticks ---------------------------------------------------------
+    def _arm_tick(self, flow: Flow, state) -> None:
+        self._ticks[flow.flow_id] = self._scheduler.simulator.schedule(
+            state.next_tick, self._on_tick, flow
+        )
+
+    def _on_tick(self, flow: Flow) -> None:
+        now = self._scheduler.simulator.now
+        state = self._model.state_of(flow, now)
+        self._model.advance_flow(flow, state, now)
+        self._arm_tick(flow, state)
+        self._scheduler._apply_rate_changes([flow], now)
+
+
 #: LinkModel name -> rater class; the lazy scheduler applies to models
 #: listed here, everything else keeps the legacy scheduler.
 LAZY_RATERS = {
     "fair": FairLazyRater,
     "fifo": FifoLazyRater,
+    "tcp": TcpLazyRater,
 }
 
 
@@ -347,6 +423,11 @@ class LazySharedLinkScheduler(FlowScheduler):
         )
         #: (side, name) -> pending breakpoint watcher (None: constant link).
         self._watchers: Dict[Tuple[str, str], Optional[object]] = {}
+        # Raters with scheduler-driven dynamics (tcp ack ticks) get a back
+        # reference once construction is complete.
+        bind = getattr(self._rater, "bind_scheduler", None)
+        if bind is not None:
+            bind(self)
 
     # -- interface ---------------------------------------------------------
     def start_flow(self, flow: Flow, now: float) -> None:

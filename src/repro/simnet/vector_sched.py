@@ -192,9 +192,9 @@ class _FifoVectorPolicy(_VectorPolicy):
         self._eligible = _np.zeros(sched._capacity, dtype=bool)
         self._conc = _np.zeros(sched._capacity, dtype=_np.float64)
         self._serving_w = _np.zeros(sched._link_capacity, dtype=_np.float64)
-        #: Per non-aggregate uplink lid: arrival heap of (flow_id, slot).
+        #: Per non-aggregate uplink lid: arrival heap of (arrival_seq, slot).
         self._queues: Dict[int, List[Tuple[int, int]]] = {}
-        #: Flow ids lazily deleted from their queue (expired while queued).
+        #: Arrival seqs lazily deleted from their queue (expired while queued).
         self._gone: Set[int] = set()
         #: Served slot per non-aggregate uplink lid.
         self._head: Dict[int, int] = {}
@@ -225,7 +225,7 @@ class _FifoVectorPolicy(_VectorPolicy):
             return
         self._conc[slot] = 1.0
         queue = self._queues.setdefault(src, [])
-        heapq.heappush(queue, (s._flow_at[slot].flow_id, slot))
+        heapq.heappush(queue, (s._flow_at[slot].arrival_seq, slot))
         if src in self._head:
             # Queued behind the served flow: rate 0, nobody else affected.
             self._touched.add(slot)
@@ -246,7 +246,7 @@ class _FifoVectorPolicy(_VectorPolicy):
             self._promote(src)
             return
         # Expired while queued: lazy-delete; its rate was already 0.
-        self._gone.add(s._flow_at[slot].flow_id)
+        self._gone.add(s._flow_at[slot].arrival_seq)
 
     def on_link_changed(self, side: str, lid: int) -> None:
         s = self._s
@@ -312,10 +312,10 @@ class _FifoVectorPolicy(_VectorPolicy):
     def _promote(self, src: int) -> None:
         queue = self._queues.get(src)
         while queue:
-            flow_id, slot = queue[0]
-            if flow_id in self._gone:
+            arrival_seq, slot = queue[0]
+            if arrival_seq in self._gone:
                 heapq.heappop(queue)
-                self._gone.discard(flow_id)
+                self._gone.discard(arrival_seq)
                 continue
             self._head[src] = slot
             self._serve(slot)

@@ -37,7 +37,7 @@ MAX_TIME = 700.0
 
 #: Every registered transport model; fault enforcement happens at the
 #: network seams, so the invariants must hold under all of them.
-TRANSPORTS = ("fair", "fifo", "latency-only")
+TRANSPORTS = ("fair", "fifo", "tcp", "latency-only")
 
 SLOW_PROPERTY = settings(
     max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow]

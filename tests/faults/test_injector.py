@@ -99,6 +99,59 @@ def test_jitter_delays_delivery_within_bound_and_is_deterministic():
     assert len(set(first)) > 1  # actually jittered, not constant
 
 
+def test_windowed_jitter_applies_only_inside_the_windows():
+    # A jitter fault confined by loss_windows must leave deliveries outside
+    # the window at exactly the base latency (and consume no draws for
+    # them); only the in-window delivery is jittered.
+    network, nodes = make_network(latency=0.5)
+    install(network, FaultPlan(
+        link_faults=(
+            LinkFault(authority_id=0, jitter_s=2.0, loss_windows=((10.0, 20.0),)),
+        )
+    ))
+    simulator = network.simulator
+    for at, tag in ((5.0, "BEFORE"), (15.0, "DURING"), (25.0, "AFTER")):
+        simulator.schedule(
+            at, lambda tag=tag: network.send("a", "b", Message(msg_type=tag, size_bytes=0))
+        )
+    network.run()
+    arrivals = {tag: at for tag, _sender, at in nodes["b"].received}
+    assert arrivals["BEFORE"] == 5.5  # exactly latency: bit-identical, no draw
+    assert arrivals["AFTER"] == 25.5
+    assert 15.5 < arrivals["DURING"] <= 17.5  # jittered within the bound
+
+
+def test_loss_window_opening_mid_flight_cuts_the_delivery():
+    # 8 Mbit/s = 1 MB/s: a 5 MB transfer started at t=0 delivers at t=5,
+    # inside a loss window that opened at t=2 — after the send-instant draw
+    # (exposure 0 at t=0).  The delivery-instant residual check must expose
+    # it to the full window probability and cut it.
+    network, nodes = make_network(mbps=8.0)
+    injector = install(
+        network,
+        FaultPlan.lossy_links((1,), drop_probability=1.0, windows=[(2.0, 10.0)]),
+    )
+    network.send("a", "b", Message(msg_type="DOC", size_bytes=5_000_000))
+    network.run()
+    assert nodes["b"].received == []
+    assert injector.drops_by_cause["loss"] == 1
+
+
+def test_constant_loss_consumes_no_delivery_draws():
+    # Whole-run loss has identical exposure at send and delivery instants,
+    # so the residual check must never fire a draw: pre-fix trajectories
+    # (send-draw-only) stay bit-for-bit.
+    network, nodes = make_network(mbps=8.0)
+    injector = install(network, FaultPlan.lossy_links((0,), drop_probability=0.5))
+    for _ in range(10):
+        network.send("a", "b", Message(msg_type="DOC", size_bytes=100_000))
+    network.run()
+    assert ("loss", "a", "b") in injector._draw_streams
+    assert ("loss-delivery", "a", "b") not in injector._draw_streams
+    delivered = len(nodes["b"].received)
+    assert delivered + injector.drops_by_cause["loss"] == 10
+
+
 def test_crashed_authority_sends_receives_and_times_nothing():
     network, nodes = make_network()
     injector = install(network, FaultPlan.crash(1, [(10.0, 30.0)]))

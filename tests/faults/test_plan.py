@@ -176,3 +176,15 @@ def test_loss_windows_require_a_drop_probability_and_join_key_and_dict():
     assert LinkFault.from_dict(fault.to_dict()) == fault
     plan = FaultPlan(link_faults=(fault,))
     assert plan.last_fault_end() == 10.0
+
+
+def test_loss_windows_confine_jitter_and_accept_jitter_only_faults():
+    # jitter_s alone justifies loss_windows (previously only the drop
+    # probability did), and jitter_at mirrors loss_probability_at's
+    # windowing: zero outside, the declared bound inside.
+    fault = LinkFault(authority_id=0, jitter_s=1.5, loss_windows=((5.0, 10.0),))
+    assert fault.jitter_at(2.0) == 0.0
+    assert fault.jitter_at(7.0) == 1.5
+    assert fault.jitter_at(10.0) == 0.0  # half-open window
+    # A window-less fault jitters the whole run.
+    assert LinkFault(authority_id=0, jitter_s=1.5).jitter_at(1e9) == 1.5

@@ -13,6 +13,7 @@ from repro.simnet.linkmodel import (
     FifoLinkModel,
     LatencyOnlyLinkModel,
     LinkModel,
+    TcpLinkModel,
     get_link_model,
     link_model_names,
     register_link_model,
@@ -41,10 +42,11 @@ def links_for(mbps_by_node):
 
 # -- registry ------------------------------------------------------------------
 
-def test_registry_knows_the_three_shipped_models():
-    assert set(link_model_names()) >= {"fair", "fifo", "latency-only"}
+def test_registry_knows_the_four_shipped_models():
+    assert set(link_model_names()) >= {"fair", "fifo", "tcp", "latency-only"}
     assert isinstance(get_link_model("fair"), FairShareLinkModel)
     assert isinstance(get_link_model("fifo"), FifoLinkModel)
+    assert isinstance(get_link_model("tcp"), TcpLinkModel)
     assert isinstance(get_link_model("latency-only"), LatencyOnlyLinkModel)
 
 
@@ -52,6 +54,9 @@ def test_unknown_transport_is_rejected_with_the_known_names():
     with pytest.raises(ValidationError) as excinfo:
         get_link_model("weighted")
     assert "fair" in str(excinfo.value)
+    # The error enumerates every registered model, the new tcp one included.
+    assert "tcp" in str(excinfo.value)
+    assert "latency-only" in str(excinfo.value)
 
 
 def test_registering_a_custom_model_and_name_collisions():
@@ -190,6 +195,64 @@ def test_fifo_model_serves_one_flow_per_uplink():
     model.assign_rates(flows, links, now=0.0)
     assert flows[1].rate == pytest.approx(1_000_000.0)  # oldest gets full rate
     assert flows[2].rate == 0.0  # queued behind it
+
+
+def test_fifo_model_orders_by_arrival_seq_not_flow_id():
+    # A flow with a *smaller* id but a *later* arrival stamp must queue
+    # behind the earlier arrival: FIFO service is defined over the
+    # scheduler-stamped arrival_seq, never over how ids happen to be
+    # assigned.
+    model = FifoLinkModel()
+    links = links_for({"a": 8.0, "b": 8.0, "c": 8.0})
+    first = make_flow(90, "a", "b")
+    second = make_flow(10, "a", "c")
+    first.arrival_seq = 0
+    second.arrival_seq = 1
+    model.assign_rates({90: first, 10: second}, links, now=0.0)
+    assert first.rate == pytest.approx(1_000_000.0)
+    assert second.rate == 0.0
+
+
+def _fifo_network_engines():
+    engines = ["lazy", "legacy"]
+    from repro.simnet.vector_sched import vector_available
+
+    if vector_available():
+        engines.append("vector")
+    return engines
+
+
+@pytest.mark.parametrize("engine", _fifo_network_engines())
+def test_fifo_scheduler_serves_flows_started_out_of_id_order(engine):
+    # Start flows whose ids *descend* (as a future id source that recycles
+    # or reorders ids could produce): every engine must serve them in start
+    # order, because the scheduler stamps arrival_seq in _add.
+    from repro.simnet.node import ProtocolNode
+
+    deliveries = []
+
+    class Sink(ProtocolNode):
+        def on_message(self, message, now):
+            deliveries.append((message.msg_type, now))
+
+    network = SimNetwork(transport="fifo", default_latency_s=0.0, shared_engine=engine)
+    for name in ("a", "b", "c"):
+        network.add_node(Sink(name), LinkConfig.symmetric_mbps(8.0))  # 1 MB/s
+    scheduler = network._scheduler
+
+    def start(flow_id, msg_type, dst):
+        flow = make_flow(flow_id, "a", dst, size=1_000_000)
+        flow.message.msg_type = msg_type
+        flow.message.sender = "a"
+        scheduler.start_flow(flow, network.simulator.now)
+
+    network.simulator.schedule(0.0, start, 90, "FIRST", "b")
+    network.simulator.schedule(0.5, start, 10, "SECOND", "c")
+    network.run(until=30.0)
+    assert [kind for kind, _ in deliveries] == ["FIRST", "SECOND"]
+    # Strict serial service: SECOND only starts once FIRST finishes at t=1.
+    assert deliveries[0][1] == pytest.approx(1.0)
+    assert deliveries[1][1] == pytest.approx(2.0)
 
 
 def test_latency_only_model_gives_every_flow_the_full_min_capacity():

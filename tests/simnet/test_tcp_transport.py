@@ -1,0 +1,261 @@
+"""The ``tcp`` link model: convergence, loss coupling, and engine wiring.
+
+The model's contract has three faces, each pinned here:
+
+* **Fair-share convergence.**  On loss-free static links, Tahoe's window
+  growth plus the queue-delay RTT sample make the window-limited rate
+  converge to the fair share *from above*, so after ramp-up every flow's
+  assigned rate ``min(share, window/estRTT)`` equals exactly what the
+  ``fair`` model would assign — hypothesis drives this across topologies.
+* **Loss coupling.**  A drop-typed :class:`~repro.faults.plan.LinkFault`
+  (the form :meth:`DDoSAttackPlan.fault_plan` emits for residual-bandwidth
+  floods) must slow a tcp transfer down via multiplicative decrease — the
+  fault and transport layers finally interact.
+* **Engine wiring.**  ``transport="tcp"`` runs end-to-end on the legacy and
+  lazy engines (each pinned by its own golden trace — the two trajectories
+  differ by design, see ``test_transport_golden.py``); vector requests
+  downgrade to lazy, including in the result cache's path suffix.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, LinkFault
+from repro.protocols.runner import execute_spec
+from repro.runtime.cache import ResultCache
+from repro.runtime.spec import RunSpec
+from repro.simnet.flows import effective_shared_engine, use_shared_engine
+from repro.simnet.linkmodel import TCP_INITIAL_SSTHRESH, TcpLinkModel
+from repro.simnet.message import Message
+from repro.simnet.network import LinkConfig, SimNetwork
+from repro.simnet.node import ProtocolNode
+
+from tests.simnet.test_transport_golden import run_transport_workload
+
+REL_TOLERANCE = 1e-6
+
+
+class _Sink(ProtocolNode):
+    def __init__(self, name, deliveries):
+        super().__init__(name)
+        self._deliveries = deliveries
+
+    def on_message(self, message, now):
+        self._deliveries.append((message.msg_type, now))
+
+
+def _fan_in_network(transport, flow_count, sink_mbps):
+    """``flow_count`` sources sending huge transfers into one sink."""
+    deliveries = []
+    network = SimNetwork(transport=transport, default_latency_s=0.02)
+    network.add_node(_Sink("sink", deliveries), LinkConfig.symmetric_mbps(sink_mbps))
+    for index in range(flow_count):
+        network.add_node(
+            _Sink("src%d" % index, deliveries), LinkConfig.symmetric_mbps(sink_mbps)
+        )
+    for index in range(flow_count):
+        network.send(
+            "src%d" % index, "sink", Message(msg_type="DOC", size_bytes=2e9)
+        )
+    return network, deliveries
+
+
+def _active_rates(network):
+    return sorted(flow.rate for flow in network._scheduler._flows.values())
+
+
+# -- fair-share convergence ----------------------------------------------------
+
+@settings(max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    flow_count=st.integers(min_value=1, max_value=6),
+    sink_mbps=st.floats(min_value=4.0, max_value=64.0),
+)
+def test_tcp_throughput_converges_to_the_fair_share_on_loss_free_links(
+    flow_count, sink_mbps
+):
+    # The sink's downlink is the bottleneck (each source uplink could carry
+    # the whole sink capacity alone), so fair assigns every flow exactly
+    # capacity/flow_count.  After slow-start ramp-up the tcp rate must sit
+    # on the same value: the window cap converges to the share from above
+    # and min(share, window rate) collapses to the share.
+    tcp_net, _ = _fan_in_network("tcp", flow_count, sink_mbps)
+    tcp_net.run(until=60.0)
+    fair_net, _ = _fan_in_network("fair", flow_count, sink_mbps)
+    fair_net.run(until=60.0)
+
+    tcp_rates = _active_rates(tcp_net)
+    fair_rates = _active_rates(fair_net)
+    assert len(tcp_rates) == len(fair_rates) == flow_count
+    for tcp_rate, fair_rate in zip(tcp_rates, fair_rates):
+        assert math.isclose(tcp_rate, fair_rate, rel_tol=REL_TOLERANCE), (
+            "tcp rate %r did not converge to fair share %r" % (tcp_rate, fair_rate)
+        )
+
+
+@pytest.mark.parametrize("engine", ["lazy", "legacy"])
+def test_tcp_slow_start_delays_but_does_not_change_delivery(engine):
+    # One unconstrained transfer: tcp must deliver the same bytes as fair,
+    # strictly later (the window ramp costs time), on both engines.
+    def completion(transport):
+        with use_shared_engine(engine):
+            deliveries = []
+            network = SimNetwork(transport=transport, default_latency_s=0.02)
+            network.add_node(_Sink("a", deliveries), LinkConfig.symmetric_mbps(8.0))
+            network.add_node(_Sink("b", deliveries), LinkConfig.symmetric_mbps(8.0))
+            network.send("a", "b", Message(msg_type="DOC", size_bytes=5_000_000))
+            network.run(until=300.0)
+        assert [kind for kind, _ in deliveries] == ["DOC"]
+        return deliveries[0][1]
+
+    tcp_done = completion("tcp")
+    fair_done = completion("fair")
+    assert tcp_done > fair_done
+    # The ramp-up penalty is bounded: a few dozen RTTs, not a stall.
+    assert tcp_done < fair_done + 10.0
+
+
+# -- cross-engine agreement ----------------------------------------------------
+
+def test_legacy_and_lazy_engines_agree_on_the_tcp_golden_workload():
+    # tcp makes no byte-identity claim across engines (ack ticks land on
+    # different instants), but on the canonical workload the two must agree
+    # on every event's kind, pair, size and order, with timestamps within
+    # the conformance tolerance.
+    with use_shared_engine("legacy"):
+        legacy = run_transport_workload("tcp")
+    with use_shared_engine("lazy"):
+        lazy = run_transport_workload("tcp")
+    assert legacy["stats"] == lazy["stats"]
+    assert len(legacy["events"]) == len(lazy["events"])
+    for old, new in zip(legacy["events"], lazy["events"]):
+        assert old[:5] == new[:5]
+        assert math.isclose(old[5], new[5], rel_tol=REL_TOLERANCE, abs_tol=1e-9)
+
+
+# -- loss coupling -------------------------------------------------------------
+
+def _timed_transfer(fault_plan):
+    deliveries = []
+    network = SimNetwork(transport="tcp", default_latency_s=0.02)
+    network.add_node(_Sink("auth0", deliveries), LinkConfig.symmetric_mbps(8.0))
+    network.add_node(_Sink("auth1", deliveries), LinkConfig.symmetric_mbps(8.0))
+    if fault_plan is not None:
+        injector = FaultInjector(
+            fault_plan, seed=7, authority_names={0: "auth0", 1: "auth1"}
+        )
+        injector.install(network)
+    network.send("auth0", "auth1", Message(msg_type="DOC", size_bytes=4_000_000))
+    network.run(until=600.0)
+    assert [kind for kind, _ in deliveries] == ["DOC"]
+    return deliveries[0][1]
+
+
+def test_drop_typed_faults_collapse_the_congestion_window():
+    # A heavy loss window opens after the transfer is underway and closes
+    # well before it can finish (so the send draw at t=0 and the residual
+    # delivery check both see zero exposure): every ack round inside the
+    # window sees segment loss, Tahoe collapses cwnd to 1 and doubles the
+    # RTO, and the transfer must finish measurably later than the loss-free
+    # run.  This is the seam figure12's drop-typed flood exercises.
+    clean = _timed_transfer(None)
+    lossy = _timed_transfer(
+        FaultPlan(
+            link_faults=(
+                LinkFault(
+                    authority_id=1,
+                    drop_probability=0.9,
+                    loss_windows=((0.5, 30.0),),
+                ),
+            )
+        )
+    )
+    assert clean < 30.0 < lossy
+    assert lossy > clean + 20.0
+
+
+def test_tcp_loss_event_draws_only_under_active_loss_faults():
+    plan = FaultPlan(
+        link_faults=(
+            LinkFault(authority_id=0, drop_probability=0.5, loss_windows=((10.0, 20.0),)),
+            LinkFault(authority_id=1, partition_windows=((30.0, 40.0),)),
+        )
+    )
+    injector = FaultInjector(plan, seed=3, authority_names={0: "a", 1: "b"})
+    # Outside every window: no exposure, no draw, never a loss.
+    assert injector.tcp_loss_event("a", "b", 5.0) is False
+    assert ("tcp-loss", "a", "b") not in injector._draw_streams
+    # Partitions are certain loss without consuming a draw.
+    assert injector.tcp_loss_event("a", "b", 35.0) is True
+    assert ("tcp-loss", "a", "b") not in injector._draw_streams
+    # Inside the loss window the pair's dedicated stream is consumed, and a
+    # whole window of segments is more likely to see loss than one segment.
+    saw_loss = [injector.tcp_loss_event("a", "b", 15.0, segments=64) for _ in range(20)]
+    assert ("tcp-loss", "a", "b") in injector._draw_streams
+    assert any(saw_loss)
+    # Congestion signals are not dropped messages.
+    assert injector.messages_dropped == 0
+
+
+# -- engine wiring -------------------------------------------------------------
+
+@pytest.mark.parametrize("engine", ["lazy", "legacy", "vector"])
+def test_tcp_spec_runs_end_to_end_on_every_engine_request(engine):
+    spec = RunSpec(
+        protocol="current",
+        relay_count=30,
+        authority_count=5,
+        seed=5,
+        max_time=700.0,
+        transport="tcp",
+    )
+    with use_shared_engine(engine):
+        summary = execute_spec(spec).summary()
+    assert summary["success"] is True
+    assert summary["stats"]["messages_delivered"] > 0
+
+
+def test_vector_requests_downgrade_to_lazy_for_tcp():
+    with use_shared_engine("vector"):
+        assert effective_shared_engine(transport="tcp") == "lazy"
+        # Vectorized transports keep their engine (when numpy is present).
+        from repro.simnet.vector_sched import vector_available
+
+        expected = "vector" if vector_available() else "lazy"
+        assert effective_shared_engine(transport="fair") == expected
+    assert effective_shared_engine(transport="tcp") == "lazy"
+
+
+def test_result_cache_keys_tcp_vector_requests_as_lazy(tmp_path):
+    cache = ResultCache(tmp_path)
+    tcp_spec = RunSpec(protocol="current", relay_count=30, transport="tcp")
+    fair_spec = RunSpec(protocol="current", relay_count=30, transport="fair")
+    lazy_path = cache.path_for(tcp_spec)
+    with use_shared_engine("vector"):
+        # tcp runs the lazy engine under a vector request, so it must hit
+        # the same entries as a default run — unlike fair, which really does
+        # execute on the vector engine when numpy is available.
+        assert cache.path_for(tcp_spec) == lazy_path
+        from repro.simnet.vector_sched import vector_available
+
+        if vector_available():
+            assert cache.path_for(fair_spec).name.endswith(".vector.json")
+
+
+def test_tcp_model_runs_detached_from_a_network():
+    # Direct assign_rates calls (no SimNetwork, no injector) must work for
+    # unit tests and third-party schedulers: default RTT, no loss events.
+    from tests.simnet.test_linkmodel import links_for, make_flow
+
+    model = TcpLinkModel()
+    flows = {1: make_flow(1, "a", "b", 1_000_000)}
+    links = links_for({"a": 8.0, "b": 8.0})
+    model.assign_rates(flows, links, 0.0)
+    assert flows[1].rate > 0.0
+    state = model.state_of(flows[1], 0.0)
+    assert state.cwnd >= 1.0
+    assert state.ssthresh == TCP_INITIAL_SSTHRESH

@@ -1,4 +1,4 @@
-"""Golden-trace regression for the ``fair`` and ``fifo`` transport models.
+"""Golden-trace regression for the ``fair``, ``fifo`` and ``tcp`` transports.
 
 A deterministic mixed workload — broadcast bursts, staggered unicasts,
 zero-size control messages, a throttling window, a mid-run link replacement,
@@ -8,14 +8,18 @@ its full-precision virtual timestamp.  The resulting event streams are
 committed under ``tests/data/`` and must reproduce *byte-identically*, once
 per shared-scheduler engine:
 
-* ``golden_transport_{fair,fifo}.json`` — the default **lazy** engine
+* ``golden_transport_{fair,fifo,tcp}.json`` — the default **lazy** engine
   (GOLDEN format 2, the lazy-advance scheduler of
   :mod:`repro.simnet.shared_sched`);
-* ``golden_transport_{fair,fifo}_legacy.json`` — the **legacy**
-  global-recompute engine.  These are the *original pre-lazy goldens*,
-  unchanged since the models were extracted from the monolith: they prove
-  the legacy loop still produces the historical trajectory, which is what
-  makes it a valid conformance anchor for the lazy engine.
+* ``golden_transport_{fair,fifo,tcp}_legacy.json`` — the **legacy**
+  global-recompute engine.  The fair/fifo files are the *original pre-lazy
+  goldens*, unchanged since the models were extracted from the monolith:
+  they prove the legacy loop still produces the historical trajectory,
+  which is what makes it a valid conformance anchor for the lazy engine.
+  The tcp files pin each engine independently — tcp's window dynamics
+  advance at exact ack-tick instants on the lazy engine but fold into
+  recompute events on the legacy one, so the two trajectories differ by
+  design and each needs its own anchor.
 
 GOLDEN version history: format 1 (implicit, no marker) pinned the legacy
 engine's trajectory as the default; format 2 pins the lazy engine's (the
@@ -49,7 +53,7 @@ from repro.simnet.network import LinkConfig, SimNetwork
 from repro.simnet.node import ProtocolNode
 
 DATA_DIR = Path(__file__).resolve().parent.parent / "data"
-GOLDEN_TRANSPORTS = ("fair", "fifo")
+GOLDEN_TRANSPORTS = ("fair", "fifo", "tcp")
 GOLDEN_ENGINES = ("lazy", "legacy")
 
 #: Format of the lazy-engine golden records ("golden_format" key); the
