@@ -18,6 +18,13 @@ Usage::
         --authorities 9 --clients 1000000 --cohorts 32
     PYTHONPATH=src python benchmarks/profile_scaling.py \\
         --authorities 120 --compare
+    PYTHONPATH=src python benchmarks/profile_scaling.py \\
+        --engine parallel --partitions 4 --authorities 120
+
+``--partitions`` pins ``REPRO_PARALLEL_PARTITIONS`` for the process, so a
+``--engine parallel`` profile (or a ``--compare`` table) runs the
+partition-parallel engine at a chosen shard count instead of the
+environment's default.
 
 ``--out`` writes the raw pstats dump for ``snakeviz``/``pstats`` digging;
 without it the report just prints.  The cell always executes in-process and
@@ -33,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import os
 import pstats
 import time
 from typing import Optional, Sequence
@@ -138,7 +146,7 @@ def compare_engines(
     timings = []
     for engine in engines:
         with use_shared_engine(engine):
-            effective = effective_shared_engine()
+            effective = effective_shared_engine(transport=transport)
             started = time.perf_counter()
             result = execute_spec(spec)
             elapsed = time.perf_counter() - started
@@ -183,6 +191,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="cohort count for --clients",
     )
     parser.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        help="pin REPRO_PARALLEL_PARTITIONS for the parallel engine",
+    )
+    parser.add_argument(
         "--compare",
         action="store_true",
         help="time the cell once per engine and print a speedup table "
@@ -194,6 +208,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--out", default=None, help="write raw pstats dump here")
     args = parser.parse_args(argv)
+
+    if args.partitions is not None:
+        from repro.simnet.partition import PARTITION_ENV
+
+        os.environ[PARTITION_ENV] = str(args.partitions)
 
     if args.compare:
         compare_engines(

@@ -8,7 +8,7 @@ timed cell by cell.  It deliberately bypasses the session sweep executor and
 its cache — a cache hit would report a near-zero wall clock and poison the
 comparison.
 
-Three acceptance bars are asserted:
+Four acceptance bars are asserted:
 
 * the lazy-advance bar — ``fair`` on the lazy engine ≥3× faster than the
   same spec on the legacy global-recompute engine at the 10×-paper point
@@ -17,6 +17,19 @@ Three acceptance bars are asserted:
   ≥3× faster than the same spec on the lazy engine at the 120-authority
   point (skipped without numpy, where vector requests run the lazy
   fallback); and
+* the partition-parallel bar — ``fair`` on the partition-sharded parallel
+  engine within noise of the vector engine at the 300-authority point
+  (also numpy-gated).  The tentpole issue targeted ≥2× over vector at 4
+  workers; the honest measurement on the 1-core reference container is
+  **parity** (~1.0×), because the shared-occupancy coupling has zero
+  transport lookahead (all shards must synchronise at every instant — see
+  ``DESIGN-parallel.md``) and ``effective_worker_count`` caps the pool at
+  the machine's single schedulable core, so partition-gated scanning is
+  the only available win and it roughly cancels the sharding overhead.
+  The committed assertion is therefore a *parity tripwire* (≥0.5×, wide
+  noise margin): it catches the partition bookkeeping regressing into
+  real cost, and must be re-tightened from measurements on a wider
+  machine, never loosened; and
 * the fast-model bar — ``latency-only`` still ahead of ``fair`` at the
   120-authority stretch point.  PR 3's original ≥3× form of this bar was
   *obsoleted by the lazy engine*: once shared-model per-event cost became
@@ -26,15 +39,18 @@ Three acceptance bars are asserted:
   largest N, where the remaining coupling cost is widest.
 
 The sweep's numbers are written to ``BENCH_scaling.json`` next to this
-run's working directory (a committed format-3 snapshot from the reference
-machine lives at the repo root; format 3 adds the 300-authority cells, the
-per-cell ``peak_rss_mb`` high-water mark, and the lazy→vector table).
+run's working directory (a committed format-4 snapshot from the reference
+machine lives at the repo root; format 4 adds the parallel cells at 120
+and 300 authorities, the per-cell effective ``workers`` count, and the
+vector→parallel table, on top of format 3's 300-authority cells,
+per-cell ``peak_rss_mb`` high-water mark, and lazy→vector table).
 """
 
 import pytest
 
 from repro.experiments.scaling_sweep import (
     engine_speedup_at,
+    parallel_speedup_at,
     render_scaling,
     run_scaling_sweep,
     speedup_at,
@@ -82,12 +98,33 @@ def test_bench_scaling_sweep(benchmark, tmp_path):
         assert vector_speedup >= 3.0, (
             "vector-engine fair speedup at N=%d was %.2fx" % (STRETCH, vector_speedup)
         )
-        # The 300-authority cells exist and succeeded on the vector engine.
+        # The 300-authority cells exist and succeeded on the vector and
+        # parallel engines.
         extreme = [
             cell for cell in cells
             if cell.authority_count == EXTREME and cell.transport == "fair"
         ]
-        assert extreme and all(cell.engine == "vector" for cell in extreme)
+        engines = sorted(cell.engine for cell in extreme)
+        assert engines == ["parallel", "vector"], engines
+        parallel_cells = [
+            cell for cell in cells
+            if cell.engine == "parallel" and cell.transport == "fair"
+        ]
+        assert sorted(cell.authority_count for cell in parallel_cells) == [
+            STRETCH, EXTREME,
+        ]
+        # The effective fan-out is recorded per cell (1 on a 1-core box).
+        assert all(cell.workers >= 1 for cell in parallel_cells)
+        # The partition-parallel parity tripwire (see module docstring: the
+        # honest measurement on the 1-core reference container is ~1.0x
+        # vector, not the issue's 2x target; the wide 0.5x floor catches
+        # sharding bookkeeping regressing into real cost).
+        parallel_speedup = parallel_speedup_at(cells, EXTREME)
+        assert parallel_speedup is not None
+        assert parallel_speedup >= 0.5, (
+            "parallel-engine fair ratio at N=%d was %.2fx vector"
+            % (EXTREME, parallel_speedup)
+        )
 
     transport_speedup = speedup_at(cells, STRETCH)
     assert transport_speedup is not None

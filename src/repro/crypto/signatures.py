@@ -91,12 +91,26 @@ def verify(ring: KeyRing, signature: Signature) -> bool:
     Unknown signers and tampered payloads both fail verification rather than
     raising, because the protocols treat bad signatures as Byzantine input to
     be discarded.
+
+    The verdict is memoized per key pair on the signature instance: within a
+    run the same ``Signature`` object travels by reference to every receiver
+    (consensus signatures are verified once per authority that stores them),
+    so the HMAC is recomputed only when the verifying key actually differs —
+    a key rotation or a different ring's pair for the same signer recomputes.
     """
     if signature.signer not in ring:
         return False
     pair = ring.get(signature.signer)
-    expected = pair.mac(signature.canonical_payload())
-    return _constant_time_eq(expected, signature.tag)
+    memo = signature.__dict__.get("_verify_memo")
+    if memo is None:
+        memo = {}
+        object.__setattr__(signature, "_verify_memo", memo)
+    verdict = memo.get(pair)
+    if verdict is None:
+        expected = pair.mac(signature.canonical_payload())
+        verdict = _constant_time_eq(expected, signature.tag)
+        memo[pair] = verdict
+    return verdict
 
 
 def _constant_time_eq(left: bytes, right: bytes) -> bool:

@@ -11,31 +11,36 @@ measures both:
   stated cost of losing congestion (the mechanism behind the paper's DDoS
   results).  It is the fast model for large-N protocol-behaviour studies,
   not for bandwidth-sensitive figures.
-* **Scheduler engine.**  The paper-faithful shared models run on three
+* **Scheduler engine.**  The paper-faithful shared models run on four
   engines: the default lazy-advance heap-driven scheduler
   (:mod:`repro.simnet.shared_sched`, O(touched flows) per event), the
-  pre-lazy global-recompute loop surviving as ``legacy``, and the
-  vectorized structure-of-arrays scheduler (:mod:`repro.simnet.vector_sched`,
+  pre-lazy global-recompute loop surviving as ``legacy``, the vectorized
+  structure-of-arrays scheduler (:mod:`repro.simnet.vector_sched`,
   batch rate recompute over numpy slot arrays — requires the ``[perf]``
-  extra, silently downgrading to lazy without it).  The sweep times ``fair``
-  under all three, so the committed ``BENCH_scaling.json`` carries both the
-  legacy→lazy and the lazy→vector speedup tables that
-  ``benchmarks/test_bench_scaling.py`` asserts against (each ≥3× at its
-  anchor count).
+  extra, silently downgrading to lazy without it), and the
+  partition-parallel conservative-PDES scheduler
+  (:mod:`repro.simnet.parallel_sched`, region-sharded slot arrays with
+  partition-gated scans; same numpy requirement and downgrade).  The sweep
+  times ``fair`` under all four, so the committed ``BENCH_scaling.json``
+  carries the legacy→lazy, lazy→vector, and vector→parallel speedup tables
+  that ``benchmarks/test_bench_scaling.py`` asserts against.
 
 The grid runs the same consensus spec at growing authority counts — up to
 300, beyond 33× the paper's nine — under ``fair``, ``latency-only``, and
 ``tcp``.  ``latency-only`` (engine-independent) and ``fair`` on the vector
-engine run at every count; ``fair`` on the lazy engine stops at 120 and on
+engine run at every count; ``fair`` on the lazy engine stops at 120, on
 the legacy engine at 90, the counts where each scalar loop is still
 affordable — the 300-authority shared-transport cells exist *because* the
-vector engine makes them tractable.  ``tcp`` (no vector policy; lazy engine
+vector engine makes them tractable — and on the parallel engine runs at
+the two largest counts (120, 300), where sharding has links to gate.
+``tcp`` (no vector policy; lazy engine
 only) runs at paper scale and 30 authorities, pricing per-flow congestion
 control against the memoryless ``fair`` model.  Cells run serially and in-process (never through a result
 cache) so the timings measure simulation cost, not cache or pool behaviour.
-:func:`write_bench_json` emits the numbers (format 3: 300-authority cells,
-per-cell ``engine`` and ``peak_rss_mb``, and the ``speedup_fair_lazy_to_vector``
-table).
+:func:`write_bench_json` emits the numbers (format 4: parallel cells with
+per-cell ``workers``, and the ``speedup_fair_vector_to_parallel`` table on
+top of format 3's 300-authority cells, per-cell ``engine`` and
+``peak_rss_mb``, and ``speedup_fair_lazy_to_vector``).
 """
 
 from __future__ import annotations
@@ -83,6 +88,12 @@ DEFAULT_LAZY_FAIR_COUNTS = (9, 30, 90, 120)
 #: ``fair``, and the CI perf-smoke budget asserts the tcp@30 cell.
 DEFAULT_TCP_COUNTS = (9, 30)
 
+#: Counts at which ``fair`` additionally runs on the partition-parallel
+#: engine.  Small counts are deliberately absent: sharding pays a constant
+#: coordination cost per event instant, which only amortises where the
+#: per-instant touched sets are large.
+DEFAULT_PARALLEL_FAIR_COUNTS = (120, 300)
+
 #: Format version of the ``BENCH_scaling.json`` payload.  Version 2: cells
 #: carry the scheduler ``engine`` ("lazy"/"legacy"), the default grid
 #: reaches 120 authorities, and ``speedup_fair_legacy_to_lazy`` reports the
@@ -90,7 +101,12 @@ DEFAULT_TCP_COUNTS = (9, 30)
 #: the grid reaches 300 authorities (``fair`` there on the vector engine
 #: only), cells carry ``peak_rss_mb``, and ``speedup_fair_lazy_to_vector``
 #: reports the scalar→vectorized wall-clock ratio per authority count.
-BENCH_FORMAT_VERSION = 3
+#: Version 4: ``fair`` additionally runs on the partition-parallel engine
+#: at :data:`DEFAULT_PARALLEL_FAIR_COUNTS`, cells carry ``workers`` (the
+#: effective partition-worker count, 1 for every in-process engine), and
+#: ``speedup_fair_vector_to_parallel`` reports the vector→parallel
+#: wall-clock ratio per authority count.
+BENCH_FORMAT_VERSION = 4
 
 
 def _peak_rss_mb() -> float:
@@ -118,6 +134,7 @@ class ScalingCell:
     messages_sent: int
     engine: str = "lazy"
     peak_rss_mb: float = 0.0
+    workers: int = 1
 
 
 def scaling_specs(
@@ -150,12 +167,17 @@ def scaling_specs(
 
 def _timed_cell(spec: RunSpec, engine: str) -> ScalingCell:
     from repro.protocols.runner import execute_spec
+    from repro.simnet.partition import effective_worker_count
 
     with use_shared_engine(engine):
         # Record what actually ran: a vector request on a numpy-less install
         # — or for a transport without a vector policy (tcp) — executes
         # (and must be labelled as) the lazy engine.
         effective = effective_shared_engine(transport=spec.transport)
+        # The effective partition-worker fan-out: capped by cores and the
+        # partition count, so a 4-worker request on a 1-core container is
+        # honestly recorded (and labelled by --progress) as 1.
+        workers = effective_worker_count() if effective == "parallel" else 1
         started = time.perf_counter()
         result = execute_spec(spec)
         elapsed = time.perf_counter() - started
@@ -170,6 +192,7 @@ def _timed_cell(spec: RunSpec, engine: str) -> ScalingCell:
         messages_sent=result.stats.messages_sent,
         engine=effective,
         peak_rss_mb=_peak_rss_mb(),
+        workers=workers,
     )
 
 
@@ -184,6 +207,7 @@ def run_scaling_sweep(
     legacy_fair_counts: Sequence[int] = DEFAULT_LEGACY_FAIR_COUNTS,
     lazy_fair_counts: Optional[Sequence[int]] = None,
     tcp_counts: Sequence[int] = DEFAULT_TCP_COUNTS,
+    parallel_fair_counts: Sequence[int] = DEFAULT_PARALLEL_FAIR_COUNTS,
     progress: Optional[Callable[[ScalingCell], None]] = None,
 ) -> List[ScalingCell]:
     """Execute the scaling grid serially, timing each cell's wall clock.
@@ -191,9 +215,12 @@ def run_scaling_sweep(
     ``latency-only`` cells (engine-independent) run on the default lazy
     engine at every count.  ``fair`` cells run per engine schedule: lazy at
     ``lazy_fair_counts`` (default: every requested count ≤ 120), legacy at
-    ``legacy_fair_counts``, and vector at *every* count — the vector engine
-    is what makes the largest shared-transport cells affordable at all.
-    On a numpy-less install the vector cells are *skipped*, not downgraded:
+    ``legacy_fair_counts``, vector at *every* count — the vector engine
+    is what makes the largest shared-transport cells affordable at all —
+    and parallel at ``parallel_fair_counts`` (default: the two largest
+    grid points).
+    On a numpy-less install the vector and parallel cells are *skipped*,
+    not downgraded:
     a downgraded cell would be a duplicate lazy run, and at 300 authorities
     minutes of scalar loop for no information.
     ``tcp`` cells run on the lazy engine only (the model has no vector
@@ -237,6 +264,8 @@ def run_scaling_sweep(
             _run(spec, "legacy")
         if vector_available():
             _run(spec, "vector")
+            if spec.authority_count in parallel_fair_counts:
+                _run(spec, "parallel")
     return cells
 
 
@@ -342,6 +371,38 @@ def vector_speedups(
     return results
 
 
+def parallel_speedup_at(
+    cells: Sequence[ScalingCell],
+    authority_count: int,
+    protocol: str = "current",
+    transport: str = "fair",
+) -> Optional[float]:
+    """Vector-engine → parallel-engine wall-clock speedup at one grid point.
+
+    None where either engine's cell is absent — including numpy-less runs
+    (both engines skipped) and counts outside the parallel schedule.
+    """
+    by_key = _cell_lookup(cells, authority_count, protocol)
+    vector = by_key.get((transport, "vector"))
+    parallel = by_key.get((transport, "parallel"))
+    if vector is None or parallel is None or parallel.wall_clock_s <= 0:
+        return None
+    return vector.wall_clock_s / parallel.wall_clock_s
+
+
+def parallel_speedups(
+    cells: Sequence[ScalingCell],
+) -> List[Tuple[str, int, float]]:
+    """Every grid point's vector→parallel fair speedup as (protocol, N, speedup)."""
+    results: List[Tuple[str, int, float]] = []
+    for authority_count in sorted({cell.authority_count for cell in cells}):
+        for protocol in sorted({cell.protocol for cell in cells}):
+            speedup = parallel_speedup_at(cells, authority_count, protocol)
+            if speedup is not None:
+                results.append((protocol, authority_count, speedup))
+    return results
+
+
 def render_scaling(cells: Sequence[ScalingCell]) -> str:
     """Render the sweep as a table with per-N speedup annotations."""
     rows = []
@@ -387,6 +448,11 @@ def render_scaling(cells: Sequence[ScalingCell]) -> str:
         % (authority_count, protocol, speedup)
         for protocol, authority_count, speedup in vector_speedups(cells)
     )
+    notes.extend(
+        "N=%d %s: parallel fair engine is %.2fx the vector engine"
+        % (authority_count, protocol, speedup)
+        for protocol, authority_count, speedup in parallel_speedups(cells)
+    )
     return table + ("\n" + "\n".join(notes) if notes else "")
 
 
@@ -407,6 +473,10 @@ def write_bench_json(
         "%s@%d" % (protocol, authority_count): speedup
         for protocol, authority_count, speedup in vector_speedups(cells)
     }
+    vector_to_parallel = {
+        "%s@%d" % (protocol, authority_count): speedup
+        for protocol, authority_count, speedup in parallel_speedups(cells)
+    }
     payload = {
         "format": BENCH_FORMAT_VERSION,
         "paper_authority_count": PAPER_AUTHORITY_COUNT,
@@ -414,6 +484,7 @@ def write_bench_json(
         "speedup_fair_to_latency_only": transport_speedups,
         "speedup_fair_legacy_to_lazy": legacy_to_lazy,
         "speedup_fair_lazy_to_vector": lazy_to_vector,
+        "speedup_fair_vector_to_parallel": vector_to_parallel,
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
@@ -434,9 +505,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     def progress(cell: ScalingCell) -> None:
+        # Parallel cells carry their effective fan-out: a 4-worker request
+        # on a 1-core machine honestly reads "workers=1".
+        label = " workers=%d" % cell.workers if cell.engine == "parallel" else ""
         print(
-            "cell done: %s@%d transport=%s engine=%s — %.2f s wall"
-            % (cell.protocol, cell.authority_count, cell.transport, cell.engine, cell.wall_clock_s)
+            "cell done: %s@%d transport=%s engine=%s%s — %.2f s wall"
+            % (
+                cell.protocol,
+                cell.authority_count,
+                cell.transport,
+                cell.engine,
+                label,
+                cell.wall_clock_s,
+            )
         )
 
     if args.quick:

@@ -30,6 +30,15 @@ completions relative to the legacy loop at float-rounding level), which the
 old-vs-new conformance properties rely on; a shared stream would smear one
 reordered delivery into every subsequent draw of the run.
 
+The same property is what makes draws *partition-schedule-independent* for
+the partition-parallel engine (``REPRO_SHARED_ENGINE=parallel``, see
+``DESIGN-parallel.md``): a ``(kind, sender, destination)`` stream is
+advanced only by that ordered pair's own traffic, and a pair's messages are
+serialized by the event loop regardless of which partition its endpoints'
+flows were sharded into — so changing ``REPRO_PARALLEL_PARTITIONS`` can
+never shift a fault draw, and serial == parallel conformance holds under
+random fault plans without any per-partition RNG surgery.
+
 :meth:`FaultInjector.install` wires the injector into a network and uses
 :meth:`~repro.simnet.engine.Simulator.schedule_window` to put fault-window
 transitions on the event loop as Tor-style trace lines, so Figure-1 style

@@ -56,12 +56,21 @@ class ResultCache:
         therefore never hit entries produced by default runs, or vice versa.
         The *effective* engine is what matters: a ``vector`` request on a
         numpy-less install — or for a shared model without a vector policy
-        (``tcp``) — runs the lazy engine and must hit lazy entries.
+        (``tcp``) — runs the lazy engine and must hit lazy entries.  The
+        partition-parallel engine additionally keys on its partition count:
+        trajectories agree across partition counts only to float rounding,
+        so a 2-partition run must never hit a 4-partition entry (and the
+        1-partition configuration *is* the lazy engine, which
+        ``effective_shared_engine`` already reports as ``"lazy"``).
         """
         from repro.simnet.flows import effective_shared_engine
 
         digest = spec.spec_hash()
         engine = effective_shared_engine(transport=spec.transport)
+        if engine == "parallel":
+            from repro.simnet.partition import resolve_partition_count
+
+            engine = "parallel%d" % resolve_partition_count()
         suffix = "" if engine == "lazy" else ".%s" % engine
         return self.root / digest[:2] / ("%s%s.json" % (digest, suffix))
 

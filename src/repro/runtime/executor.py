@@ -21,6 +21,7 @@ every position that requested them.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.runtime.cache import ResultCache
@@ -54,6 +55,35 @@ def _pool_context() -> multiprocessing.context.BaseContext:
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return multiprocessing.get_context()
+
+
+def cap_partition_workers() -> None:
+    """Pin the parallel engine to in-process mode inside a sweep worker.
+
+    A sweep already fans runs out across ``SweepExecutor.workers`` processes;
+    if each run then spawned its own ``REPRO_PARALLEL_WORKERS`` partition
+    workers, a 4×4 configuration would contend 16 processes for the machine
+    (nested pool explosion).  Sweep workers therefore run the parallel
+    engine in-process — but with the *same partition count* the parent
+    would have used: ``REPRO_PARALLEL_WORKERS`` doubles as the default
+    partition count, so capping it alone would silently change partition
+    trajectories and cache keys between serial and parallel sweeps.  The
+    resolved count is pinned explicitly before the worker cap is applied.
+
+    Runs as a pool initializer (once per worker process); safe to call
+    in-process too, where it is a deliberate no-op unless a parallel worker
+    pool was actually requested.
+    """
+    from repro.simnet.partition import (
+        PARTITION_ENV,
+        WORKERS_ENV,
+        resolve_partition_count,
+    )
+
+    if os.environ.get(WORKERS_ENV) is None:
+        return  # nothing requested: nothing to cap, and no env to distort
+    os.environ[PARTITION_ENV] = str(resolve_partition_count())
+    os.environ[WORKERS_ENV] = "1"
 
 
 class SweepExecutor:
@@ -171,6 +201,9 @@ class SweepExecutor:
                 yield spec, execute_spec_summary(spec)
             return
         context = _pool_context()
-        with context.Pool(processes=min(self.workers, len(specs))) as pool:
+        with context.Pool(
+            processes=min(self.workers, len(specs)),
+            initializer=cap_partition_workers,
+        ) as pool:
             for spec, summary in zip(specs, pool.imap(execute_spec_summary, specs, chunksize=1)):
                 yield spec, summary

@@ -69,7 +69,7 @@ _TIME_EPSILON = 1e-9
 SHARED_ENGINE_ENV = "REPRO_SHARED_ENGINE"
 
 #: The shared-regime engines :func:`make_flow_scheduler` knows how to build.
-SHARED_ENGINES = ("lazy", "legacy", "vector")
+SHARED_ENGINES = ("lazy", "legacy", "vector", "parallel")
 
 
 def resolve_shared_engine(explicit: Optional[str] = None) -> str:
@@ -100,6 +100,12 @@ def effective_shared_engine(
     When ``transport`` is given, the downgrade also accounts for shared
     models without a vector policy (``tcp``): a vector request for such a
     model runs — and is cache-keyed as — the lazy engine.
+
+    ``"parallel"`` downgrades the same way — to ``"lazy"`` on a numpy-less
+    install, for shared models without a partitioned policy (``fifo``,
+    ``tcp``), and in the degenerate single-partition configuration, where
+    the partition-parallel engine *is* the serial lazy engine by definition
+    (which is what makes the 1-partition conformance case byte-identical).
     """
     engine = resolve_shared_engine(explicit)
     if engine == "vector":
@@ -112,6 +118,18 @@ def effective_shared_engine(
 
             model = get_link_model(transport)
             if model.shared and model.name not in VECTOR_POLICIES:
+                return "lazy"
+    elif engine == "parallel":
+        from repro.simnet.parallel_sched import PARALLEL_MODELS, parallel_available
+        from repro.simnet.partition import resolve_partition_count
+
+        if not parallel_available() or resolve_partition_count() == 1:
+            return "lazy"
+        if transport is not None:
+            from repro.simnet.linkmodel import get_link_model
+
+            model = get_link_model(transport)
+            if model.shared and model.name not in PARALLEL_MODELS:
                 return "lazy"
     return engine
 
@@ -536,6 +554,7 @@ def make_flow_scheduler(
     complete: Callable[[Flow], None],
     expire: Callable[[Flow], None],
     shared_engine: Optional[str] = None,
+    latency_fn: Optional[Callable[[str, str], float]] = None,
 ) -> FlowScheduler:
     """Build the scheduler matching ``model``'s coupling regime.
 
@@ -543,16 +562,39 @@ def make_flow_scheduler(
     ``REPRO_SHARED_ENGINE`` environment variable, else ``"lazy"``) selects
     between the lazy-advance engine, the numpy structure-of-arrays engine
     (``"vector"``; requires the ``[perf]`` extra and a registered vector
-    policy, otherwise it silently falls back to lazy), and the legacy
+    policy, otherwise it silently falls back to lazy), the partition-parallel
+    engine (``"parallel"``; same numpy requirement, downgrades identically,
+    and with one partition *is* the lazy engine), and the legacy
     global-recompute loop.  Shared models without a registered lazy rater
     always get the legacy scheduler — it handles any ``assign_rates``
-    implementation.
+    implementation.  ``latency_fn`` (the network's pairwise latency lookup)
+    prices the parallel engine's boundary channels; other engines ignore it.
     """
     if not model.shared:
         return IndependentFlowScheduler(model, simulator, links, complete, expire)
     from repro.simnet.shared_sched import LAZY_RATERS, LazySharedLinkScheduler
 
     engine = resolve_shared_engine(shared_engine)
+    if engine == "parallel":
+        from repro.simnet.parallel_sched import (
+            PARALLEL_MODELS,
+            ParallelSharedLinkScheduler,
+            parallel_available,
+        )
+        from repro.simnet.partition import resolve_partition_count
+
+        partitions = resolve_partition_count()
+        if parallel_available() and model.name in PARALLEL_MODELS and partitions > 1:
+            return ParallelSharedLinkScheduler(
+                model,
+                simulator,
+                links,
+                complete,
+                expire,
+                partitions=partitions,
+                latency_fn=latency_fn,
+            )
+        engine = "lazy"  # pure-Python install, unsupported model, or 1 partition
     if engine == "vector":
         from repro.simnet.vector_sched import (
             VECTOR_POLICIES,

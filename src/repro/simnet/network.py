@@ -181,6 +181,10 @@ class SimNetwork:
             self._complete_flow,
             self._expire_flow,
             shared_engine=shared_engine,
+            # The partition-parallel engine prices its boundary channels
+            # (cross-partition lookahead) off the pairwise latency table;
+            # every other engine ignores the hook.
+            latency_fn=self.latency,
         )
         self._fault_injector = None
 

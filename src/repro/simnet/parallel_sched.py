@@ -1,0 +1,775 @@
+"""Partition-parallel scheduling for shared link models (conservative PDES).
+
+The vector engine (:mod:`repro.simnet.vector_sched`) already batches rate
+math into numpy expressions, but three per-event costs still scale with the
+*global* flow population: the due-slot scan and the wake-aim ``min`` sweep
+the whole slot array on every service pass, admissions and evictions update
+Python set-based link occupancy one flow at a time, and every touched-set
+drain rebuilds a Python set from those occupancy sets.  At paper scale
+(300 authorities broadcasting votes) those three loops are most of the
+transport wall-clock (see ``BENCH_scaling.json``).
+
+:class:`ParallelSharedLinkScheduler` statically partitions the flow
+population by **authority-pair region** (:mod:`repro.simnet.partition`):
+nodes map to regions via the netgen rule, and every flow of one ordered
+region pair lands in the same partition.  Each partition owns its own
+structure-of-arrays shard — residuals, rates, targets, flow ids — while the
+link-occupancy tables (capacity, weighted occupancy, aggregate flags) are
+the shared boundary state every shard prices its rates against:
+
+* **Partition-gated scans.**  Each shard caches a lower bound on its next
+  event target; due scans and the wake aim touch only shards whose bound
+  has come due, so a quiescent partition costs nothing per instant (the
+  vector engine sweeps every slot on every pass).
+* **Batched admissions.**  All sends of one virtual instant are admitted
+  as per-shard column writes plus one ``np.add.at`` occupancy update — a
+  300-wide vote broadcast is a handful of array ops, not 300 scalar
+  bookkeeping passes.
+* **Array link membership.**  Per-link occupancy is a growable int array
+  per (link side, partition) with swap-removal, so touched-set drains are
+  ``np.concatenate`` + ``np.unique`` per shard instead of Python set
+  unions, and rate batches arrive pre-grouped by partition.
+* **Worker fan-out.**  At a synchronisation instant the per-shard rate
+  batches are pure functions of (shard slice, boundary tables) — they are
+  dispatched to a ``REPRO_PARALLEL_WORKERS`` process pool when the machine
+  has the cores and the batch is worth shipping (:func:`_rate_batch` is
+  the stateless worker).  On a single-core host the pool is never built
+  and the same batches run serially; conformance is identical because the
+  worker computes the same elementwise expressions.
+
+Conservative synchronisation, stated honestly: under a shared link model a
+flow occupies both endpoint links *from its start instant*, so a completion
+in one partition can change rates in every partition at that same instant —
+the transport-level lookahead between partitions is **zero**, and the engine
+therefore synchronises all shards at every event instant (the global wake is
+the LBTS barrier; see ``DESIGN-parallel.md``).  The classic latency
+lookahead — the minimum cross-region propagation delay, reported by
+:meth:`StaticPartition.lookahead` — bounds only *protocol-level* boundary
+messages (a delivery into another partition lands at least that far in the
+future), which is why deliveries never force an early barrier and the
+partition-gated scans are sound.
+
+Float semantics match the vector engine's contract: progress chips happen at
+service instants over touched slots, so trajectories agree with the scalar
+engines to rounding and conformance is pinned at summary level (counts
+exact, floats within 1e-6 relative) by ``tests/simnet/test_parallel_sched.py``
+— across partition counts too, because chips and rates are computed from the
+same global occupancy tables regardless of how flows are sharded (occupancy
+sums are exact: weights are integer-valued floats).  Same-instant
+completions settle in flow-id order *across* shards, so the callback order
+is independent of the partition count.
+
+numpy is optional exactly as for the vector engine: the module imports
+without it, :func:`parallel_available` gates selection in
+``make_flow_scheduler``, and pure-Python installs silently fall back to the
+lazy engine (as does a 1-partition configuration, which *is* the serial
+engine by construction).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.simnet.flows import (
+    _COMPLETION_EPSILON_BYTES,
+    _TIME_EPSILON,
+    Flow,
+    FlowScheduler,
+)
+from repro.simnet.partition import (
+    StaticPartition,
+    _pair_mix,
+    effective_worker_count,
+    resolve_partition_count,
+)
+
+try:  # pragma: no cover - absence exercised by the no-numpy CI leg
+    import numpy as _np
+except ImportError:  # pragma: no cover - absence exercised by the no-numpy CI leg
+    _np = None
+
+__all__ = [
+    "PARALLEL_MODELS",
+    "ParallelSharedLinkScheduler",
+    "parallel_available",
+]
+
+#: Link models with a partition-parallel policy.  Only ``fair`` — fifo's
+#: arrival-order service and tcp's per-flow window events serialise against
+#: global state per event, which defeats partition-local batching; both
+#: fall back to the lazy engine (see ``effective_shared_engine``).
+PARALLEL_MODELS = ("fair",)
+
+#: Initial per-shard slot capacity (doubled on demand).
+_INITIAL_SLOTS = 256
+
+#: Initial link-array capacity (doubled on demand).
+_INITIAL_LINKS = 64
+
+#: Smallest combined rate batch worth shipping to the worker pool; below it
+#: the pickling round-trip dwarfs the math.  Env-tunable so the conformance
+#: suite can force pool dispatch with tiny workloads.
+_FANOUT_MIN_ENV = "REPRO_PARALLEL_FANOUT_MIN"
+_FANOUT_MIN_DEFAULT = 4096
+
+
+def parallel_available() -> bool:
+    """Whether the partition-parallel engine can run (numpy importable)."""
+    return _np is not None
+
+
+def _rate_batch(payload):
+    """Chip, rate, and re-target one shard's touched batch (pure function).
+
+    ``payload`` carries the shard slice and the gathered boundary tables;
+    the return value is ``(advanced residuals, new rates, new targets)``.
+    Stateless by design: this is the unit the worker pool executes, and
+    running it in-process or in a worker is bitwise the same math.
+    """
+    (rem, rate, last, weight, deadline, up_cap, down_cap,
+     src_w, dst_w, agg_src, agg_dst, now) = payload
+    # Chip progress under the old rates before switching — the same
+    # piecewise-constant integration as every other engine.
+    rem = _np.maximum(0.0, rem - rate * (now - last))
+    # Elementwise twin of the fair model's assign_rates; occupancy divisors
+    # are >= 1 for every alive slot (its own weight counts).
+    up = _np.where(agg_src, up_cap * weight, up_cap * weight / src_w)
+    down = _np.where(agg_dst, down_cap * weight, down_cap * weight / dst_w)
+    rates = _np.minimum(up, down)
+    estimate = _np.full(rem.shape, _np.inf)
+    moving = rates > 0.0
+    estimate[moving] = now + rem[moving] / rates[moving]
+    target = _np.minimum(estimate, deadline)
+    _np.maximum(target, now, out=target)
+    return rem, rates, target
+
+
+class _SlotVec:
+    """Growable int64 vector with O(1) append and swap-removal.
+
+    The per-(link side, partition) occupancy structure: a numpy view of the
+    live prefix feeds touched-set drains directly, where the vector engine
+    pays a Python set iteration per member.
+    """
+
+    __slots__ = ("arr", "size")
+
+    def __init__(self) -> None:
+        self.arr = _np.empty(8, dtype=_np.int64)
+        self.size = 0
+
+    def append(self, value: int) -> int:
+        """Append ``value``; return its position."""
+        if self.size == len(self.arr):
+            grown = _np.empty(len(self.arr) * 2, dtype=_np.int64)
+            grown[: self.size] = self.arr
+            self.arr = grown
+        self.arr[self.size] = value
+        self.size += 1
+        return self.size - 1
+
+    def swap_remove(self, pos: int) -> int:
+        """Remove the entry at ``pos``; return the slot moved into it (-1: none)."""
+        last = self.size - 1
+        moved = -1
+        if pos != last:
+            moved = int(self.arr[last])
+            self.arr[pos] = moved
+        self.size = last
+        return moved
+
+    def view(self):
+        """The live prefix (shares the buffer; callers must not hold it)."""
+        return self.arr[: self.size]
+
+
+class _Shard:
+    """One partition's structure-of-arrays flow state.
+
+    Slots are shard-local (recycled through a free list); ``min_target`` is
+    a *lower bound* on the shard's next event — writes only ever lower it,
+    evictions and late moves leave it conservatively low, and a wake that
+    finds nothing due refreshes it to the true minimum.  ``stale`` marks
+    that targets changed this instant and the bound needs a refresh at the
+    next wake aim.
+    """
+
+    __slots__ = (
+        "part", "capacity", "rem", "rate", "last", "weight", "target",
+        "deadline", "srcid", "dstid", "fid", "pos_src", "pos_dst", "alive",
+        "flow_at", "free", "hi", "min_target", "stale",
+    )
+
+    def __init__(self, part: int) -> None:
+        capacity = _INITIAL_SLOTS
+        self.part = part
+        self.capacity = capacity
+        self.rem = _np.zeros(capacity, dtype=_np.float64)
+        self.rate = _np.zeros(capacity, dtype=_np.float64)
+        self.last = _np.zeros(capacity, dtype=_np.float64)
+        self.weight = _np.zeros(capacity, dtype=_np.float64)
+        self.target = _np.full(capacity, _np.inf, dtype=_np.float64)
+        self.deadline = _np.full(capacity, _np.inf, dtype=_np.float64)
+        self.srcid = _np.zeros(capacity, dtype=_np.int64)
+        self.dstid = _np.zeros(capacity, dtype=_np.int64)
+        self.fid = _np.zeros(capacity, dtype=_np.int64)
+        self.pos_src = _np.zeros(capacity, dtype=_np.int64)
+        self.pos_dst = _np.zeros(capacity, dtype=_np.int64)
+        self.alive = _np.zeros(capacity, dtype=bool)
+        self.flow_at: List[Optional[Flow]] = [None] * capacity
+        self.free: List[int] = []
+        self.hi = 0
+        self.min_target = float("inf")
+        self.stale = False
+
+    def alloc(self) -> int:
+        if self.free:
+            return self.free.pop()
+        if self.hi == self.capacity:
+            self._grow(self.capacity * 2)
+        slot = self.hi
+        self.hi += 1
+        return slot
+
+    def _grow(self, capacity: int) -> None:
+        grown = capacity - self.capacity
+        zeros = _np.zeros(grown, dtype=_np.float64)
+        infs = _np.full(grown, _np.inf, dtype=_np.float64)
+        ints = _np.zeros(grown, dtype=_np.int64)
+        self.rem = _np.concatenate([self.rem, zeros])
+        self.rate = _np.concatenate([self.rate, zeros.copy()])
+        self.last = _np.concatenate([self.last, zeros.copy()])
+        self.weight = _np.concatenate([self.weight, zeros.copy()])
+        self.target = _np.concatenate([self.target, infs])
+        self.deadline = _np.concatenate([self.deadline, infs.copy()])
+        self.srcid = _np.concatenate([self.srcid, ints])
+        self.dstid = _np.concatenate([self.dstid, ints.copy()])
+        self.fid = _np.concatenate([self.fid, ints.copy()])
+        self.pos_src = _np.concatenate([self.pos_src, ints.copy()])
+        self.pos_dst = _np.concatenate([self.pos_dst, ints.copy()])
+        self.alive = _np.concatenate([self.alive, _np.zeros(grown, dtype=bool)])
+        self.flow_at.extend([None] * grown)
+        self.capacity = capacity
+
+
+class ParallelSharedLinkScheduler(FlowScheduler):
+    """Shared-regime scheduler over partition-sharded slot arrays.
+
+    Flow objects stay the protocol-facing interface (callbacks receive
+    them; ``remaining``/``rate`` are synced back at eviction), but between
+    admission and eviction the shard arrays are the truth.  Unlike the
+    other engines this one does not maintain the base class's per-flow dict
+    indexes — nothing outside the scheduler reads them, and skipping them
+    removes four dict operations per flow from the hottest path.
+    """
+
+    def __init__(
+        self,
+        model,
+        simulator,
+        links,
+        complete,
+        expire,
+        partitions: Optional[int] = None,
+        latency_fn=None,
+        workers: Optional[int] = None,
+    ) -> None:
+        if _np is None:  # pragma: no cover - guarded by make_flow_scheduler
+            raise RuntimeError("ParallelSharedLinkScheduler requires numpy")
+        if model.name not in PARALLEL_MODELS:
+            raise ValueError(
+                "no partition-parallel policy for link model %r" % model.name
+            )
+        super().__init__(model, simulator, links, complete, expire)
+        self._count = resolve_partition_count(partitions)
+        self._partition = StaticPartition(self._count, latency_fn)
+        self._workers = effective_worker_count(workers, self._count)
+        raw = os.environ.get(_FANOUT_MIN_ENV)
+        self._fanout_min = int(raw) if raw else _FANOUT_MIN_DEFAULT
+        self._shards = [_Shard(part) for part in range(self._count)]
+
+        # Link interning: node name -> dense lid indexing the boundary tables.
+        link_capacity = _INITIAL_LINKS
+        self._link_capacity = link_capacity
+        self._lids: Dict[str, int] = {}
+        self._lid_name: List[str] = []
+        self._lid_region: List[int] = []
+        self._up_cap = _np.zeros(link_capacity, dtype=_np.float64)
+        self._down_cap = _np.zeros(link_capacity, dtype=_np.float64)
+        self._src_w = _np.zeros(link_capacity, dtype=_np.float64)
+        self._dst_w = _np.zeros(link_capacity, dtype=_np.float64)
+        self._agg = _np.zeros(link_capacity, dtype=bool)
+        #: Plain-int flow counts per link side (activation / idling checks).
+        self._src_n: List[int] = [0] * link_capacity
+        self._dst_n: List[int] = [0] * link_capacity
+        #: lid -> per-partition slot membership (created at first admission).
+        self._members_src: Dict[int, List[_SlotVec]] = {}
+        self._members_dst: Dict[int, List[_SlotVec]] = {}
+        #: Link sides whose occupancy or capacity moved this instant.
+        self._dirty_src: Set[int] = set()
+        self._dirty_dst: Set[int] = set()
+        #: (side, lid) -> pending breakpoint watcher (None: constant link).
+        self._watchers: Dict[Tuple[str, int], Optional[object]] = {}
+
+        #: Admissions buffered until the instant is serviced (coalescing).
+        self._adds: List[Flow] = []
+        #: Completion/expiry callbacks deferred until rates are settled.
+        self._finished: List[Tuple[bool, Flow]] = []
+        self._wake = None
+        self._in_service = False
+        self._pool = None
+
+    # -- interface ---------------------------------------------------------
+    def active_count(self) -> int:
+        return len(self._flows) + len(self._adds)
+
+    def start_flow(self, flow: Flow, now: float) -> None:
+        self._adds.append(flow)
+        if self._in_service:
+            return  # re-entrant send from a callback; the service loop drains it
+        if self._wake is None or self._wake.time > now:
+            if self._wake is not None:
+                self._wake.cancel()
+            self._wake = self.simulator.schedule(now, self._on_wake)
+
+    def on_link_replaced(self, name: str, now: float) -> None:
+        # Like the lazy/vector engines (and unlike legacy) the replacement
+        # applies immediately: refresh caps, re-arm watchers, re-rate the
+        # link's flows at this instant.
+        lid = self._lids.get(name)
+        if lid is None:
+            return  # never carried a flow; interning seeds fresh state later
+        link = self._links[name]
+        self._agg[lid] = link.aggregate
+        if self._src_n[lid]:
+            self._drop_watcher("uplink", lid)
+            self._up_cap[lid] = link.uplink.rate_at(now)
+            self._arm_watcher("uplink", lid, now)
+            self._dirty_src.add(lid)
+        if self._dst_n[lid]:
+            self._drop_watcher("downlink", lid)
+            self._down_cap[lid] = link.downlink.rate_at(now)
+            self._arm_watcher("downlink", lid, now)
+            self._dirty_dst.add(lid)
+        if not self._in_service:
+            self._service(now)
+
+    def partition_summary(self) -> Dict[str, object]:
+        """Partition/worker accounting (progress labels, tests, tracing)."""
+        summary = self._partition.summary()
+        summary["workers"] = self._workers
+        return summary
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was ever built (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- the service loop --------------------------------------------------
+    def _on_wake(self) -> None:
+        self._wake = None
+        self._service(self.simulator.now)
+
+    def _service(self, now: float) -> None:
+        """Settle everything pending at ``now``, then re-aim the wake event.
+
+        The global wake is the LBTS barrier: every shard is held at the
+        same instant, admissions and settlements feed each other until the
+        instant is quiescent, and only then do deferred protocol callbacks
+        fire (so code reacting to a completion observes consistent rates —
+        the same contract as the lazy and vector engines).
+        """
+        self._in_service = True
+        try:
+            while True:
+                progressed = False
+                if self._adds:
+                    adds, self._adds = self._adds, []
+                    self._admit_batch(adds, now)
+                    progressed = True
+                groups = self._due_groups(now)
+                if groups:
+                    self._settle_due(groups, now)
+                    progressed = True
+                if self._dirty_src or self._dirty_dst:
+                    self._recompute(now)
+                    continue  # the recompute may have pulled targets to now
+                if self._finished:
+                    finished, self._finished = self._finished, []
+                    for expired, flow in finished:
+                        if expired:
+                            self._expire(flow)
+                        else:
+                            self._clamp_residual(flow)
+                            self._complete(flow)
+                    progressed = True
+                if not progressed:
+                    break
+        finally:
+            self._in_service = False
+        self._aim_wake()
+
+    def _due_groups(self, now: float):
+        """Due slots per shard — scanning only shards whose bound is due.
+
+        ``min_target`` is a sound lower bound (writes only lower it), so a
+        shard with ``min_target > now`` provably has nothing due and is
+        skipped without touching its arrays.  A shard whose bound turns out
+        stale (everything moved later or left) refreshes it here so it
+        stops waking the engine.
+        """
+        groups = []
+        for shard in self._shards:
+            if shard.hi and shard.min_target <= now:
+                targets = shard.target[: shard.hi]
+                due = _np.nonzero(targets <= now)[0]
+                if due.size:
+                    groups.append((shard, due))
+                else:
+                    shard.min_target = float(targets.min())
+                    shard.stale = False
+        return groups
+
+    def _settle_due(self, groups, now: float) -> None:
+        """Advance due slots (vectorized) and settle them in flow-id order.
+
+        The masks are the scalar engines' completion test verbatim: inside
+        the byte epsilon, or a residual whose transfer time is below one
+        ulp of virtual time (anti-livelock).  Early wakes — the rate
+        dropped since the target was set — re-aim vectorized.  Evictions
+        are merged across shards and applied in flow-id order, which makes
+        same-instant completion order independent of both slot assignment
+        and the partition count.
+        """
+        evictions = []
+        for shard, due in groups:
+            rem = _np.maximum(
+                0.0, shard.rem[due] - shard.rate[due] * (now - shard.last[due])
+            )
+            shard.rem[due] = rem
+            shard.last[due] = now
+            shard.stale = True
+            rate = shard.rate[due]
+            moving = rate > 0.0
+            done = rem <= _COMPLETION_EPSILON_BYTES
+            estimate = _np.full(due.size, _np.inf)
+            estimate[moving] = now + rem[moving] / rate[moving]
+            done |= moving & (estimate <= now)
+            deadline = shard.deadline[due]
+            expired = ~done & (now >= deadline - _TIME_EPSILON)
+            early = ~(done | expired)
+            if early.any():
+                target = _np.minimum(estimate[early], deadline[early])
+                shard.target[due[early]] = target
+                tmin = float(target.min())
+                if tmin < shard.min_target:
+                    shard.min_target = tmin
+            leaving = _np.nonzero(done | expired)[0]
+            if leaving.size:
+                # Extract every column the eviction path needs in one
+                # vectorized pass per shard; the per-flow half then runs on
+                # plain Python scalars (``tolist`` is bulk conversion),
+                # never on numpy scalar indexing.
+                slots = due[leaving]
+                exp = expired[leaving].tolist()
+                fids = shard.fid[slots].tolist()
+                rems = shard.rem[slots].tolist()
+                rates = shard.rate[slots].tolist()
+                srcs = shard.srcid[slots].tolist()
+                dsts = shard.dstid[slots].tolist()
+                weights = shard.weight[slots].tolist()
+                # pos_src/pos_dst are NOT pre-extracted: an earlier eviction's
+                # swap-remove may move a later-evicted slot and rewrite them.
+                for k, slot in enumerate(slots.tolist()):
+                    evictions.append((
+                        fids[k], shard, slot, exp[k], rems[k], rates[k],
+                        srcs[k], dsts[k], weights[k],
+                    ))
+        if evictions:
+            evictions.sort(key=lambda entry: entry[0])
+            for entry in evictions:
+                self._evict(entry, now)
+
+    def _recompute(self, now: float) -> None:
+        """Drain dirty links into per-shard touched batches and re-rate them."""
+        per_part: List[List] = [[] for _ in range(self._count)]
+        for dirty, members in (
+            (self._dirty_src, self._members_src),
+            (self._dirty_dst, self._members_dst),
+        ):
+            for lid in dirty:
+                vecs = members.get(lid)
+                if vecs is None:
+                    continue
+                for part, vec in enumerate(vecs):
+                    if vec.size:
+                        per_part[part].append(vec.view())
+            dirty.clear()
+        groups = []
+        for part, chunks in enumerate(per_part):
+            if not chunks:
+                continue
+            if len(chunks) == 1:
+                slots = chunks[0]  # one link side: members are unique already
+            else:
+                slots = _np.unique(_np.concatenate(chunks))
+            shard = self._shards[part]
+            slots = slots[shard.alive[slots]]
+            if slots.size:
+                groups.append((shard, slots))
+        if not groups:
+            return
+        payloads = [self._gather(shard, slots, now) for shard, slots in groups]
+        if (
+            self._workers > 1
+            and len(groups) > 1
+            and sum(slots.size for _, slots in groups) >= self._fanout_min
+        ):
+            results = self._ensure_pool().map(_rate_batch, payloads, chunksize=1)
+        else:
+            results = [_rate_batch(payload) for payload in payloads]
+        for (shard, slots), (rem, rates, target) in zip(groups, results):
+            shard.rem[slots] = rem
+            shard.rate[slots] = rates
+            shard.last[slots] = now
+            shard.target[slots] = target
+            shard.stale = True
+            tmin = float(target.min())
+            if tmin < shard.min_target:
+                shard.min_target = tmin
+
+    def _gather(self, shard: _Shard, slots, now: float):
+        """Assemble one shard's rate-batch payload (see :func:`_rate_batch`)."""
+        src = shard.srcid[slots]
+        dst = shard.dstid[slots]
+        return (
+            shard.rem[slots], shard.rate[slots], shard.last[slots],
+            shard.weight[slots], shard.deadline[slots],
+            self._up_cap[src], self._down_cap[dst],
+            self._src_w[src], self._dst_w[dst],
+            self._agg[src], self._agg[dst], now,
+        )
+
+    def _aim_wake(self) -> None:
+        tmin = float("inf")
+        for shard in self._shards:
+            if shard.stale:
+                shard.min_target = (
+                    float(shard.target[: shard.hi].min()) if shard.hi else float("inf")
+                )
+                shard.stale = False
+            if shard.min_target < tmin:
+                tmin = shard.min_target
+        if tmin == float("inf"):
+            # Every slot is stranded (or none exist): watchers revive them.
+            if self._wake is not None:
+                self._wake.cancel()
+                self._wake = None
+            return
+        if self._wake is not None:
+            if self._wake.time <= tmin:
+                return  # early wakes are harmless; keep the pending event
+            self._wake.cancel()
+        self._wake = self.simulator.schedule(tmin, self._on_wake)
+
+    # -- admission / eviction ----------------------------------------------
+    def _admit_batch(self, adds: List[Flow], now: float) -> None:
+        """Admit one instant's arrivals: per-flow indexing, columnar writes.
+
+        The per-flow half (interning, membership, activation) is dict/list
+        work that cannot batch; everything numerical — slot columns and the
+        weighted occupancy increments — is written per shard in one pass.
+        ``np.add.at`` accumulates duplicate links exactly because weights
+        are integer-valued floats.
+        """
+        count = self._count
+        staged: Dict[int, List[Tuple[int, Flow, int, int]]] = {}
+        for flow in adds:
+            src = self._intern(flow.src)
+            dst = self._intern(flow.dst)
+            part = _pair_mix(self._lid_region[src], self._lid_region[dst]) % count
+            shard = self._shards[part]
+            slot = shard.alloc()
+            shard.flow_at[slot] = flow
+            self._flows[flow.flow_id] = flow
+            if self._src_n[src] == 0:
+                self._up_cap[src] = self._links[flow.src].uplink.rate_at(now)
+                self._agg[src] = self._links[flow.src].aggregate
+                self._arm_watcher("uplink", src, now)
+            self._src_n[src] += 1
+            if self._dst_n[dst] == 0:
+                self._down_cap[dst] = self._links[flow.dst].downlink.rate_at(now)
+                self._agg[dst] = self._links[flow.dst].aggregate
+                self._arm_watcher("downlink", dst, now)
+            self._dst_n[dst] += 1
+            vecs = self._members_src.get(src)
+            if vecs is None:
+                vecs = [_SlotVec() for _ in range(count)]
+                self._members_src[src] = vecs
+            shard.pos_src[slot] = vecs[part].append(slot)
+            vecs = self._members_dst.get(dst)
+            if vecs is None:
+                vecs = [_SlotVec() for _ in range(count)]
+                self._members_dst[dst] = vecs
+            shard.pos_dst[slot] = vecs[part].append(slot)
+            self._dirty_src.add(src)
+            self._dirty_dst.add(dst)
+            staged.setdefault(part, []).append((slot, flow, src, dst))
+
+        occ_src, occ_dst, occ_w = [], [], []
+        inf = float("inf")
+        for part, rows in staged.items():
+            shard = self._shards[part]
+            slots = _np.fromiter((row[0] for row in rows), dtype=_np.int64, count=len(rows))
+            srcs = _np.fromiter((row[2] for row in rows), dtype=_np.int64, count=len(rows))
+            dsts = _np.fromiter((row[3] for row in rows), dtype=_np.int64, count=len(rows))
+            weights = _np.fromiter(
+                (row[1].weight for row in rows), dtype=_np.float64, count=len(rows)
+            )
+            deadlines = _np.fromiter(
+                (inf if row[1].deadline is None else row[1].deadline for row in rows),
+                dtype=_np.float64,
+                count=len(rows),
+            )
+            shard.srcid[slots] = srcs
+            shard.dstid[slots] = dsts
+            shard.fid[slots] = _np.fromiter(
+                (row[1].flow_id for row in rows), dtype=_np.int64, count=len(rows)
+            )
+            shard.rem[slots] = _np.fromiter(
+                (row[1].remaining for row in rows), dtype=_np.float64, count=len(rows)
+            )
+            shard.rate[slots] = 0.0
+            shard.last[slots] = now
+            shard.weight[slots] = weights
+            shard.deadline[slots] = deadlines
+            shard.target[slots] = deadlines  # the recompute sharpens this
+            shard.alive[slots] = True
+            shard.stale = True
+            dmin = float(deadlines.min())
+            if dmin < shard.min_target:
+                shard.min_target = dmin
+            occ_src.append(srcs)
+            occ_dst.append(dsts)
+            occ_w.append(weights)
+        weights = _np.concatenate(occ_w)
+        _np.add.at(self._src_w, _np.concatenate(occ_src), weights)
+        _np.add.at(self._dst_w, _np.concatenate(occ_dst), weights)
+
+    def _evict(self, entry, now: float) -> None:
+        """Remove one settled slot; ``entry`` carries its pre-extracted columns.
+
+        The caller (:meth:`_settle_due`) pulls every needed column out of
+        the shard arrays in bulk, so this per-flow path is dict/list work on
+        Python scalars only.
+        """
+        (fid, shard, slot, expired, rem, rate, src, dst, weight) = entry
+        flow = shard.flow_at[slot]
+        # Sync the protocol-facing fields before any callback can read them.
+        flow.remaining = rem
+        flow.rate = rate
+        flow.last_update = now
+        del self._flows[fid]
+        self._src_w[src] -= weight
+        self._dst_w[dst] -= weight
+        vec = self._members_src[src][shard.part]
+        pos = int(shard.pos_src[slot])
+        moved = vec.swap_remove(pos)
+        if moved >= 0:
+            shard.pos_src[moved] = pos
+        vec = self._members_dst[dst][shard.part]
+        pos = int(shard.pos_dst[slot])
+        moved = vec.swap_remove(pos)
+        if moved >= 0:
+            shard.pos_dst[moved] = pos
+        self._src_n[src] -= 1
+        if self._src_n[src] == 0:
+            self._src_w[src] = 0.0  # kill any float drift while idle
+            self._drop_watcher("uplink", src)
+        self._dst_n[dst] -= 1
+        if self._dst_n[dst] == 0:
+            self._dst_w[dst] = 0.0
+            self._drop_watcher("downlink", dst)
+        self._dirty_src.add(src)
+        self._dirty_dst.add(dst)
+        shard.alive[slot] = False
+        shard.target[slot] = float("inf")
+        shard.deadline[slot] = float("inf")
+        shard.rate[slot] = 0.0
+        shard.flow_at[slot] = None
+        shard.free.append(slot)
+        shard.stale = True
+        self._finished.append((expired, flow))
+
+    def _intern(self, name: str) -> int:
+        lid = self._lids.get(name)
+        if lid is None:
+            lid = len(self._lid_name)
+            if lid == self._link_capacity:
+                self._grow_links(self._link_capacity * 2)
+            self._lids[name] = lid
+            self._lid_name.append(name)
+            self._lid_region.append(self._partition.region_of(name))
+            self._agg[lid] = self._links[name].aggregate
+        return lid
+
+    def _grow_links(self, capacity: int) -> None:
+        grown = capacity - self._link_capacity
+        zeros = _np.zeros(grown, dtype=_np.float64)
+        self._up_cap = _np.concatenate([self._up_cap, zeros])
+        self._down_cap = _np.concatenate([self._down_cap, zeros.copy()])
+        self._src_w = _np.concatenate([self._src_w, zeros.copy()])
+        self._dst_w = _np.concatenate([self._dst_w, zeros.copy()])
+        self._agg = _np.concatenate([self._agg, _np.zeros(grown, dtype=bool)])
+        self._src_n.extend([0] * grown)
+        self._dst_n.extend([0] * grown)
+        self._link_capacity = capacity
+
+    # -- worker pool ---------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+            self._pool = context.Pool(processes=self._workers)
+        return self._pool
+
+    # -- breakpoint watchers -----------------------------------------------
+    def _arm_watcher(self, side: str, lid: int, now: float) -> None:
+        schedule = getattr(self._links[self._lid_name[lid]], side)
+        change = schedule.next_change_after(now)
+        if change is None:
+            self._watchers[(side, lid)] = None
+            return
+        self._watchers[(side, lid)] = self.simulator.schedule(
+            change, self._on_link_event, side, lid
+        )
+
+    def _drop_watcher(self, side: str, lid: int) -> None:
+        handle = self._watchers.pop((side, lid), None)
+        if handle is not None:
+            handle.cancel()
+
+    def _on_link_event(self, side: str, lid: int) -> None:
+        del self._watchers[(side, lid)]
+        now = self.simulator.now
+        counts = self._src_n if side == "uplink" else self._dst_n
+        if not counts[lid]:  # pragma: no cover - idle links drop watchers
+            return
+        caps = self._up_cap if side == "uplink" else self._down_cap
+        caps[lid] = getattr(self._links[self._lid_name[lid]], side).rate_at(now)
+        self._arm_watcher(side, lid, now)
+        (self._dirty_src if side == "uplink" else self._dirty_dst).add(lid)
+        if not self._in_service:  # watchers fire from the event loop
+            self._service(now)

@@ -1,0 +1,247 @@
+"""Static partitioning of the link/flow graph by authority-pair region.
+
+The parallel shared-transport engine (:mod:`repro.simnet.parallel_sched`)
+advances the simulation as a conservative PDES over *partitions*: disjoint
+groups of (src region, dst region) pairs.  This module owns the partition
+function and everything derived from it — it is deliberately free of numpy
+and of any scheduler state so the no-numpy installs, the cache keying layer,
+and the tests can all reason about partitioning without touching an engine.
+
+Partitioning rule
+-----------------
+Nodes are first mapped to **regions**.  Authority names carry their netgen
+identity (``auth-<id>``), and the netgen topology's region rule is
+``authority_id mod region_count`` (:meth:`AuthorityTopology.region_of`);
+any node whose name ends in an integer uses that rule, so authorities,
+relays (``relay-<id>``), mirrors and cohorts all land in stable regions
+that agree with the topology layer.  Names without a trailing integer fall
+back to a CRC32 of the name — stable across processes and Python versions,
+unlike the salted builtin ``hash``.
+
+A *flow* between regions ``(rs, rd)`` belongs to the authority-pair
+partition ``mix(rs, rd) mod partition_count``; every flow of one ordered
+region pair lands in the same partition, which is what makes per-partition
+rate batches self-contained under the fair policy's occupancy tables.
+
+Cross-partition traffic crosses a **boundary channel**: its delivery is a
+timestamped message into another partition's future, and the *lookahead* —
+the minimum propagation latency over cross-region pairs — bounds how far
+one partition's state can run ahead before its outputs could affect a
+neighbour (the LBTS barrier of classic conservative PDES).  Occupancy
+coupling under shared link models is instantaneous (a flow occupies both
+endpoint links from its start instant), so the operative lookahead for
+*transport* state is zero and the engine synchronises partitions at every
+event instant; the latency lookahead still governs protocol-level boundary
+messages and is reported so the engine can reason about both (see
+``DESIGN-parallel.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.utils.validation import ensure
+
+__all__ = [
+    "PARTITION_ENV",
+    "WORKERS_ENV",
+    "DEFAULT_PARTITIONS",
+    "region_of_name",
+    "resolve_partition_count",
+    "resolve_worker_count",
+    "effective_worker_count",
+    "StaticPartition",
+]
+
+#: Environment variable fixing the partition count of the parallel engine.
+PARTITION_ENV = "REPRO_PARALLEL_PARTITIONS"
+
+#: Environment variable sizing the parallel engine's worker pool.  Workers
+#: beyond the machine's cores (or beyond the partition count) buy nothing;
+#: :func:`effective_worker_count` applies both caps.
+WORKERS_ENV = "REPRO_PARALLEL_WORKERS"
+
+#: Partition count when neither an argument nor the environment chooses one.
+DEFAULT_PARTITIONS = 4
+
+#: Multiplier decorrelating the ordered region pair before the modulus; any
+#: odd constant works, this is the FNV prime (also used by intern tables).
+_PAIR_MIX = 0x01000193
+
+
+def region_of_name(name: str, region_count: int) -> int:
+    """The region of a node, from its name alone.
+
+    Names with a trailing integer (``auth-17``, ``relay-3``, ``cohort-0``)
+    use the netgen rule ``id mod region_count`` so the transport layer and
+    the topology layer agree on regions without plumbing a topology object
+    into the scheduler.  Other names hash via CRC32 (process-stable).
+    """
+    ensure(region_count >= 1, "region count must be at least 1")
+    tail = len(name)
+    while tail > 0 and name[tail - 1].isdigit():
+        tail -= 1
+    if tail < len(name):
+        return int(name[tail:]) % region_count
+    return zlib.crc32(name.encode("utf-8")) % region_count
+
+
+def _pair_mix(src_region: int, dst_region: int) -> int:
+    """Decorrelated ordered-pair index (plain ``rs*K + rd`` mod K == rd)."""
+    return (src_region * _PAIR_MIX) ^ dst_region
+
+
+def resolve_partition_count(explicit: Optional[int] = None) -> int:
+    """Partition count: explicit argument, else environment, else default.
+
+    ``REPRO_PARALLEL_PARTITIONS`` pins it directly (the conformance suite
+    sweeps 1/2/4); otherwise ``REPRO_PARALLEL_WORKERS`` doubles as the
+    partition count — one worker per partition is the engine's design point.
+    """
+    if explicit is not None:
+        ensure(explicit >= 1, "partition count must be at least 1")
+        return int(explicit)
+    for variable in (PARTITION_ENV, WORKERS_ENV):
+        raw = os.environ.get(variable)
+        if raw:
+            try:
+                value = int(raw)
+            except ValueError:
+                raise ValueError("%s must be an integer, got %r" % (variable, raw))
+            ensure(value >= 1, "%s must be at least 1" % variable)
+            return value
+    return DEFAULT_PARTITIONS
+
+
+def resolve_worker_count(explicit: Optional[int] = None) -> int:
+    """Requested worker-pool size: explicit argument, else environment, else 1.
+
+    This is the *requested* size; :func:`effective_worker_count` is what the
+    engine actually spawns.
+    """
+    if explicit is not None:
+        ensure(explicit >= 1, "worker count must be at least 1")
+        return int(explicit)
+    raw = os.environ.get(WORKERS_ENV)
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError("%s must be an integer, got %r" % (WORKERS_ENV, raw))
+        ensure(value >= 1, "%s must be at least 1" % WORKERS_ENV)
+        return value
+    return 1
+
+
+def effective_worker_count(
+    requested: Optional[int] = None, partitions: Optional[int] = None
+) -> int:
+    """Workers the engine actually uses: requested, capped by cores and partitions.
+
+    One worker per partition is the ceiling by construction (a worker owns
+    whole partitions), and workers beyond the machine's schedulable cores
+    only add context switching — ``scaling_sweep --progress`` labels
+    parallel cells with this number so an operator sees the real fan-out.
+    """
+    requested = resolve_worker_count(requested)
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        cores = os.cpu_count() or 1
+    cap = min(cores, resolve_partition_count(partitions))
+    return max(1, min(requested, cap))
+
+
+class StaticPartition:
+    """The frozen node→region and region-pair→partition maps of one run.
+
+    Built lazily by the parallel scheduler from the nodes it actually sees;
+    ``latency_fn`` (the network's pairwise latency lookup) prices boundary
+    channels so :meth:`lookahead` can report the minimum cross-partition
+    propagation latency — the conservative window for protocol-level
+    boundary messages.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        latency_fn: Optional[Callable[[str, str], float]] = None,
+    ) -> None:
+        ensure(count >= 1, "partition count must be at least 1")
+        self.count = int(count)
+        self._latency_fn = latency_fn
+        self._regions: Dict[str, int] = {}
+        #: Nodes per region, for boundary-channel enumeration.
+        self._members: Dict[int, List[str]] = {}
+        self._lookahead: Optional[float] = None
+
+    # -- maps --------------------------------------------------------------
+    def region_of(self, name: str) -> int:
+        """The node's region (cached; regions == partitions by count)."""
+        region = self._regions.get(name)
+        if region is None:
+            region = region_of_name(name, self.count)
+            self._regions[name] = region
+            self._members.setdefault(region, []).append(name)
+            self._lookahead = None  # a new node can open a cheaper boundary
+        return region
+
+    def partition_of_pair(self, src: str, dst: str) -> int:
+        """The authority-pair partition owning flows from ``src`` to ``dst``."""
+        return _pair_mix(self.region_of(src), self.region_of(dst)) % self.count
+
+    def is_boundary(self, src: str, dst: str) -> bool:
+        """Whether traffic from ``src`` to ``dst`` crosses partitions."""
+        return self.region_of(src) != self.region_of(dst)
+
+    # -- conservative window ----------------------------------------------
+    def lookahead(self) -> float:
+        """Minimum cross-region propagation latency over the known nodes.
+
+        The conservative bound on how far a partition may advance past the
+        global LBTS before a boundary message from a neighbour could still
+        arrive in its past.  ``inf`` with fewer than two populated regions
+        (no boundary channels at all) or without a latency function.
+        """
+        if self._lookahead is not None:
+            return self._lookahead
+        bound = float("inf")
+        if self._latency_fn is not None and len(self._members) > 1:
+            regions = sorted(self._members)
+            for i, ra in enumerate(regions):
+                for rb in regions[i + 1 :]:
+                    for a in self._members[ra]:
+                        for b in self._members[rb]:
+                            latency = self._latency_fn(a, b)
+                            if latency < bound:
+                                bound = latency
+        self._lookahead = bound
+        return bound
+
+    # -- introspection ------------------------------------------------------
+    def populated_regions(self) -> Tuple[int, ...]:
+        """Regions that have at least one known node (sorted)."""
+        return tuple(sorted(self._members))
+
+    def summary(self) -> Dict[str, object]:
+        """Partition accounting for traces and the design doc's examples."""
+        return {
+            "partitions": self.count,
+            "regions": {region: len(names) for region, names in sorted(self._members.items())},
+            "lookahead_s": self.lookahead(),
+        }
+
+    @classmethod
+    def build(
+        cls,
+        names: Iterable[str],
+        count: int,
+        latency_fn: Optional[Callable[[str, str], float]] = None,
+    ) -> "StaticPartition":
+        """Eagerly build the maps for ``names`` (tests and tooling)."""
+        partition = cls(count, latency_fn)
+        for name in names:
+            partition.region_of(name)
+        return partition

@@ -6,6 +6,8 @@ from repro.experiments.scaling_sweep import (
     ScalingCell,
     engine_speedup_at,
     engine_speedups,
+    parallel_speedup_at,
+    parallel_speedups,
     render_scaling,
     run_scaling_sweep,
     scaling_specs,
@@ -37,6 +39,7 @@ def synthetic_cells():
         cell("fair", 90, 10.0),
         cell("fair", 90, 40.0, engine="legacy"),
         cell("fair", 90, 2.5, engine="vector"),
+        cell("fair", 90, 1.25, engine="parallel"),
         cell("latency-only", 90, 5.0),
     ]
 
@@ -54,13 +57,19 @@ def test_scaling_specs_carry_the_transport_and_authority_grid():
 
 def test_small_scaling_sweep_runs_and_reports(tmp_path):
     cells = run_scaling_sweep(
-        authority_counts=(5,), relay_count=30, max_time=600.0, legacy_fair_counts=(5,)
+        authority_counts=(5,),
+        relay_count=30,
+        max_time=600.0,
+        legacy_fair_counts=(5,),
+        parallel_fair_counts=(5,),
     )
     # fair on every available engine, latency-only on the lazy engine
-    # only.  Numpy-less installs skip (not downgrade) the vector cells.
+    # only.  Numpy-less installs skip (not downgrade) the vector and
+    # parallel cells.
     expected = [("fair", "lazy"), ("fair", "legacy")]
     if vector_available():
         expected.append(("fair", "vector"))
+        expected.append(("fair", "parallel"))
     expected.append(("latency-only", "lazy"))
     assert [(cell.transport, cell.engine) for cell in cells] == expected
     assert all(cell.success for cell in cells)
@@ -73,13 +82,15 @@ def test_small_scaling_sweep_runs_and_reports(tmp_path):
 
     out = write_bench_json(cells, tmp_path / "BENCH_scaling.json")
     payload = json.loads(out.read_text())
-    assert payload["format"] == 3
-    assert len(payload["cells"]) == (4 if vector_available() else 3)
+    assert payload["format"] == 4
+    assert len(payload["cells"]) == (5 if vector_available() else 3)
     assert "current@5" in payload["speedup_fair_to_latency_only"]
     assert "current@5" in payload["speedup_fair_legacy_to_lazy"]
     if vector_available():
         assert "current@5" in payload["speedup_fair_lazy_to_vector"]
+        assert "current@5" in payload["speedup_fair_vector_to_parallel"]
     assert all(cell["peak_rss_mb"] > 0 for cell in payload["cells"])
+    assert all(cell["workers"] >= 1 for cell in payload["cells"])
 
 
 def test_speedup_at_reads_the_grid_point():
@@ -105,8 +116,16 @@ def test_vector_speedup_compares_lazy_to_vector_fair_cells():
     assert vector_speedups(cells) == [("current", 90, 4.0)]
 
 
+def test_parallel_speedup_compares_vector_to_parallel_fair_cells():
+    cells = synthetic_cells()
+    assert parallel_speedup_at(cells, 90) == 2.0
+    assert parallel_speedup_at(cells, 9) is None  # no parallel cell at N=9
+    assert parallel_speedups(cells) == [("current", 90, 2.0)]
+
+
 def test_render_scaling_annotates_speedups():
     text = render_scaling(synthetic_cells())
     assert "N=90 current: latency-only is 2.0x faster than fair" in text
     assert "N=90 current: lazy fair engine is 4.0x faster than legacy" in text
     assert "N=90 current: vector fair engine is 4.0x faster than lazy" in text
+    assert "N=90 current: parallel fair engine is 2.00x the vector engine" in text

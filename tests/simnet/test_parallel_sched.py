@@ -1,0 +1,421 @@
+"""Parallel-engine conformance: partition-sharded PDES ≡ lazy, summary-level.
+
+The partition-parallel scheduler (:mod:`repro.simnet.parallel_sched`)
+shards flow state by authority-pair region and synchronises shards at every
+event instant (the transport-level lookahead between partitions is zero —
+see ``DESIGN-parallel.md``).  Chips and rates are computed from the same
+global occupancy tables regardless of the partition count, so the engine is
+held to the established cross-engine contract: **summary equivalence** with
+the lazy engine — integer accounting exact, continuous values within
+``REL_TOLERANCE`` — for every partition count, every seed, and random fault
+plans.  The degenerate 1-partition configuration downgrades to the lazy
+engine itself and is asserted *byte*-identical, not merely equivalent.
+
+Everything degrades gracefully on a numpy-less install: the engine seam
+downgrades ``parallel`` to ``lazy`` (pinned by the fallback test, which the
+no-numpy CI leg exercises), and the numpy-only tests skip.
+"""
+
+import json
+import math
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.directory.authority import make_authorities
+from repro.netgen.topology_gen import generate_topology
+from repro.protocols.runner import execute_spec
+from repro.runtime.spec import PROTOCOL_NAMES, RunSpec
+from repro.simnet.bandwidth import BandwidthSchedule
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import (
+    effective_shared_engine,
+    make_flow_scheduler,
+    use_shared_engine,
+)
+from repro.simnet.linkmodel import get_link_model
+from repro.simnet.message import Message
+from repro.simnet.network import LinkConfig, SimNetwork
+from repro.simnet.node import ProtocolNode
+from repro.simnet.parallel_sched import (
+    PARALLEL_MODELS,
+    ParallelSharedLinkScheduler,
+    parallel_available,
+)
+from repro.simnet.partition import (
+    PARTITION_ENV,
+    StaticPartition,
+    WORKERS_ENV,
+    effective_worker_count,
+    region_of_name,
+    resolve_partition_count,
+)
+from repro.simnet.shared_sched import LazySharedLinkScheduler
+from tests.faults.test_conformance import random_fault_plan
+from tests.simnet.test_shared_sched import (
+    REL_TOLERANCE,
+    assert_equivalent,
+)
+from tests.simnet.test_transport_golden import run_transport_workload
+
+needs_numpy = pytest.mark.skipif(
+    not parallel_available(), reason="numpy not installed (the [perf] extra)"
+)
+
+
+@pytest.fixture
+def partitions(monkeypatch):
+    """Pin the partition count for the duration of one test."""
+
+    def pin(count):
+        monkeypatch.setenv(PARTITION_ENV, str(count))
+
+    return pin
+
+
+# -- the partition layer -------------------------------------------------------
+
+def test_region_rule_agrees_between_topology_and_transport_layers():
+    # The two layers never exchange a topology object; they agree because
+    # both apply ``id mod region_count`` — names carry the id.
+    authorities, _ring = make_authorities(9)
+    topology = generate_topology(authorities)
+    for count in (1, 2, 4, 7):
+        for authority in authorities:
+            assert topology.region_of(authority.authority_id, count) == region_of_name(
+                authority.name, count
+            )
+
+
+def test_region_of_name_without_trailing_digits_is_process_stable():
+    assert region_of_name("observer", 4) == region_of_name("observer", 4)
+    assert 0 <= region_of_name("observer", 3) < 3
+
+
+def test_static_partition_lookahead_matches_topology_min_cross_region_latency():
+    authorities, _ring = make_authorities(9)
+    topology = generate_topology(authorities)
+    for count in (2, 4):
+        partition = StaticPartition.build(
+            [a.name for a in authorities],
+            count,
+            latency_fn=lambda x, y, t=topology: t.latency_between(
+                int(x.rsplit("-", 1)[1]), int(y.rsplit("-", 1)[1])
+            ),
+        )
+        assert partition.lookahead() == pytest.approx(
+            topology.min_cross_region_latency(count)
+        )
+
+
+def test_lookahead_is_infinite_with_a_single_populated_region():
+    partition = StaticPartition.build(["auth-0", "auth-2", "auth-4"], 2, lambda a, b: 0.05)
+    assert partition.populated_regions() == (0,)
+    assert partition.lookahead() == float("inf")
+
+
+def test_resolve_partition_count_falls_back_to_worker_env(monkeypatch):
+    monkeypatch.delenv(PARTITION_ENV, raising=False)
+    monkeypatch.setenv(WORKERS_ENV, "3")
+    assert resolve_partition_count() == 3
+    monkeypatch.setenv(PARTITION_ENV, "2")
+    assert resolve_partition_count() == 2
+    assert resolve_partition_count(5) == 5
+
+
+def test_effective_worker_count_is_capped_by_cores_and_partitions(monkeypatch):
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set(range(8)), raising=False)
+    monkeypatch.setenv(PARTITION_ENV, "4")
+    assert effective_worker_count(16) == 4  # partition cap
+    assert effective_worker_count(2) == 2
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0}, raising=False)
+    assert effective_worker_count(16) == 1  # core cap
+
+
+# -- engine selection seam -----------------------------------------------------
+
+def test_parallel_request_selects_parallel_or_falls_back_to_lazy(partitions):
+    # Must pass WITH and WITHOUT numpy: requesting the parallel engine
+    # yields the partition scheduler when numpy is importable and silently
+    # downgrades to the (golden-pinned) lazy engine otherwise.
+    partitions(4)
+    with use_shared_engine("parallel"):
+        assert effective_shared_engine(transport="fair") == (
+            "parallel" if parallel_available() else "lazy"
+        )
+        scheduler = make_flow_scheduler(
+            get_link_model("fair"),
+            Simulator(),
+            {},
+            lambda flow: None,
+            lambda flow: None,
+        )
+    expected = (
+        ParallelSharedLinkScheduler if parallel_available() else LazySharedLinkScheduler
+    )
+    assert type(scheduler) is expected
+
+
+def test_one_partition_downgrades_to_the_lazy_engine(partitions):
+    partitions(1)
+    with use_shared_engine("parallel"):
+        assert effective_shared_engine(transport="fair") == "lazy"
+        scheduler = make_flow_scheduler(
+            get_link_model("fair"),
+            Simulator(),
+            {},
+            lambda flow: None,
+            lambda flow: None,
+        )
+    assert type(scheduler) is LazySharedLinkScheduler
+
+
+@pytest.mark.parametrize("transport", ["fifo", "tcp"])
+def test_models_without_a_parallel_policy_downgrade_to_lazy(partitions, transport):
+    assert transport not in PARALLEL_MODELS
+    partitions(4)
+    with use_shared_engine("parallel"):
+        assert effective_shared_engine(transport=transport) == "lazy"
+
+
+# -- conformance: parallel engine vs lazy engine -------------------------------
+
+def run_parallel_and_lazy(spec: RunSpec, partition_count: int):
+    with use_shared_engine("lazy"):
+        lazy = execute_spec(spec).summary()
+    previous = os.environ.get(PARTITION_ENV)
+    os.environ[PARTITION_ENV] = str(partition_count)
+    try:
+        with use_shared_engine("parallel"):
+            parallel = execute_spec(spec).summary()
+    finally:
+        if previous is None:
+            os.environ.pop(PARTITION_ENV, None)
+        else:
+            os.environ[PARTITION_ENV] = previous
+    return lazy, parallel
+
+
+@needs_numpy
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    protocol=st.sampled_from(PROTOCOL_NAMES),
+    partition_count=st.sampled_from([2, 4]),
+)
+def test_parallel_engine_is_summary_equivalent_to_lazy_under_random_fault_plans(
+    seed, protocol, partition_count
+):
+    spec = RunSpec(
+        protocol=protocol,
+        relay_count=30,
+        authority_count=5,
+        seed=seed % 1000,
+        max_time=700.0,
+        transport="fair",
+        fault_plan=random_fault_plan(seed),
+    )
+    lazy, parallel = run_parallel_and_lazy(spec, partition_count)
+    assert lazy["success"] == parallel["success"]
+    assert lazy["stats"]["messages_sent"] == parallel["stats"]["messages_sent"]
+    assert lazy["stats"]["messages_delivered"] == parallel["stats"]["messages_delivered"]
+    assert lazy["stats"]["messages_timed_out"] == parallel["stats"]["messages_timed_out"]
+    assert lazy["stats"]["messages_dropped"] == parallel["stats"]["messages_dropped"]
+    if lazy["faults"]:
+        assert lazy["faults"]["drops_by_cause"] == parallel["faults"]["drops_by_cause"]
+    assert_equivalent(lazy, parallel)
+
+
+@needs_numpy
+def test_one_partition_run_is_byte_identical_to_lazy():
+    # K=1 *is* the lazy engine (the seam downgrades), so the summaries are
+    # equal as JSON bytes, not merely equivalent to tolerance — and the
+    # result cache may share entries between the two configurations.
+    spec = RunSpec(
+        protocol="current",
+        relay_count=30,
+        authority_count=5,
+        seed=13,
+        max_time=700.0,
+        transport="fair",
+        fault_plan=random_fault_plan(13),
+    )
+    lazy, parallel = run_parallel_and_lazy(spec, 1)
+    assert json.dumps(lazy, sort_keys=True) == json.dumps(parallel, sort_keys=True)
+
+
+@needs_numpy
+def test_parallel_engine_matches_lazy_on_the_golden_workload_as_a_multiset(partitions):
+    # Same-instant completions settle in flow-id order across shards, so
+    # event ORDER may differ from lazy — compare as a multiset with
+    # per-pair timestamp tolerance (the vector engine's contract).
+    partitions(4)
+    with use_shared_engine("lazy"):
+        lazy = run_transport_workload("fair")
+    with use_shared_engine("parallel"):
+        parallel = run_transport_workload("fair")
+    assert lazy["stats"] == parallel["stats"]
+    assert len(lazy["events"]) == len(parallel["events"])
+
+    def keyed(record):
+        kind, msg_type, sender, dst, size, now = record
+        return ((kind, msg_type, sender, dst, size), now)
+
+    old = sorted(map(keyed, lazy["events"]))
+    new = sorted(map(keyed, parallel["events"]))
+    for (old_key, old_now), (new_key, new_now) in zip(old, new):
+        assert old_key == new_key
+        assert math.isclose(old_now, new_now, rel_tol=REL_TOLERANCE, abs_tol=1e-9)
+
+
+@needs_numpy
+def test_worker_pool_dispatch_is_conformant_with_serial_batches(partitions):
+    # Force the fan-out path even on a single-core host: the pool executes
+    # the same stateless ``_rate_batch``, so the workload must land on the
+    # identical summary.  (On real multi-core machines this is the default
+    # path for large batches.)
+    partitions(4)
+    with use_shared_engine("lazy"):
+        lazy = run_transport_workload("fair")
+    from repro.simnet import network as network_module
+
+    original_init = ParallelSharedLinkScheduler.__init__
+
+    def forced_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        self._workers = 2
+        self._fanout_min = 0
+
+    try:
+        ParallelSharedLinkScheduler.__init__ = forced_init
+        with use_shared_engine("parallel"):
+            pooled = run_transport_workload("fair")
+    finally:
+        ParallelSharedLinkScheduler.__init__ = original_init
+    assert lazy["stats"] == pooled["stats"]
+
+
+# -- partition trajectories are count-independent ------------------------------
+
+@needs_numpy
+def test_summaries_agree_across_partition_counts_to_tolerance():
+    spec = RunSpec(
+        protocol="current",
+        relay_count=30,
+        authority_count=7,
+        seed=42,
+        max_time=700.0,
+        transport="fair",
+    )
+    baseline, two = run_parallel_and_lazy(spec, 2)
+    _, four = run_parallel_and_lazy(spec, 4)
+    _, seven = run_parallel_and_lazy(spec, 7)
+    for summary in (two, four, seven):
+        assert summary["success"] == baseline["success"]
+        assert summary["stats"]["messages_sent"] == baseline["stats"]["messages_sent"]
+        assert_equivalent(baseline, summary)
+
+
+# -- edge cases, re-run under the parallel engine ------------------------------
+
+class _Sink(ProtocolNode):
+    def __init__(self, name, deliveries):
+        super().__init__(name)
+        self._deliveries = deliveries
+
+    def on_message(self, message, now):
+        self._deliveries.append((message.msg_type, now))
+
+
+def _two_node_network(dst_schedule, partitions_fixture):
+    partitions_fixture(4)
+    deliveries = []
+    network = SimNetwork(
+        transport="fair", shared_engine="parallel", default_latency_s=0.0
+    )
+    network.add_node(_Sink("src-0", deliveries), LinkConfig.symmetric_mbps(8.0))
+    network.add_node(_Sink("dst-1", deliveries), LinkConfig.symmetric(dst_schedule))
+    return network, deliveries
+
+
+@needs_numpy
+def test_parallel_strands_a_flow_whose_rate_drops_to_zero_forever(partitions):
+    schedule = BandwidthSchedule([0.0, 1.0], [1_000_000.0, 0.0])
+    network, deliveries = _two_node_network(schedule, partitions)
+    timeouts = []
+    network.send(
+        "src-0", "dst-1", Message(msg_type="DOC", size_bytes=2_000_000),
+        on_timeout=lambda message, dst: timeouts.append(network.simulator.now),
+    )
+    network.simulator.run_until_idle(max_events=1_000)
+    assert deliveries == []
+    assert timeouts == []
+    assert network.active_flow_count() == 1
+
+
+@needs_numpy
+def test_parallel_defers_completion_across_an_outage_window(partitions):
+    schedule = BandwidthSchedule([0.0, 1.0, 100.0], [1_000_000.0, 0.0, 1_000_000.0])
+    network, deliveries = _two_node_network(schedule, partitions)
+    network.send("src-0", "dst-1", Message(msg_type="DOC", size_bytes=2_000_000))
+    network.simulator.run_until_idle(max_events=1_000)
+    assert [kind for kind, _now in deliveries] == ["DOC"]
+    assert deliveries[0][1] == pytest.approx(101.0, rel=1e-9)
+
+
+@needs_numpy
+def test_parallel_deadline_exactly_on_a_bandwidth_breakpoint_times_out(partitions):
+    schedule = BandwidthSchedule([0.0, 10.0], [0.0, 1_000_000.0])
+    network, deliveries = _two_node_network(schedule, partitions)
+    timeouts = []
+    network.send(
+        "src-0", "dst-1", Message(msg_type="DOC", size_bytes=500_000),
+        timeout=10.0,
+        on_timeout=lambda message, dst: timeouts.append(network.simulator.now),
+    )
+    network.simulator.run_until_idle(max_events=1_000)
+    assert deliveries == []
+    assert timeouts == [10.0]
+    assert network.active_flow_count() == 0
+
+
+@needs_numpy
+def test_parallel_sub_ulp_residual_completes_instead_of_livelocking(partitions):
+    partitions(4)
+    start = float(2**20)
+    deliveries = []
+    network = SimNetwork(
+        transport="fair", shared_engine="parallel", default_latency_s=0.0
+    )
+    fast = LinkConfig.symmetric(BandwidthSchedule.constant(1e9))
+    network.add_node(_Sink("src-0", deliveries), fast)
+    network.add_node(_Sink("dst-1", deliveries), fast)
+    network.simulator.schedule(
+        start,
+        lambda: network.send("src-0", "dst-1", Message(msg_type="DOC", size_bytes=0.05)),
+    )
+    network.simulator.run_until_idle(max_events=1_000)
+    assert [kind for kind, _now in deliveries] == ["DOC"]
+    assert deliveries[0][1] == start
+    assert network.active_flow_count() == 0
+
+
+@needs_numpy
+def test_partition_summary_reports_counts_workers_and_lookahead(partitions):
+    partitions(4)
+    network = SimNetwork(
+        transport="fair", shared_engine="parallel", default_latency_s=0.04
+    )
+    deliveries = []
+    network.add_node(_Sink("auth-0", deliveries), LinkConfig.symmetric_mbps(8.0))
+    network.add_node(_Sink("auth-1", deliveries), LinkConfig.symmetric_mbps(8.0))
+    network.send("auth-0", "auth-1", Message(msg_type="DOC", size_bytes=1000))
+    network.simulator.run_until_idle(max_events=100)
+    summary = network._scheduler.partition_summary()
+    assert summary["partitions"] == 4
+    assert summary["workers"] >= 1
+    # Two populated regions, priced off the pairwise latency table.
+    assert summary["lookahead_s"] == pytest.approx(0.04)
+    assert sum(summary["regions"].values()) == 2
