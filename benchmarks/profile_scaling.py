@@ -19,6 +19,8 @@ Usage::
     PYTHONPATH=src python benchmarks/profile_scaling.py \\
         --authorities 120 --compare
     PYTHONPATH=src python benchmarks/profile_scaling.py \\
+        --authorities 120 --phases
+    PYTHONPATH=src python benchmarks/profile_scaling.py \\
         --engine parallel --partitions 4 --authorities 120
 
 ``--partitions`` pins ``REPRO_PARALLEL_PARTITIONS`` for the process, so a
@@ -52,6 +54,7 @@ from repro.simnet.flows import (
     effective_shared_engine,
     use_shared_engine,
 )
+from repro.utils import phases
 
 #: Default cohort count for --clients (the Figure 13 grid's).
 DEFAULT_COHORTS = 32
@@ -172,6 +175,61 @@ def compare_engines(
         )
 
 
+def phase_cell(
+    authorities: int = 90,
+    transport: str = "fair",
+    engine: str = "lazy",
+    protocol: str = "current",
+    relay_count: int = 200,
+    seed: int = 7,
+    max_time: float = 600.0,
+    clients: int = 0,
+    cohorts: int = DEFAULT_COHORTS,
+) -> dict:
+    """Run one cell with phase attribution enabled and print the buckets.
+
+    The phase timers split the run's wall clock into *exclusive* buckets —
+    transport (engine loop + flow admission/rate recompute), protocol
+    (timer and delivery callbacks), crypto (HMAC sign/verify), client_wave
+    (cohort wave ticks) — plus an ``other`` remainder (setup, aggregation,
+    summary).  Everything except ``transport`` is the **non-transport
+    floor**: the budget a perf regression should be attributed against
+    before blaming the flow scheduler.  Returns the bucket dict.
+    """
+    spec = _cell_spec(
+        authorities, transport, protocol, relay_count, seed, max_time, clients, cohorts
+    )
+    with use_shared_engine(engine):
+        result, buckets, wall_s = phases.profile(execute_spec, spec)
+    print(
+        "cell: %s@%d transport=%s engine=%s success=%s messages=%d wall=%.2fs"
+        % (
+            protocol,
+            authorities,
+            transport,
+            engine,
+            result.success,
+            result.stats.messages_sent,
+            wall_s,
+        )
+    )
+    print("%-12s %10s %7s" % ("phase", "time (s)", "share"))
+    print("-" * 31)
+    for bucket in (*phases.BUCKETS, "other"):
+        spent = buckets.get(bucket, 0.0)
+        print(
+            "%-12s %10.2f %6.1f%%"
+            % (bucket, spent, 100.0 * spent / wall_s if wall_s else 0.0)
+        )
+    # non_transport_total sums every non-transport entry, "other" included.
+    floor = phases.non_transport_total(buckets)
+    print("-" * 31)
+    print("%-12s %10.2f %6.1f%%" % (
+        "floor", floor, 100.0 * floor / wall_s if wall_s else 0.0,
+    ))
+    return buckets
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--authorities", type=int, default=90)
@@ -202,6 +260,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="time the cell once per engine and print a speedup table "
         "instead of profiling",
     )
+    parser.add_argument(
+        "--phases",
+        action="store_true",
+        help="run the cell with phase attribution (transport / protocol / "
+        "crypto / client_wave buckets) instead of cProfile",
+    )
     parser.add_argument("--top", type=int, default=30, help="functions to print")
     parser.add_argument(
         "--sort", default="cumulative", help="pstats sort key (cumulative, tottime, ...)"
@@ -218,6 +282,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         compare_engines(
             authorities=args.authorities,
             transport=args.transport,
+            protocol=args.protocol,
+            clients=args.clients,
+            cohorts=args.cohorts,
+        )
+        return 0
+
+    if args.phases:
+        phase_cell(
+            authorities=args.authorities,
+            transport=args.transport,
+            engine=args.engine,
             protocol=args.protocol,
             clients=args.clients,
             cohorts=args.cohorts,

@@ -8,15 +8,24 @@ timed cell by cell.  It deliberately bypasses the session sweep executor and
 its cache — a cache hit would report a near-zero wall clock and poison the
 comparison.
 
-Four acceptance bars are asserted:
+Five acceptance bars are asserted:
 
 * the lazy-advance bar — ``fair`` on the lazy engine ≥3× faster than the
   same spec on the legacy global-recompute engine at the 10×-paper point
-  (measured ~5.9× on the reference machine); and
+  (measured ~5.9× on the reference machine pre-batching, ~21× after the
+  batched-dispatch PR, which speeds the lazy engine but not the legacy
+  reference); and
 * the vectorized bar — ``fair`` on the structure-of-arrays vector engine
-  ≥3× faster than the same spec on the lazy engine at the 120-authority
-  point (skipped without numpy, where vector requests run the lazy
-  fallback); and
+  still ahead of the lazy engine at the 120-authority point (skipped
+  without numpy, where vector requests run the lazy fallback).  PR 8's
+  ≥3× form of this bar was *obsoleted by batched dispatch*: transitive
+  same-instant completion batching removed the scalar wave-completion
+  blow-up that vectorization originally amortized, and lazy ``fair``@120
+  fell from ~12.6 s to ~4.8 s, shrinking the lazy→vector gap from ~4×
+  to the measured ~1.5×.  The assertion now pins direction plus margin
+  (≥1.1×) at the point where batch width is widest; vector's real
+  remaining win is the 300-authority cell (~26 s vs ~102 s scalar lazy,
+  measured out-of-sweep); and
 * the partition-parallel bar — ``fair`` on the partition-sharded parallel
   engine within noise of the vector engine at the 300-authority point
   (also numpy-gated).  The tentpole issue targeted ≥2× over vector at 4
@@ -38,12 +47,20 @@ Four acceptance bars are asserted:
   assertion now pins the direction and a conservative margin at the
   largest N, where the remaining coupling cost is widest.
 
+A fifth assertion is the *non-transport floor tripwire*: format-5 cells
+carry exclusive phase buckets (``repro.utils.phases``), and the summed
+non-transport time of the lazy ``fair`` cell at the stretch point must
+stay under a generous budget (measured ~0.7 s after the batched-dispatch
+PR, asserted <2.5 s) — it catches per-recipient serialization or dispatch
+overhead creeping back in without failing on machine noise.
+
 The sweep's numbers are written to ``BENCH_scaling.json`` next to this
-run's working directory (a committed format-4 snapshot from the reference
-machine lives at the repo root; format 4 adds the parallel cells at 120
-and 300 authorities, the per-cell effective ``workers`` count, and the
-vector→parallel table, on top of format 3's 300-authority cells,
-per-cell ``peak_rss_mb`` high-water mark, and lazy→vector table).
+run's working directory (a committed format-5 snapshot from the reference
+machine lives at the repo root; format 5 adds per-cell ``phases`` buckets
+and the ``non_transport_floor_fair`` table, on top of format 4's parallel
+cells at 120 and 300 authorities, per-cell effective ``workers`` count,
+and vector→parallel table, and format 3's 300-authority cells, per-cell
+``peak_rss_mb`` high-water mark, and lazy→vector table).
 """
 
 import pytest
@@ -92,10 +109,11 @@ def test_bench_scaling_sweep(benchmark, tmp_path):
     if vector_available():
         vector_speedup = vector_speedup_at(cells, STRETCH)
         assert vector_speedup is not None
-        # The vectorized acceptance bar: batch rate recompute over numpy
-        # slot arrays must beat the scalar lazy loop >=3x where coupling
-        # cost is widest.
-        assert vector_speedup >= 3.0, (
+        # The vectorized bar, re-anchored post-batched-dispatch (see module
+        # docstring): the numpy engine must stay ahead of the scalar lazy
+        # loop where batch width is widest (measured ~1.5x; the old >=3x
+        # margin was the scalar wave-completion blow-up, now batched away).
+        assert vector_speedup >= 1.1, (
             "vector-engine fair speedup at N=%d was %.2fx" % (STRETCH, vector_speedup)
         )
         # The 300-authority cells exist and succeeded on the vector and
@@ -132,4 +150,20 @@ def test_bench_scaling_sweep(benchmark, tmp_path):
     # sharing-free model must stay ahead where coupling cost is widest.
     assert transport_speedup >= 1.5, (
         "latency-only speedup at N=%d was %.2fx" % (STRETCH, transport_speedup)
+    )
+
+    # The non-transport floor tripwire (see module docstring): everything a
+    # lazy fair cell spends outside the transport bucket — protocol logic,
+    # crypto, dispatch — must stay within budget at the stretch point.
+    floor_cells = [
+        cell for cell in cells
+        if cell.transport == "fair"
+        and cell.engine == "lazy"
+        and cell.authority_count == STRETCH
+    ]
+    assert len(floor_cells) == 1
+    floor = floor_cells[0].non_transport_floor_s
+    assert floor > 0.0, "phase attribution missing from the lazy fair cell"
+    assert floor < 2.5, (
+        "non-transport floor at fair@%d (lazy) was %.2fs" % (STRETCH, floor)
     )

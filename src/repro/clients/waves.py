@@ -40,6 +40,7 @@ from repro.clients.sampling import (
     binomial_from_uniform,
     gaussian_binomial,
 )
+from repro.utils import phases
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.clients.cohort import ClientCohortNode
@@ -88,6 +89,16 @@ class CohortWaveScheduler:
 
     # -- tick servicing ----------------------------------------------------
     def _on_tick(self, when: float) -> None:
+        if phases.ENABLED:
+            phases.enter(phases.CLIENT_WAVE)
+            try:
+                self._service_tick(when)
+            finally:
+                phases.leave()
+            return
+        self._service_tick(when)
+
+    def _service_tick(self, when: float) -> None:
         cohorts = self._buckets.pop(when)
         injector = self._network.fault_injector
         if injector is not None:

@@ -36,6 +36,7 @@ from repro.core.dissemination import DisseminationTracker
 from repro.core.proofs import DigestVectorValue, ProposalMessage, validate_digest_vector
 from repro.crypto.keys import KeyPair, KeyRing
 from repro.crypto.signatures import SIGNATURE_SIZE_BYTES, Signature
+from repro.utils.memo import instance_memo
 from repro.utils.validation import ValidationError, ensure
 
 #: Timer identifiers used by the ICPS layer itself.
@@ -58,7 +59,14 @@ class ICPSMessage:
 
     @property
     def size_bytes(self) -> int:
-        """Wire size of the message, derived from its payload."""
+        """Wire size of the message, derived from its payload.
+
+        Memoised on the instance: payloads are not mutated after the message
+        is built, and a broadcast prices the same message once per peer.
+        """
+        return instance_memo(self, "_size", self._compute_size_bytes)
+
+    def _compute_size_bytes(self) -> int:
         base = 64  # framing
         if self.msg_type == "DOCUMENT":
             document: Document = self.payload["document"]

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.crypto.digest import DIGEST_SIZE_BYTES
 from repro.crypto.keys import KeyPair, KeyRing
 from repro.crypto.signatures import SIGNATURE_SIZE_BYTES, Signature, sign, verify
+from repro.utils.memo import instance_memo
 from repro.utils.validation import ValidationError
 
 #: Signature context for digest claims.
@@ -95,8 +96,12 @@ class ProposalMessage:
 
     @property
     def size_bytes(self) -> int:
-        """Wire size of the proposal."""
-        return sum(entry.size_bytes for entry in self.entries) + len(self.proposer)
+        """Wire size of the proposal (entries are frozen, so computed once)."""
+        return instance_memo(
+            self,
+            "_size",
+            lambda: sum(entry.size_bytes for entry in self.entries) + len(self.proposer),
+        )
 
     def entry_for(self, subject: str) -> Optional[ProposalEntry]:
         """The entry about ``subject`` (None if absent)."""
@@ -104,6 +109,22 @@ class ProposalMessage:
             if entry.subject == subject:
                 return entry
         return None
+
+
+def _verdict_memo(obj: object, ring: KeyRing, nodes: Sequence[str], f: int):
+    """Per-instance validation-verdict cache for frozen signed objects.
+
+    Broadcast dissemination re-validates the *same* proposal or digest vector
+    once per receiving authority; the verdict only depends on the (immutable)
+    object and the ``(ring, nodes, f)`` validation context, so it is cached on
+    the instance.  The ring keys by identity — a different ring (different
+    keys) gets its own verdict.  Returns ``(memo, key)``.
+    """
+    memo = obj.__dict__.get("_verdict_memo")
+    if memo is None:
+        memo = {}
+        object.__setattr__(obj, "_verdict_memo", memo)
+    return memo, (ring, tuple(nodes), f)
 
 
 def validate_proposal(
@@ -118,7 +139,23 @@ def validate_proposal(
     claim signature on every entry, carries the subject's own signature on
     every non-⊥ entry, and has at least ``n - f`` non-⊥ entries (a node only
     proposes once it received that many documents).
+
+    The verdict is cached per ``(ring, nodes, f)``: every authority receiving
+    a relayed copy of the same proposal object reuses the first validation.
     """
+    memo, key = _verdict_memo(proposal, ring, nodes, f)
+    verdict = memo.get(key)
+    if verdict is None:
+        verdict = memo[key] = _validate_proposal_uncached(proposal, ring, nodes, f)
+    return verdict
+
+
+def _validate_proposal_uncached(
+    proposal: ProposalMessage,
+    ring: KeyRing,
+    nodes: Sequence[str],
+    f: int,
+) -> bool:
     expected = list(nodes)
     subjects = [entry.subject for entry in proposal.entries]
     if subjects != expected:
@@ -200,23 +237,37 @@ class DigestVectorValue:
     @property
     def size_bytes(self) -> int:
         """Wire size of the ``(H, π)`` pair (Table 1's O(n²κ) consensus input)."""
-        total = len(self.leader)
-        for name, digest, proof in self.entries:
-            total += len(name) + (DIGEST_SIZE_BYTES if digest is not None else 0)
-            total += proof.size_bytes
-        return total
+
+        def compute() -> int:
+            total = len(self.leader)
+            for name, digest, proof in self.entries:
+                total += len(name) + (DIGEST_SIZE_BYTES if digest is not None else 0)
+                total += proof.size_bytes
+            return total
+
+        return instance_memo(self, "_size", compute)
 
     def canonical_encoding(self) -> bytes:
-        """Stable encoding used by the consensus engines' value digests."""
-        parts: List[bytes] = [self.leader.encode("utf-8")]
-        for name, digest, proof in self.entries:
-            parts.append(name.encode("utf-8"))
-            parts.append(digest if digest is not None else b"<bottom>")
-            parts.append(proof.kind.encode("utf-8"))
-            for signature in proof.signatures:
-                parts.append(signature.signer.encode("utf-8"))
-                parts.append(signature.tag)
-        return b"|".join(parts)
+        """Stable encoding used by the consensus engines' value digests.
+
+        The vector is frozen, so the encoding is computed once and memoised:
+        every vote, digest, and view change hashes this value, and at ``n``
+        authorities the walk covers ``O(n)`` entries with ``O(f)`` signatures
+        each.
+        """
+
+        def compute() -> bytes:
+            parts: List[bytes] = [self.leader.encode("utf-8")]
+            for name, digest, proof in self.entries:
+                parts.append(name.encode("utf-8"))
+                parts.append(digest if digest is not None else b"<bottom>")
+                parts.append(proof.kind.encode("utf-8"))
+                for signature in proof.signatures:
+                    parts.append(signature.signer.encode("utf-8"))
+                    parts.append(signature.tag)
+            return b"|".join(parts)
+
+        return instance_memo(self, "_encoding", compute)
 
 
 def validate_digest_vector(
@@ -232,9 +283,27 @@ def validate_digest_vector(
     valid claims on its digest; every ⊥ entry carries either an equivocation
     proof (two conflicting subject signatures) or ``f + 1`` distinct valid
     ⊥-claims.
+
+    The verdict is cached per ``(ring, nodes, f)`` on the (frozen) value:
+    the agreement engine hands the same ``(H, π)`` object to every replica's
+    external-validity predicate, and the claim-set checks are the crypto-heavy
+    part of the round.
     """
     if not isinstance(value, DigestVectorValue):
         return False
+    memo, key = _verdict_memo(value, ring, nodes, f)
+    verdict = memo.get(key)
+    if verdict is None:
+        verdict = memo[key] = _validate_digest_vector_uncached(value, ring, nodes, f)
+    return verdict
+
+
+def _validate_digest_vector_uncached(
+    value: DigestVectorValue,
+    ring: KeyRing,
+    nodes: Sequence[str],
+    f: int,
+) -> bool:
     expected = list(nodes)
     subjects = [name for name, _digest, _proof in value.entries]
     if subjects != expected:

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 from repro.crypto.keys import KeyPair, KeyRing
+from repro.utils import phases
 from repro.utils.memo import instance_memo
 
 #: Modelled wire size of one signature (κ in the paper's analysis).
@@ -73,6 +74,16 @@ class Signature:
 
 def sign(pair: KeyPair, context: str, message: Union[str, bytes, None]) -> Signature:
     """Sign ``(context, message)`` with ``pair``."""
+    if phases.ENABLED:
+        phases.enter(phases.CRYPTO)
+        try:
+            return _sign(pair, context, message)
+        finally:
+            phases.leave()
+    return _sign(pair, context, message)
+
+
+def _sign(pair: KeyPair, context: str, message: Union[str, bytes, None]) -> Signature:
     payload = _canonical_payload(context, message)
     normalized = None if message is None else (
         message.encode("utf-8") if isinstance(message, str) else bytes(message)
@@ -107,7 +118,14 @@ def verify(ring: KeyRing, signature: Signature) -> bool:
         object.__setattr__(signature, "_verify_memo", memo)
     verdict = memo.get(pair)
     if verdict is None:
-        expected = pair.mac(signature.canonical_payload())
+        if phases.ENABLED:
+            phases.enter(phases.CRYPTO)
+            try:
+                expected = pair.mac(signature.canonical_payload())
+            finally:
+                phases.leave()
+        else:
+            expected = pair.mac(signature.canonical_payload())
         verdict = _constant_time_eq(expected, signature.tag)
         memo[pair] = verdict
     return verdict

@@ -184,6 +184,21 @@ _AGGREGATION_MEMO_MAX = 64
 _aggregation_memo: "OrderedDict[Tuple, Dict[str, Relay]]" = OrderedDict()
 
 
+def clear_aggregation_caches() -> None:
+    """Drop the process-global aggregation caches.
+
+    Both caches here are process-global state that outlives a run: the
+    relay-map memo above and the ``version_sort_key`` ``lru_cache``.  Sweep
+    worker processes call this from their pool initialiser so a forked
+    worker starts from a clean slate instead of inheriting (and pinning)
+    the parent's cached relay maps — forked COW pages stay shared only
+    until the OrderedDict reorders itself, after which every worker pays
+    for a private copy of relay maps it may never hit again.
+    """
+    _aggregation_memo.clear()
+    version_sort_key.cache_clear()
+
+
 def _aggregate_relay_map(
     ordered: Sequence[VoteDocument], config: AggregationConfig
 ) -> Dict[str, Relay]:

@@ -139,12 +139,36 @@ class ConsensusDocument:
             self.__dict__["_digest_hex"] = cached
         return cached[1]
 
+    def body_bytes(self) -> bytes:
+        """UTF-8 wire encoding of the unsigned body (memoized like the body).
+
+        This is the zero-copy serving seam: directory caches and mirrors
+        answer one fetch per client per wave, and re-encoding a multi-hundred
+        relay body per fetch dominated the serving cost.  The cache is keyed
+        on the relay count, exactly like :meth:`serialize_body`.
+        """
+        cached = self.__dict__.get("_body_bytes")
+        if cached is None or cached[0] != len(self.relays):
+            cached = (len(self.relays), self.serialize_body().encode("utf-8"))
+            self.__dict__["_body_bytes"] = cached
+        return cached[1]
+
     @property
     def size_bytes(self) -> int:
-        """Wire size of the body plus attached signatures."""
-        return len(self.serialize_body().encode("utf-8")) + sum(
-            signature.size_bytes for signature in self.signatures
-        )
+        """Wire size of the body plus attached signatures.
+
+        The body length is memoized via :meth:`body_bytes`; the signature sum
+        is cached keyed on the signature count, which only grows (duplicates
+        are dropped by :meth:`add_signature`).
+        """
+        cached = self.__dict__.get("_signature_bytes")
+        if cached is None or cached[0] != len(self.signatures):
+            cached = (
+                len(self.signatures),
+                sum(signature.size_bytes for signature in self.signatures),
+            )
+            self.__dict__["_signature_bytes"] = cached
+        return len(self.body_bytes()) + cached[1]
 
     # -- signatures ----------------------------------------------------------
     def sign_with(self, authority_id: int, fingerprint: str, keypair: KeyPair) -> ConsensusSignature:

@@ -37,10 +37,12 @@ the two largest counts (120, 300), where sharding has links to gate.
 only) runs at paper scale and 30 authorities, pricing per-flow congestion
 control against the memoryless ``fair`` model.  Cells run serially and in-process (never through a result
 cache) so the timings measure simulation cost, not cache or pool behaviour.
-:func:`write_bench_json` emits the numbers (format 4: parallel cells with
-per-cell ``workers``, and the ``speedup_fair_vector_to_parallel`` table on
-top of format 3's 300-authority cells, per-cell ``engine`` and
-``peak_rss_mb``, and ``speedup_fair_lazy_to_vector``).
+:func:`write_bench_json` emits the numbers (format 5: per-cell ``phases``
+wall-clock buckets and the ``non_transport_floor_fair`` table, on top of
+format 4's parallel cells with per-cell ``workers`` and
+``speedup_fair_vector_to_parallel``, format 3's 300-authority cells,
+per-cell ``engine`` and ``peak_rss_mb``, and
+``speedup_fair_lazy_to_vector``).
 """
 
 from __future__ import annotations
@@ -48,14 +50,14 @@ from __future__ import annotations
 import argparse
 import json
 import resource
-import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.reporting import format_table
 from repro.runtime.spec import RunSpec
 from repro.simnet.flows import effective_shared_engine, use_shared_engine
+from repro.utils import phases as phase_timers
 from repro.utils.validation import ensure
 
 #: Authority count evaluated throughout the paper (the live Tor network).
@@ -105,8 +107,14 @@ DEFAULT_PARALLEL_FAIR_COUNTS = (120, 300)
 #: at :data:`DEFAULT_PARALLEL_FAIR_COUNTS`, cells carry ``workers`` (the
 #: effective partition-worker count, 1 for every in-process engine), and
 #: ``speedup_fair_vector_to_parallel`` reports the vector→parallel
-#: wall-clock ratio per authority count.
-BENCH_FORMAT_VERSION = 4
+#: wall-clock ratio per authority count.  Version 5: cells carry ``phases``
+#: (exclusive wall-clock buckets — transport / protocol / crypto /
+#: client_wave / other — from :mod:`repro.utils.phases`; the attribution
+#: adds ~1–2 % overhead, paid by every cell so the buckets always sum to
+#: the recorded wall clock) and ``non_transport_floor_fair`` reports each
+#: fair cell's non-transport bucket total per ``engine@N`` — the floor the
+#: batched-dispatch work shrinks and the tripwire tests pin.
+BENCH_FORMAT_VERSION = 5
 
 
 def _peak_rss_mb() -> float:
@@ -135,6 +143,14 @@ class ScalingCell:
     engine: str = "lazy"
     peak_rss_mb: float = 0.0
     workers: int = 1
+    #: Exclusive wall-clock buckets (transport / protocol / crypto /
+    #: client_wave / other) from :mod:`repro.utils.phases`; format 5.
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def non_transport_floor_s(self) -> float:
+        """Seconds of wall clock outside the ``transport`` bucket."""
+        return phase_timers.non_transport_total(self.phases)
 
 
 def scaling_specs(
@@ -178,9 +194,7 @@ def _timed_cell(spec: RunSpec, engine: str) -> ScalingCell:
         # partition count, so a 4-worker request on a 1-core container is
         # honestly recorded (and labelled by --progress) as 1.
         workers = effective_worker_count() if effective == "parallel" else 1
-        started = time.perf_counter()
-        result = execute_spec(spec)
-        elapsed = time.perf_counter() - started
+        result, buckets, elapsed = phase_timers.profile(execute_spec, spec)
     return ScalingCell(
         protocol=spec.protocol,
         transport=spec.transport,
@@ -193,6 +207,9 @@ def _timed_cell(spec: RunSpec, engine: str) -> ScalingCell:
         engine=effective,
         peak_rss_mb=_peak_rss_mb(),
         workers=workers,
+        # Rounded to the microsecond: the JSON is committed, and sub-µs
+        # noise would churn every regeneration diff.
+        phases={name: round(value, 6) for name, value in buckets.items()},
     )
 
 
@@ -477,6 +494,16 @@ def write_bench_json(
         "%s@%d" % (protocol, authority_count): speedup
         for protocol, authority_count, speedup in parallel_speedups(cells)
     }
+    # The non-transport floor per fair cell, keyed engine@N: the seconds a
+    # faster flow scheduler cannot remove.  Format 5's headline table — the
+    # batched-dispatch work is judged by this shrinking across snapshots.
+    floor_fair = {
+        "%s@%d" % (cell.engine, cell.authority_count): round(
+            cell.non_transport_floor_s, 6
+        )
+        for cell in cells
+        if cell.transport == "fair" and cell.phases
+    }
     payload = {
         "format": BENCH_FORMAT_VERSION,
         "paper_authority_count": PAPER_AUTHORITY_COUNT,
@@ -485,6 +512,7 @@ def write_bench_json(
         "speedup_fair_legacy_to_lazy": legacy_to_lazy,
         "speedup_fair_lazy_to_vector": lazy_to_vector,
         "speedup_fair_vector_to_parallel": vector_to_parallel,
+        "non_transport_floor_fair": floor_fair,
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

@@ -43,17 +43,16 @@ class CurrentProtocolAuthority(DirectoryAuthorityNode):
         self._fetch_requested_from: List[str] = []
 
         self.log("notice", "Time to vote.")
-        for peer in self.peers:
-            self.send(
-                peer.name,
-                Message(
-                    msg_type="V3/VOTE",
-                    payload=self.vote,
-                    size_bytes=self.vote.size_bytes,
-                ),
-                timeout=self.config.connection_timeout,
-                on_timeout=self._on_vote_push_timeout,
-            )
+        self.broadcast_message(
+            Message(
+                msg_type="V3/VOTE",
+                payload=self.vote,
+                size_bytes=self.vote.size_bytes,
+            ),
+            targets=[peer.name for peer in self.peers],
+            timeout=self.config.connection_timeout,
+            on_timeout=self._on_vote_push_timeout,
+        )
 
         round_length = self.config.round_duration
         self.set_timer_at(self._start_time + round_length, self._fetch_votes_round)
@@ -124,13 +123,13 @@ class CurrentProtocolAuthority(DirectoryAuthorityNode):
             % (len(missing), fingerprints),
         )
         missing_ids = [authority.authority_id for authority in missing]
-        for peer in self.peers:
-            self._fetch_requested_from.append(peer.name)
-            self.send(
-                peer.name,
-                Message(msg_type="V3/VOTE_FETCH", payload=tuple(missing_ids), size_bytes=512),
-                timeout=self.config.connection_timeout,
-            )
+        peer_names = [peer.name for peer in self.peers]
+        self._fetch_requested_from.extend(peer_names)
+        self.broadcast_message(
+            Message(msg_type="V3/VOTE_FETCH", payload=tuple(missing_ids), size_bytes=512),
+            targets=peer_names,
+            timeout=self.config.connection_timeout,
+        )
         self.set_timer(self.config.connection_timeout, self._report_failed_fetches, set(missing_ids))
 
     def _report_failed_fetches(self, requested_ids: set) -> None:
@@ -181,28 +180,26 @@ class CurrentProtocolAuthority(DirectoryAuthorityNode):
             "Consensus computed; broadcasting signature over digest %s."
             % consensus.digest_hex()[:16],
         )
-        for peer in self.peers:
-            self.send(
-                peer.name,
-                Message(
-                    msg_type="V3/SIGNATURE",
-                    payload=own_record,
-                    size_bytes=self.config.signature_size_bytes,
-                ),
-                timeout=self.config.connection_timeout,
-            )
+        self.broadcast_message(
+            Message(
+                msg_type="V3/SIGNATURE",
+                payload=own_record,
+                size_bytes=self.config.signature_size_bytes,
+            ),
+            targets=[peer.name for peer in self.peers],
+            timeout=self.config.connection_timeout,
+        )
 
     # -- round 4: fetch signatures ---------------------------------------------------------
     def _fetch_signatures_round(self) -> None:
         if self.consensus is None:
             return
         self.log("notice", "Time to fetch any signatures that we're missing.")
-        for peer in self.peers:
-            self.send(
-                peer.name,
-                Message(msg_type="V3/SIGNATURE_FETCH", payload=None, size_bytes=256),
-                timeout=self.config.connection_timeout,
-            )
+        self.broadcast_message(
+            Message(msg_type="V3/SIGNATURE_FETCH", payload=None, size_bytes=256),
+            targets=[peer.name for peer in self.peers],
+            timeout=self.config.connection_timeout,
+        )
 
     def _serve_signature_fetch(self, message: Message) -> None:
         if self.consensus is None:

@@ -32,7 +32,7 @@ from repro.directory.authority import DirectoryAuthority
 from repro.directory.consensus_doc import ConsensusSignature
 from repro.directory.vote import VoteDocument
 from repro.protocols.base import DirectoryAuthorityNode, DirectoryProtocolConfig
-from repro.simnet.message import Message
+from repro.simnet.message import Message, SharedPayload
 
 
 class PartialSyncAuthority(DirectoryAuthorityNode):
@@ -94,8 +94,7 @@ class PartialSyncAuthority(DirectoryAuthorityNode):
             if isinstance(action, SendAction):
                 self._send_icps(action.to, action.message)
             elif isinstance(action, BroadcastAction):
-                for peer in self.peers:
-                    self._send_icps(peer.name, action.message)
+                self._broadcast_icps(action.message)
             elif isinstance(action, SetTimerAction):
                 self.set_timer(action.duration, self._on_icps_timer, action.timer_id)
             elif isinstance(action, DecideAction) and isinstance(action.value, ICPSOutput):
@@ -105,6 +104,17 @@ class PartialSyncAuthority(DirectoryAuthorityNode):
         self.send(
             destination,
             Message(msg_type="ICPS", payload=icps_message, size_bytes=icps_message.size_bytes),
+        )
+
+    def _broadcast_icps(self, icps_message: ICPSMessage) -> None:
+        # Size the payload once for the whole burst: pricing a PROPOSAL walks
+        # every entry, so doing it per destination is O(N^2) work per round.
+        self.broadcast_message(
+            Message(
+                msg_type="ICPS",
+                payload=SharedPayload(icps_message, icps_message.size_bytes),
+            ),
+            targets=[peer.name for peer in self.peers],
         )
 
     # -- Tor-level aggregation and signing --------------------------------------------
@@ -132,15 +142,14 @@ class PartialSyncAuthority(DirectoryAuthorityNode):
             "Interactive consistency reached with %d votes; broadcasting consensus signature."
             % len(votes),
         )
-        for peer in self.peers:
-            self.send(
-                peer.name,
-                Message(
-                    msg_type="PS/SIGNATURE",
-                    payload=own_record,
-                    size_bytes=self.config.signature_size_bytes,
-                ),
-            )
+        self.broadcast_message(
+            Message(
+                msg_type="PS/SIGNATURE",
+                payload=own_record,
+                size_bytes=self.config.signature_size_bytes,
+            ),
+            targets=[peer.name for peer in self.peers],
+        )
         self._check_completion()
 
     def _store_signature(self, record: ConsensusSignature) -> None:

@@ -53,12 +53,11 @@ class SynchronousLuoAuthority(DirectoryAuthorityNode):
         self._signature_round_start: Optional[float] = None
 
         self.log("notice", "Time to send our relay list (propose round).")
-        for peer in self.peers:
-            self.send(
-                peer.name,
-                Message(msg_type="LUO/LIST", payload=self.vote, size_bytes=self.vote.size_bytes),
-                timeout=self.config.connection_timeout,
-            )
+        self.broadcast_message(
+            Message(msg_type="LUO/LIST", payload=self.vote, size_bytes=self.vote.size_bytes),
+            targets=[peer.name for peer in self.peers],
+            timeout=self.config.connection_timeout,
+        )
 
         round_length = self.config.round_duration
         self.set_timer_at(self._start_time + round_length, self._vote_round)
@@ -114,16 +113,15 @@ class SynchronousLuoAuthority(DirectoryAuthorityNode):
             "Time to vote: packing %d relay lists into our vote." % len(package),
         )
         package_size = sum(vote.size_bytes for vote in package.values())
-        for peer in self.peers:
-            self.send(
-                peer.name,
-                Message(
-                    msg_type="LUO/VOTE_PACKAGE",
-                    payload=(self.authority.authority_id, package),
-                    size_bytes=package_size,
-                ),
-                timeout=self.config.package_transfer_timeout,
-            )
+        self.broadcast_message(
+            Message(
+                msg_type="LUO/VOTE_PACKAGE",
+                payload=(self.authority.authority_id, package),
+                size_bytes=package_size,
+            ),
+            targets=[peer.name for peer in self.peers],
+            timeout=self.config.package_transfer_timeout,
+        )
         self._packages[self.authority.authority_id] = package
 
     # -- round 3: Dolev–Strong synchronisation over the designated package -----------
@@ -136,16 +134,15 @@ class SynchronousLuoAuthority(DirectoryAuthorityNode):
         digest = self._package_digest(package)
         chain = SignatureChain.initial(self.authority.keypair, _DS_CONTEXT, digest)
         package_size = sum(vote.size_bytes for vote in package.values())
-        for peer in self.peers:
-            self.send(
-                peer.name,
-                Message(
-                    msg_type="LUO/DS_RELAY",
-                    payload=(self.designated_sender_id, package, chain),
-                    size_bytes=package_size + chain.size_bytes,
-                ),
-                timeout=self.config.package_transfer_timeout,
-            )
+        self.broadcast_message(
+            Message(
+                msg_type="LUO/DS_RELAY",
+                payload=(self.designated_sender_id, package, chain),
+                size_bytes=package_size + chain.size_bytes,
+            ),
+            targets=[peer.name for peer in self.peers],
+            timeout=self.config.package_transfer_timeout,
+        )
 
     def _on_ds_relay(self, message: Message, now: float) -> None:
         sender_id, package, chain = message.payload
@@ -188,16 +185,15 @@ class SynchronousLuoAuthority(DirectoryAuthorityNode):
         consensus = self.compute_consensus(list(package.values()))
         own_record = consensus.signatures[0]
         self._store_signature(own_record, self.now)
-        for peer in self.peers:
-            self.send(
-                peer.name,
-                Message(
-                    msg_type="LUO/SIGNATURE",
-                    payload=own_record,
-                    size_bytes=self.config.signature_size_bytes,
-                ),
-                timeout=self.config.connection_timeout,
-            )
+        self.broadcast_message(
+            Message(
+                msg_type="LUO/SIGNATURE",
+                payload=own_record,
+                size_bytes=self.config.signature_size_bytes,
+            ),
+            targets=[peer.name for peer in self.peers],
+            timeout=self.config.connection_timeout,
+        )
 
     # -- finalisation ----------------------------------------------------------------------------
     def _finalize(self) -> None:

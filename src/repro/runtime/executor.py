@@ -86,6 +86,21 @@ def cap_partition_workers() -> None:
     os.environ[WORKERS_ENV] = "1"
 
 
+def sweep_worker_setup() -> None:
+    """Pool initializer run once in every sweep worker process.
+
+    Beyond capping nested parallelism (:func:`cap_partition_workers`), drops
+    the process-global caches a ``fork`` worker inherits from the parent —
+    notably the aggregation relay-map memo, whose entries the parent built
+    for *its* runs and which the child would otherwise keep alive (and
+    un-share, copy-on-write) for the whole sweep.
+    """
+    cap_partition_workers()
+    from repro.directory.aggregate import clear_aggregation_caches
+
+    clear_aggregation_caches()
+
+
 class SweepExecutor:
     """Executes RunSpec grids serially or across a worker pool.
 
@@ -203,7 +218,7 @@ class SweepExecutor:
         context = _pool_context()
         with context.Pool(
             processes=min(self.workers, len(specs)),
-            initializer=cap_partition_workers,
+            initializer=sweep_worker_setup,
         ) as pool:
             for spec, summary in zip(specs, pool.imap(execute_spec_summary, specs, chunksize=1)):
                 yield spec, summary

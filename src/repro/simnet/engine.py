@@ -22,8 +22,9 @@ bit-for-bit.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.utils import phases
 from repro.utils.validation import ReproError, ensure
 
 
@@ -81,6 +82,9 @@ class Simulator:
         self._processed_events = 0
         self._pending = 0
         self._cancelled_in_heap = 0
+        # Open micro-batches: (time, key) -> list of queued items, drained by
+        # one heap event each (see schedule_batch).
+        self._batches: Dict[Tuple[float, Any], List[Any]] = {}
 
     # -- time --------------------------------------------------------------
     @property
@@ -133,6 +137,35 @@ class Simulator:
         """Cancel a previously scheduled event (no-op for None)."""
         if handle is not None:
             handle.cancel()
+
+    # -- micro-batching --------------------------------------------------------
+    def schedule_batch(
+        self, time: float, key: Any, drain: Callable[[List[Any]], None], item: Any
+    ) -> None:
+        """Queue ``item`` for the micro-batch at ``(time, key)``.
+
+        Handlers that opt in (the network's delivery path) coalesce all
+        same-instant work sharing a key — e.g. every message arriving at one
+        node at one instant — into a **single** heap event: the first item
+        schedules one drain event at ``time``, later items just append.  When
+        it fires, ``drain(items)`` receives the batch in append order, which
+        is exactly the order the per-item events would have fired (same
+        instant, scheduling order).  Every append to one open batch must pass
+        the same ``drain``; the one captured first runs.
+
+        Relative order *across* keys at the same instant changes (a batch
+        drains contiguously at its first item's serial), which is why callers
+        gate this behind their own reference-path switch.
+        """
+        slot = (time, key)
+        batch = self._batches.get(slot)
+        if batch is None:
+            self._batches[slot] = batch = []
+            self.schedule(time, self._drain_batch, slot, drain)
+        batch.append(item)
+
+    def _drain_batch(self, slot: Tuple[float, Any], drain: Callable[[List[Any]], None]) -> None:
+        drain(self._batches.pop(slot))
 
     def schedule_window(
         self,
@@ -211,17 +244,29 @@ class Simulator:
         further live event is still due.
         """
         executed = 0
-        while True:
-            handle = self._peek_next()
-            if handle is None:
-                break
-            if until is not None and handle.time > until:
-                self._now = until
-                return self._now
-            if executed >= max_events:
-                raise SimulationError("exceeded max_events=%d; runaway simulation?" % max_events)
-            self.step()
-            executed += 1
+        # The run loop is the outermost `transport` phase bucket: everything
+        # not claimed by a nested bucket (protocol handlers, crypto, client
+        # waves) is event-loop and flow-scheduling machinery.
+        measured = phases.ENABLED
+        if measured:
+            phases.enter(phases.TRANSPORT)
+        try:
+            while True:
+                handle = self._peek_next()
+                if handle is None:
+                    break
+                if until is not None and handle.time > until:
+                    self._now = until
+                    return self._now
+                if executed >= max_events:
+                    raise SimulationError(
+                        "exceeded max_events=%d; runaway simulation?" % max_events
+                    )
+                self.step()
+                executed += 1
+        finally:
+            if measured:
+                phases.leave()
         if until is not None and self._now < until:
             self._now = until
         return self._now

@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Callable, Dict, Iterator, Mapping, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Mapping, Optional, Set
 
 from repro.simnet.engine import EventHandle, Simulator
 from repro.simnet.linkmodel import LinkModel
@@ -63,6 +63,20 @@ _COMPLETION_EPSILON_BYTES = 1e-6
 
 #: Slack when comparing virtual times.
 _TIME_EPSILON = 1e-9
+
+#: Environment variable gating the batched dispatch fast paths.  Anything
+#: other than ``"off"`` (including unset) enables them; ``off`` selects the
+#: per-message reference path, whose event trajectory is the pre-batching
+#: one — the conformance anchor for the fast paths.  Lives here (not in
+#: ``network``) because the lazy scheduler gates its same-instant completion
+#: sweep on it too.
+BATCH_DISPATCH_ENV = "REPRO_BATCH_DISPATCH"
+
+
+def batch_dispatch_enabled() -> bool:
+    """Whether the batched dispatch fast paths are enabled (default: yes)."""
+    return os.environ.get(BATCH_DISPATCH_ENV, "on") != "off"
+
 
 #: Environment variable selecting the shared-regime engine for networks that
 #: do not pass one explicitly (values: "lazy", "legacy" or "vector").
@@ -326,6 +340,20 @@ class FlowScheduler:
     def start_flow(self, flow: Flow, now: float) -> None:
         """Register ``flow`` and schedule its first transport event."""
         raise NotImplementedError
+
+    def start_flows(self, flows: List[Flow], now: float) -> None:
+        """Register a same-instant batch of flows (a broadcast burst).
+
+        The default is the sequential loop — exactly ``start_flow`` per flow
+        — which is already right for the independent scheduler (each start is
+        O(1)) and for the legacy engine (whose conformance contract is the
+        per-start trajectory).  Occupancy-coupled engines override this: a
+        burst of B flows from one sender re-rates the sender's growing uplink
+        set per start, O(B²) flow touches, where one rate pass over the final
+        occupancy does the same work in O(B).
+        """
+        for flow in flows:
+            self.start_flow(flow, now)
 
     def on_link_replaced(self, name: str, now: float) -> None:
         """React to ``links[name]`` having been swapped mid-run."""

@@ -25,6 +25,28 @@ _MESSAGE_IDS = itertools.count(1)
 CONTROL_MESSAGE_OVERHEAD_BYTES = 256
 
 
+class SharedPayload:
+    """Flyweight handle pairing a payload with its wire size, computed once.
+
+    Broadcast fast paths build one of these per *payload* instead of
+    evaluating ``size_bytes`` per destination: sizing a vote, proposal, or
+    consensus document walks its entries (or serialises its body), so an
+    N-way broadcast priced per destination does that walk N times for
+    identical bytes.  A handle freezes the answer; :class:`Message` unwraps
+    it on construction, so receivers still see the raw ``payload`` value.
+    """
+
+    __slots__ = ("value", "size_bytes")
+
+    def __init__(self, value: Any, size_bytes: int) -> None:
+        ensure(size_bytes >= 0, "shared payload size must be non-negative")
+        self.value = value
+        self.size_bytes = size_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return "SharedPayload(size_bytes=%d, value=%r)" % (self.size_bytes, self.value)
+
+
 class Message:
     """A single protocol message.
 
@@ -57,6 +79,9 @@ class Message:
         metadata: Optional[Dict[str, Any]] = None,
     ) -> None:
         ensure(msg_type != "", "message type must not be empty")
+        if type(payload) is SharedPayload:
+            size_bytes = payload.size_bytes
+            payload = payload.value
         ensure(size_bytes >= 0, "message size must be non-negative")
         self.msg_type = msg_type
         self.sender = sender

@@ -30,16 +30,26 @@ fault plans behave identically under every link model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.simnet.bandwidth import BandwidthSchedule
 from repro.simnet.engine import EventHandle, Simulator
-from repro.simnet.flows import Flow, FlowScheduler, make_flow_scheduler
+from repro.simnet.flows import (
+    BATCH_DISPATCH_ENV,
+    Flow,
+    FlowScheduler,
+    batch_dispatch_enabled,
+    make_flow_scheduler,
+)
 from repro.simnet.linkmodel import LinkModel, get_link_model, link_model_names
 from repro.simnet.message import Message
 from repro.simnet.node import ProtocolNode
 from repro.simnet.trace import TraceLog
+from repro.utils import phases
 from repro.utils.validation import ReproError, ValidationError, ensure
+
+# BATCH_DISPATCH_ENV / batch_dispatch_enabled are defined in (and re-exported
+# from) repro.simnet.flows: the lazy scheduler gates on them too.
 
 
 @dataclass(frozen=True)
@@ -187,6 +197,9 @@ class SimNetwork:
             latency_fn=self.latency,
         )
         self._fault_injector = None
+        # Resolved once per network so a run's dispatch mode is fixed at
+        # construction (mirroring how the shared engine is resolved).
+        self._batch_dispatch = batch_dispatch_enabled()
 
     # -- transport introspection -----------------------------------------------
     @property
@@ -281,6 +294,13 @@ class SimNetwork:
             name, self.simulator.now
         ):
             return
+        if phases.ENABLED:
+            phases.enter(phases.PROTOCOL)
+            try:
+                callback(*args)
+            finally:
+                phases.leave()
+            return
         callback(*args)
 
     # -- lifecycle -------------------------------------------------------------
@@ -328,6 +348,30 @@ class SimNetwork:
         if sender == destination:
             raise ValidationError("a node cannot send a message to itself")
         ensure(weight >= 1, "flow weight must be at least 1")
+        # Flow admission is transport work even when a protocol handler calls
+        # it (rate maintenance dominates a broadcast burst's cost), so the
+        # phase accounting claims it out of the enclosing protocol bucket.
+        if phases.ENABLED:
+            phases.enter(phases.TRANSPORT)
+            try:
+                return self._admit(sender, destination, message, timeout,
+                                   on_timeout, on_delivered, weight)
+            finally:
+                phases.leave()
+        return self._admit(sender, destination, message, timeout,
+                           on_timeout, on_delivered, weight)
+
+    def _admit(
+        self,
+        sender: str,
+        destination: str,
+        message: Message,
+        timeout: Optional[float],
+        on_timeout: Optional[Callable[[Message, str], None]],
+        on_delivered: Optional[Callable[[Message, str, float], None]],
+        weight: int,
+    ) -> int:
+        """Validated send: account, fault-filter, and start (or deliver)."""
         message.sender = sender
         now = self.simulator.now
         self.stats.record_sent(sender, message, count=weight)
@@ -341,10 +385,7 @@ class SimNetwork:
             message = filtered
 
         if message.size_bytes <= 0:
-            self.simulator.schedule_in(
-                self._delivery_latency(sender, destination),
-                self._deliver, sender, destination, message, on_delivered, weight, now,
-            )
+            self._schedule_delivery(sender, destination, message, on_delivered, weight, now)
             return 0
 
         flow = Flow(
@@ -361,6 +402,108 @@ class SimNetwork:
         self._scheduler.start_flow(flow, now)
         return flow.flow_id
 
+    def send_many(
+        self,
+        sender: str,
+        destinations: Iterable[str],
+        message: Message,
+        timeout: Optional[float] = None,
+        on_timeout: Optional[Callable[[Message, str], None]] = None,
+        on_delivered: Optional[Callable[[Message, str, float], None]] = None,
+        weight: int = 1,
+    ) -> List[int]:
+        """Broadcast fast path: one shared ``message`` to many destinations.
+
+        The per-destination :meth:`send` loop a broadcast would otherwise be
+        creates one message, one flow, and one rate pass per destination —
+        O(N²) object and rate churn per round at 300 authorities.  Here one
+        :class:`Message` (whose payload/size were built once, e.g. via
+        :class:`~repro.simnet.message.SharedPayload`) is shared by every
+        flow, and the whole burst is admitted through the scheduler's
+        ``start_flows`` batch, one rate pass over the final occupancy.
+
+        Accounting, fault filtering (a rewrite replaces the message for that
+        destination only), timeouts, and callbacks behave exactly as N
+        ``send`` calls; flow ids are assigned in destination order and are
+        identical to the loop's.  Returns one flow id per destination (0 for
+        dropped or zero-size entries).  With ``REPRO_BATCH_DISPATCH=off``
+        this *is* the sequential loop, trajectory included.
+        """
+        destinations = list(destinations)
+        if sender not in self._nodes:
+            raise UnknownNodeError("unknown sender %r" % sender)
+        for destination in destinations:
+            if destination not in self._nodes:
+                raise UnknownNodeError("unknown destination %r" % destination)
+            if destination == sender:
+                raise ValidationError("a node cannot send a message to itself")
+        ensure(weight >= 1, "flow weight must be at least 1")
+
+        if not self._batch_dispatch:
+            return [
+                self.send(sender, destination, message, timeout=timeout,
+                          on_timeout=on_timeout, on_delivered=on_delivered, weight=weight)
+                for destination in destinations
+            ]
+
+        if phases.ENABLED:
+            phases.enter(phases.TRANSPORT)
+            try:
+                return self._admit_many(sender, destinations, message, timeout,
+                                        on_timeout, on_delivered, weight)
+            finally:
+                phases.leave()
+        return self._admit_many(sender, destinations, message, timeout,
+                                on_timeout, on_delivered, weight)
+
+    def _admit_many(
+        self,
+        sender: str,
+        destinations: List[str],
+        message: Message,
+        timeout: Optional[float],
+        on_timeout: Optional[Callable[[Message, str], None]],
+        on_delivered: Optional[Callable[[Message, str, float], None]],
+        weight: int,
+    ) -> List[int]:
+        message.sender = sender
+        now = self.simulator.now
+        deadline = None if timeout is None else now + timeout
+        injector = self._fault_injector
+        flow_ids: List[int] = []
+        flows: List[Flow] = []
+        for destination in destinations:
+            self.stats.record_sent(sender, message, count=weight)
+            outgoing = message
+            if injector is not None:
+                filtered = injector.filter_send(sender, destination, message, now)
+                if filtered is None:
+                    self.stats.record_dropped(count=weight)
+                    flow_ids.append(0)
+                    continue
+                filtered.sender = sender
+                outgoing = filtered
+            if outgoing.size_bytes <= 0:
+                self._schedule_delivery(sender, destination, outgoing, on_delivered, weight, now)
+                flow_ids.append(0)
+                continue
+            flow = Flow(
+                flow_id=self.simulator.next_serial(),
+                src=sender,
+                dst=destination,
+                message=outgoing,
+                start_time=now,
+                deadline=deadline,
+                on_timeout=on_timeout,
+                on_delivered=on_delivered,
+                weight=weight,
+            )
+            flows.append(flow)
+            flow_ids.append(flow.flow_id)
+        if flows:
+            self._scheduler.start_flows(flows, now)
+        return flow_ids
+
     def active_flow_count(self) -> int:
         """Number of in-flight transfers (mostly for tests and debugging)."""
         return self._scheduler.active_count()
@@ -368,15 +511,8 @@ class SimNetwork:
     # -- scheduler callbacks -----------------------------------------------------
     def _complete_flow(self, flow: Flow) -> None:
         """A flow finished moving bytes; deliver after propagation latency."""
-        self.simulator.schedule_in(
-            self._delivery_latency(flow.src, flow.dst),
-            self._deliver,
-            flow.src,
-            flow.dst,
-            flow.message,
-            flow.on_delivered,
-            flow.weight,
-            flow.start_time,
+        self._schedule_delivery(
+            flow.src, flow.dst, flow.message, flow.on_delivered, flow.weight, flow.start_time
         )
 
     def _expire_flow(self, flow: Flow) -> None:
@@ -386,6 +522,42 @@ class SimNetwork:
             flow.on_timeout(flow.message, flow.dst)
 
     # -- delivery ---------------------------------------------------------------
+    def _schedule_delivery(
+        self,
+        sender: str,
+        destination: str,
+        message: Message,
+        on_delivered: Optional[Callable[[Message, str, float], None]],
+        weight: int,
+        sent_at: Optional[float],
+    ) -> None:
+        """Schedule one delivery, coalescing same-instant arrivals per node.
+
+        With batched dispatch on, every message arriving at ``destination``
+        at the same instant shares **one** heap event keyed ``(time, node)``
+        (a symmetric broadcast round completes N-1 transfers into each node
+        at identical instants, so this turns O(N²) delivery events per round
+        into O(N)).  Within the batch, deliveries run in the order their
+        per-message events would have fired.  ``off`` keeps the per-message
+        reference path.
+        """
+        time = self.simulator.now + self._delivery_latency(sender, destination)
+        if self._batch_dispatch:
+            self.simulator.schedule_batch(
+                time,
+                destination,
+                self._deliver_batch,
+                (sender, destination, message, on_delivered, weight, sent_at),
+            )
+            return
+        self.simulator.schedule(
+            time, self._deliver, sender, destination, message, on_delivered, weight, sent_at
+        )
+
+    def _deliver_batch(self, items: List[Tuple]) -> None:
+        for item in items:
+            self._deliver(*item)
+
     def _delivery_latency(self, sender: str, destination: str) -> float:
         """Propagation latency plus any fault-injected jitter for one delivery."""
         latency = self.latency(sender, destination)
@@ -410,6 +582,15 @@ class SimNetwork:
             self.stats.record_dropped(count=weight)
             return
         self.stats.record_delivered(sender, message, count=weight)
+        if phases.ENABLED:
+            phases.enter(phases.PROTOCOL)
+            try:
+                if on_delivered is not None:
+                    on_delivered(message, destination, self.simulator.now)
+                self._nodes[destination].receive(message)
+            finally:
+                phases.leave()
+            return
         if on_delivered is not None:
             on_delivered(message, destination, self.simulator.now)
         self._nodes[destination].receive(message)

@@ -93,6 +93,31 @@ class ProtocolNode:
             self.send(destination, make_message(destination), timeout=timeout, on_timeout=on_timeout)
         return len(destinations)
 
+    def broadcast_message(
+        self,
+        message: Message,
+        targets: Optional[Iterable[str]] = None,
+        timeout: Optional[float] = None,
+        on_timeout: Optional[Callable[[Message, str], None]] = None,
+    ) -> int:
+        """Send one *shared* message to every other node (or to ``targets``).
+
+        The batched twin of :meth:`broadcast` for the common case where every
+        destination gets identical content: the single ``message`` (payload
+        serialised/sized once) is shared across all transfers and the burst
+        is admitted through the network's broadcast fast path
+        (:meth:`repro.simnet.network.SimNetwork.send_many`).  Returns the
+        number of messages sent.
+        """
+        network = self._require_network()
+        destinations = list(targets) if targets is not None else [
+            name for name in network.node_names() if name != self.name
+        ]
+        network.send_many(
+            self.name, destinations, message, timeout=timeout, on_timeout=on_timeout
+        )
+        return len(destinations)
+
     def set_timer(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` after ``delay`` seconds.
 

@@ -65,12 +65,14 @@ call ``set_link`` mid-run, so this is only observable to direct
 from __future__ import annotations
 
 import heapq
+import operator
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.simnet.flows import (
     _TIME_EPSILON,
     Flow,
     FlowScheduler,
+    batch_dispatch_enabled,
 )
 
 __all__ = [
@@ -133,6 +135,21 @@ class LazyRater:
         """Observe a departure (already removed); return touched flows."""
         raise NotImplementedError
 
+    def on_flows_removed(self, flows: List[Flow]) -> Dict[int, Flow]:
+        """Observe a same-instant departure batch; return touched flows by id.
+
+        The caller has already dropped every flow in ``flows`` from the
+        scheduler indexes.  The default preserves per-flow semantics (the
+        transition hooks fire once per flow, in batch order); raters whose
+        touched set is a pure read of link occupancy override it to take
+        each link's remaining members once instead of once per departure.
+        """
+        touched: Dict[int, Flow] = {}
+        for flow in flows:
+            for other in self.on_flow_removed(flow):
+                touched[other.flow_id] = other
+        return touched
+
     def on_link_rate_changed(self, side: str, name: str) -> Iterable[Flow]:
         """Observe a capacity change on one link side; return touched flows."""
         raise NotImplementedError
@@ -140,6 +157,20 @@ class LazyRater:
     def rate_of(self, flow: Flow, now: float) -> float:
         """The flow's instantaneous rate under current occupancy."""
         raise NotImplementedError
+
+    def rates_of(self, flows: List[Flow], now: float) -> List[float]:
+        """Bulk :meth:`rate_of` over an already-ordered touched set.
+
+        The default just loops; raters whose rate is a per-link function
+        override it to hoist the per-link state out of the per-flow loop —
+        a touched set is the union of a handful of links' flow sets, so the
+        same link state is otherwise re-fetched once per flow in the hottest
+        loop of a shared run.  Overrides must keep the per-flow arithmetic
+        (operation order included) identical to :meth:`rate_of`: the rates
+        are trajectory, not just reporting.
+        """
+        rate_of = self.rate_of
+        return [rate_of(flow, now) for flow in flows]
 
 
 class FairLazyRater(LazyRater):
@@ -176,6 +207,70 @@ class FairLazyRater(LazyRater):
             else down_cap * weight / self._dst_weight[flow.dst]
         )
         return min(up_share, down_share)
+
+    def rates_of(self, flows: List[Flow], now: float) -> List[float]:
+        # Per-link capacity and occupancy are loop invariants of a rate
+        # pass; resolve each link's (cap, divisor) once instead of per flow.
+        # ``divisor`` is None for aggregate links (per-client capacity, no
+        # sharing), mirroring the branch in rate_of; the share expression
+        # keeps rate_of's exact operation order (cap * weight / divisor).
+        links = self._links
+        up_cap = self._up_cap
+        down_cap = self._down_cap
+        src_weight = self._src_weight
+        dst_weight = self._dst_weight
+        up_state: Dict[str, Tuple[float, Optional[int]]] = {}
+        down_state: Dict[str, Tuple[float, Optional[int]]] = {}
+        rates = []
+        append = rates.append
+        for flow in flows:
+            src = flow.src
+            dst = flow.dst
+            weight = flow.weight
+            state = up_state.get(src)
+            if state is None:
+                state = up_state[src] = (
+                    up_cap[src],
+                    None if links[src].aggregate else src_weight[src],
+                )
+            cap, divisor = state
+            up_share = cap * weight if divisor is None else cap * weight / divisor
+            state = down_state.get(dst)
+            if state is None:
+                state = down_state[dst] = (
+                    down_cap[dst],
+                    None if links[dst].aggregate else dst_weight[dst],
+                )
+            cap, divisor = state
+            down_share = cap * weight if divisor is None else cap * weight / divisor
+            append(up_share if up_share <= down_share else down_share)
+        return rates
+
+    def on_flows_removed(self, flows: List[Flow]) -> Dict[int, Flow]:
+        # Occupancy lives in the scheduler-maintained indexes, which the
+        # caller already updated for the whole batch: the touched set is the
+        # departed flows' links' *remaining* members, read once per link.
+        # (The per-flow loop would re-enumerate each link once per departure
+        # — O(B·link) for a B-way burst leaving one uplink.)
+        touched: Dict[int, Flow] = {}
+        seen_src: Set[str] = set()
+        seen_dst: Set[str] = set()
+        by_src = self._by_src
+        by_dst = self._by_dst
+        for flow in flows:
+            src = flow.src
+            if src not in seen_src:
+                seen_src.add(src)
+                bucket = by_src.get(src)
+                if bucket:
+                    touched.update(bucket)
+            dst = flow.dst
+            if dst not in seen_dst:
+                seen_dst.add(dst)
+                bucket = by_dst.get(dst)
+                if bucket:
+                    touched.update(bucket)
+        return touched
 
     def _link_union(self, flow: Flow) -> List[Flow]:
         touched: Dict[int, Flow] = dict(self._by_src.get(flow.src, {}))
@@ -365,10 +460,30 @@ class TcpLazyRater(FairLazyRater):
         self._model.drop_state(flow.flow_id)
         return super().on_flow_removed(flow)
 
+    def on_flows_removed(self, flows: List[Flow]) -> Dict[int, Flow]:
+        # Per-flow teardown (tick cancel, window-state drop), then the fair
+        # batch union for the capacity side.
+        for flow in flows:
+            handle = self._ticks.pop(flow.flow_id, None)
+            if handle is not None:
+                handle.cancel()
+            self._model.drop_state(flow.flow_id)
+        return FairLazyRater.on_flows_removed(self, flows)
+
     def rate_of(self, flow: Flow, now: float) -> float:
         share = super().rate_of(flow, now)
         state = self._model.state_of(flow, now)
         return min(share, state.window_rate(flow.weight))
+
+    def rates_of(self, flows: List[Flow], now: float) -> List[float]:
+        # Fair shares in bulk, then the per-flow window cap on top — the
+        # same min() rate_of computes.
+        shares = FairLazyRater.rates_of(self, flows, now)
+        state_of = self._model.state_of
+        return [
+            min(share, state_of(flow, now).window_rate(flow.weight))
+            for flow, share in zip(flows, shares)
+        ]
 
     # -- ack ticks ---------------------------------------------------------
     def _arm_tick(self, flow: Flow, state) -> None:
@@ -423,6 +538,10 @@ class LazySharedLinkScheduler(FlowScheduler):
         )
         #: (side, name) -> pending breakpoint watcher (None: constant link).
         self._watchers: Dict[Tuple[str, str], Optional[object]] = {}
+        #: Same-instant completion coalescing (the REPRO_BATCH_DISPATCH fast
+        #: path): a finishing flow sweeps its links for peers due at the same
+        #: instant and the whole batch finishes under one rate pass.
+        self._batch_completions = batch_dispatch_enabled()
         # Raters with scheduler-driven dynamics (tcp ack ticks) get a back
         # reference once construction is complete.
         bind = getattr(self._rater, "bind_scheduler", None)
@@ -441,6 +560,39 @@ class LazySharedLinkScheduler(FlowScheduler):
             self._arm_watcher("downlink", flow.dst, now)
         touched = self._rater.on_flow_added(flow)
         self._apply_rate_changes(touched, now)
+
+    def start_flows(self, flows: List[Flow], now: float) -> None:
+        """Admit a same-instant burst with one rate pass over the union.
+
+        The sequential loop re-rates the sender's growing uplink set per
+        start — O(B²) flow touches for a B-way broadcast burst, the dominant
+        cost of protocol rounds at 300 authorities.  Final state is the
+        loop's: rates after the last add depend only on final occupancy, and
+        the intermediate rates the loop assigns advance nothing (all adds
+        share one instant, so every progress chip has zero width).  What
+        differs is event bookkeeping — the loop aims each flow at its
+        momentary estimate and lets later arrivals stale it — so heap serial
+        consumption (and same-instant tie-break order against unrelated
+        events) changes; the network gates this path behind
+        ``REPRO_BATCH_DISPATCH``.
+        """
+        if len(flows) == 1:
+            self.start_flow(flows[0], now)
+            return
+        for flow in flows:
+            flow.last_update = now
+            self._add(flow)
+            if flow.src not in self._up_cap:
+                self._up_cap[flow.src] = self._links[flow.src].uplink.rate_at(now)
+                self._arm_watcher("uplink", flow.src, now)
+            if flow.dst not in self._down_cap:
+                self._down_cap[flow.dst] = self._links[flow.dst].downlink.rate_at(now)
+                self._arm_watcher("downlink", flow.dst, now)
+        touched: Dict[int, Flow] = {}
+        for flow in flows:
+            for other in self._rater.on_flow_added(flow):
+                touched[other.flow_id] = other
+        self._apply_rate_changes(touched.values(), now)
 
     def on_link_replaced(self, name: str, now: float) -> None:
         # The replaced schedule applies immediately: drop both watchers (they
@@ -469,9 +621,9 @@ class LazySharedLinkScheduler(FlowScheduler):
         therefore event sequence numbers) are independent of which link
         structure enumerated the touched set.
         """
-        rate_of = self._rater.rate_of
-        for flow in sorted(touched, key=_flow_id_of):
-            new_rate = rate_of(flow, now)
+        flows = sorted(touched, key=_flow_id_of)
+        rates = self._rater.rates_of(flows, now)
+        for flow, new_rate in zip(flows, rates):
             if new_rate == flow.rate and flow.pending is not None:
                 continue
             # Chip progress under the old rate before switching: ``remaining``
@@ -532,7 +684,10 @@ class LazySharedLinkScheduler(FlowScheduler):
         now = self.simulator.now
         self._advance(flow, now)
         if self._is_complete(flow, now):
-            self._finish(flow, now, expired=False)
+            if self._batch_completions:
+                self._finish_batch(flow, now)
+            else:
+                self._finish(flow, now, expired=False)
             return
         if flow.deadline is not None and now >= flow.deadline - _TIME_EPSILON:
             self._finish(flow, now, expired=True)
@@ -542,6 +697,68 @@ class LazySharedLinkScheduler(FlowScheduler):
         # at the current estimate; `_is_complete`'s sub-ulp test guarantees
         # this terminates instead of spinning at `now`.
         self._aim(flow, now)
+
+    def _finish_batch(self, trigger: Flow, now: float) -> None:
+        """Finish ``trigger`` and, transitively, every same-instant completer.
+
+        A symmetric broadcast wave finishes all at once: flows share equal
+        splits, so their completion events aim at bit-identical instants —
+        at full fan-in that is every in-flight flow in the system.  Finishing
+        them one event at a time re-rates each departure's whole link
+        neighbourhood — O(N³) flow touches per wave at N authorities, the
+        dominant cost of the lazy engine at scale.  Instead, the first
+        completion to fire claims the wave: departures expose their touched
+        neighbours, neighbours whose pending event is also due *now* and
+        whose transfer is done join the batch (their events are cancelled),
+        and the survivors are rated once at the end against final occupancy.
+
+        Occupancy-equivalent to the sequential path — every intermediate
+        rate it would assign lives for zero width at ``now`` — with
+        completion callbacks firing after the whole neighbourhood is
+        consistent, in discovery order.  The event-serial permutation this
+        implies is exactly what the ``REPRO_BATCH_DISPATCH`` conformance
+        contract allows, and ``off`` restores the per-event path.  Peers
+        whose aim differs even by an ulp simply fire on their own; the batch
+        is an optimisation, never a correctness requirement.
+        """
+        rater = self._rater
+        live = self._flows
+        batch = [trigger]
+        frontier = batch
+        survivors: Dict[int, Flow] = {}
+        while frontier:
+            for flow in frontier:
+                self._remove(flow)
+            touched = rater.on_flows_removed(frontier)
+            next_frontier: List[Flow] = []
+            for other in touched.values():
+                if other.flow_id not in live:
+                    continue
+                pending = other.pending
+                if pending is not None and pending.time == now:
+                    self._advance(other, now)
+                    if self._is_complete(other, now):
+                        pending.cancel()
+                        other.pending = None
+                        next_frontier.append(other)
+                        survivors.pop(other.flow_id, None)
+                        continue
+                survivors[other.flow_id] = other
+            frontier = next_frontier
+            batch.extend(next_frontier)
+        self._apply_rate_changes(survivors.values(), now)
+        for flow in batch:
+            if flow.src not in self._by_src:
+                self._up_cap.pop(flow.src, None)
+                self._drop_watcher("uplink", flow.src)
+            if flow.dst not in self._by_dst:
+                self._down_cap.pop(flow.dst, None)
+                self._drop_watcher("downlink", flow.dst)
+        # Callbacks fire last, once the neighbourhood is consistent, so
+        # protocol code reacting to a delivery observes final rates.
+        for flow in batch:
+            self._clamp_residual(flow)
+            self._complete(flow)
 
     def _finish(self, flow: Flow, now: float, expired: bool) -> None:
         self._remove(flow)
@@ -600,5 +817,6 @@ class LazySharedLinkScheduler(FlowScheduler):
         self._apply_rate_changes(touched, now)
 
 
-def _flow_id_of(flow: Flow) -> int:
-    return flow.flow_id
+#: Sort key for deterministic rate-pass ordering; C-level attrgetter because
+#: it runs once per touched flow in the hottest loop of a shared run.
+_flow_id_of = operator.attrgetter("flow_id")

@@ -93,3 +93,49 @@ def test_chain_size_accounts_for_signatures(ring_and_pairs):
     one = SignatureChain.initial(pairs["a"], "ds", digest)
     two = one.extend(pairs["b"], "ds")
     assert two.size_bytes == one.size_bytes + SIGNATURE_SIZE_BYTES
+
+
+# -- verify-memo keying -------------------------------------------------------
+
+
+def test_verify_memo_keyed_per_keypair_same_payload_bytes():
+    """The per-signature verdict memo must key on the verifying pair.
+
+    Two rings can hold *different* keys for the same owner (a rotation, a
+    Byzantine ring).  The signature's canonical payload bytes are identical
+    in both verifications, so a memo keyed on payload — or a bare cached
+    boolean — would leak the first ring's verdict into the second.
+    """
+    pair_v1 = KeyPair.generate("auth", b"seed-one")
+    pair_v2 = KeyPair.generate("auth", b"seed-two")
+    ring_v1 = KeyRing([pair_v1])
+    ring_v2 = KeyRing([pair_v2])
+
+    signature = sign(pair_v1, "ctx", b"message")
+    assert verify(ring_v1, signature)
+    # Same signer name, same payload bytes, different key: must recompute
+    # and fail, not replay the cached True.
+    assert not verify(ring_v2, signature)
+    # And the first verdict must survive the second, keyed separately.
+    assert verify(ring_v1, signature)
+    memo = signature.__dict__["_verify_memo"]
+    assert memo == {pair_v1: True, pair_v2: False}
+
+
+def test_verify_memo_caches_single_pair_verdict(ring_and_pairs):
+    ring, pairs = ring_and_pairs
+    signature = sign(pairs["a"], "ctx", b"message")
+    assert verify(ring, signature)
+    assert verify(ring, signature)
+    memo = signature.__dict__["_verify_memo"]
+    assert list(memo.values()) == [True]
+
+
+def test_identical_payload_bytes_distinct_signers_verify_independently(ring_and_pairs):
+    ring, pairs = ring_and_pairs
+    sig_a = sign(pairs["a"], "ctx", b"same-bytes")
+    sig_b = sign(pairs["b"], "ctx", b"same-bytes")
+    assert sig_a.canonical_payload() == sig_b.canonical_payload()
+    assert sig_a.tag != sig_b.tag
+    assert verify(ring, sig_a)
+    assert verify(ring, sig_b)

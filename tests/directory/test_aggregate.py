@@ -195,3 +195,58 @@ def test_inclusion_monotone_in_vote_count(votes_for_relay, total):
     ]
     consensus = aggregate_votes(votes)
     assert (FP in consensus.relays) == included
+
+
+class TestAggregationCaches:
+    def test_memo_size_capped(self):
+        from repro.directory.aggregate import (
+            _AGGREGATION_MEMO_MAX,
+            _aggregation_memo,
+            clear_aggregation_caches,
+        )
+
+        clear_aggregation_caches()
+        try:
+            for seed in range(_AGGREGATION_MEMO_MAX + 8):
+                votes = [
+                    make_vote(
+                        i,
+                        [Relay(fingerprint=FP, nickname="r%d" % seed)],
+                    )
+                    for i in range(3)
+                ]
+                aggregate_votes(votes)
+            # Distinct vote sets each add an entry; the memo must evict
+            # rather than grow without bound across a sweep.
+            assert len(_aggregation_memo) <= _AGGREGATION_MEMO_MAX
+        finally:
+            clear_aggregation_caches()
+
+    def test_clear_hook_empties_both_caches(self):
+        from repro.directory.aggregate import (
+            _aggregation_memo,
+            clear_aggregation_caches,
+        )
+
+        votes = [
+            make_vote(i, [Relay(fingerprint=FP, nickname="r")]) for i in range(3)
+        ]
+        aggregate_votes(votes)
+        version_sort_key("Tor 0.4.8.12")
+        assert len(_aggregation_memo) > 0
+        assert version_sort_key.cache_info().currsize > 0
+        clear_aggregation_caches()
+        assert len(_aggregation_memo) == 0
+        assert version_sort_key.cache_info().currsize == 0
+
+    def test_sweep_worker_setup_clears_aggregation_memo(self):
+        from repro.directory.aggregate import _aggregation_memo
+        from repro.runtime.executor import sweep_worker_setup
+
+        votes = [
+            make_vote(i, [Relay(fingerprint=FP, nickname="r")]) for i in range(3)
+        ]
+        aggregate_votes(votes)
+        assert len(_aggregation_memo) > 0
+        sweep_worker_setup()
+        assert len(_aggregation_memo) == 0

@@ -86,3 +86,51 @@ def test_is_valid_rejects_bad_total(ring_and_pairs):
     ring, _pairs = ring_and_pairs
     with pytest.raises(Exception):
         make_consensus().is_valid(ring, total_authorities=0)
+
+
+# -- serialization memo lifecycle --------------------------------------------
+
+
+def test_body_bytes_cached_until_relay_count_changes():
+    consensus = make_consensus()
+    first = consensus.body_bytes()
+    # Hot path: repeated serving must hand back the same bytes object.
+    assert consensus.body_bytes() is first
+    assert first == consensus.serialize_body().encode("utf-8")
+    consensus.relays.popitem()
+    rebuilt = consensus.body_bytes()
+    assert rebuilt is not first
+    assert rebuilt == consensus.serialize_body().encode("utf-8")
+    assert len(rebuilt) < len(first)
+
+
+def test_serialization_memo_not_shared_across_reconstruction():
+    """A document rebuilt from the same inputs starts with cold memos.
+
+    Aggregation reconstructs per-authority documents from the shared relay
+    map (see ``aggregate_votes``); each instance must memoize its own body,
+    digest and size — never inherit another document's cached state — so a
+    reconstruction whose relay mapping then diverges serialises its *own*
+    contents.
+    """
+    original = make_consensus()
+    original_body = original.body_bytes()
+    rebuilt = ConsensusDocument(valid_after=0.0, relays=dict(original.relays))
+    assert "_body_bytes" not in rebuilt.__dict__
+    assert rebuilt.body_bytes() == original_body
+    assert rebuilt.digest() == original.digest()
+    # Diverge the reconstruction: its memo, not the original's, invalidates.
+    rebuilt.relays.popitem()
+    assert rebuilt.body_bytes() != original_body
+    assert original.body_bytes() is original_body
+
+
+def test_size_bytes_tracks_both_memo_keys(ring_and_pairs):
+    _ring, pairs = ring_and_pairs
+    consensus = make_consensus()
+    base = consensus.size_bytes
+    consensus.sign_with(0, "FP0", pairs[0])
+    signed = consensus.size_bytes
+    assert signed > base
+    consensus.relays.popitem()
+    assert consensus.size_bytes < signed

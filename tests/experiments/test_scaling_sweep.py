@@ -82,7 +82,7 @@ def test_small_scaling_sweep_runs_and_reports(tmp_path):
 
     out = write_bench_json(cells, tmp_path / "BENCH_scaling.json")
     payload = json.loads(out.read_text())
-    assert payload["format"] == 4
+    assert payload["format"] == 5
     assert len(payload["cells"]) == (5 if vector_available() else 3)
     assert "current@5" in payload["speedup_fair_to_latency_only"]
     assert "current@5" in payload["speedup_fair_legacy_to_lazy"]
@@ -91,6 +91,16 @@ def test_small_scaling_sweep_runs_and_reports(tmp_path):
         assert "current@5" in payload["speedup_fair_vector_to_parallel"]
     assert all(cell["peak_rss_mb"] > 0 for cell in payload["cells"])
     assert all(cell["workers"] >= 1 for cell in payload["cells"])
+    # Format 5: per-cell phase buckets and the fair-cell floor table.
+    assert all("phases" in cell for cell in payload["cells"])
+    assert all(
+        cell["phases"].get("transport", 0.0) > 0.0
+        for cell in payload["cells"]
+        if cell["transport"] != "latency-only"
+    )
+    floors = payload["non_transport_floor_fair"]
+    assert "lazy@5" in floors
+    assert all(value >= 0.0 for value in floors.values())
 
 
 def test_speedup_at_reads_the_grid_point():
