@@ -19,6 +19,10 @@ Usage::
     PYTHONPATH=src python benchmarks/profile_scaling.py \\
         --authorities 120 --compare
     PYTHONPATH=src python benchmarks/profile_scaling.py \\
+        --authorities 120 --transport tcp --engine vector
+    PYTHONPATH=src python benchmarks/profile_scaling.py \\
+        --authorities 120 --transport tcp --compare
+    PYTHONPATH=src python benchmarks/profile_scaling.py \\
         --authorities 120 --phases
     PYTHONPATH=src python benchmarks/profile_scaling.py \\
         --engine parallel --partitions 4 --authorities 120
@@ -35,7 +39,9 @@ attaches a consensus-distribution workload (``--cohorts`` cohorts, the
 Figure 13 defaults otherwise), making the client layer profilable exactly
 like the transport.  ``--compare`` skips the profiler and instead times the
 same cell once per engine, printing a scalar-vs-vector speedup table (the
-quick sanity check before trusting a profile's relative numbers).
+quick sanity check before trusting a profile's relative numbers); with
+``--transport tcp`` the vector row runs the real tcp vector policy (no
+longer a lazy fallback), so the table prices cohort ack ticks directly.
 """
 
 from __future__ import annotations

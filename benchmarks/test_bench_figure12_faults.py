@@ -38,7 +38,16 @@ def test_bench_figure12_fault_mixes(benchmark, sweep_executor):
 
     # The leaky variant on the tcp transport is just as fatal — p ≈ 0.998
     # message loss plus collapsed congestion windows — but the drops are
-    # probabilistic losses, not partition cuts.
+    # probabilistic losses, not partition cuts.  Re-measured after tcp grew
+    # Reno fast retransmit/recovery: the counts are *unchanged* from the
+    # Tahoe era (current 120 / synchronous 119 / ours 92), and for a
+    # structural reason worth pinning — at near-total loss every ack round
+    # is lossy, cwnd pins at 1, and a one-segment window can never raise
+    # the three duplicate acks fast recovery needs, so Reno degenerates to
+    # the Tahoe timeout path exactly; the drop counts themselves come from
+    # message-level loss draws, not the window trajectory.  Fast recovery
+    # only changes behaviour at *moderate* loss with open windows (covered
+    # by the Reno unit tests in tests/simnet/test_tcp_transport.py).
     for protocol in ("current", "synchronous", "ours"):
         tcp_cell = by_cell[("flash-flood-tcp", protocol)]
         assert not tcp_cell.success

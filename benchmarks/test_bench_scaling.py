@@ -1,14 +1,15 @@
 """Scaling sweep: transport wall-clock cost beyond 10×-paper node counts.
 
 Unlike the figure benchmarks this one measures the *simulator itself*: the
-same consensus runs at 9, 30, 90, 120 and 300 authorities under the ``fair``
-and ``latency-only`` transports — ``fair`` on the vector engine at every
-count, on the lazy engine up to 120, and on the legacy engine up to 90 —
-timed cell by cell.  It deliberately bypasses the session sweep executor and
+same consensus runs at 9, 30, 90, 120 and 300 authorities under the
+``fair``, ``latency-only`` and ``tcp`` transports — ``fair`` on the vector
+engine at every count, on the lazy engine up to 120, and on the legacy
+engine up to 90; ``tcp`` on the lazy and vector engines up to 120 — timed
+cell by cell.  It deliberately bypasses the session sweep executor and
 its cache — a cache hit would report a near-zero wall clock and poison the
 comparison.
 
-Five acceptance bars are asserted:
+Six acceptance bars are asserted:
 
 * the lazy-advance bar — ``fair`` on the lazy engine ≥3× faster than the
   same spec on the legacy global-recompute engine at the 10×-paper point
@@ -39,6 +40,15 @@ Five acceptance bars are asserted:
   noise margin): it catches the partition bookkeeping regressing into
   real cost, and must be re-tightened from measurements on a wider
   machine, never loosened; and
+* the tcp-vector bar — ``tcp`` on the vector engine ≥1.5× faster than the
+  same spec on the scalar lazy engine at the 120-authority point (also
+  numpy-gated; measured ~2.1× on the reference machine).  Unlike the
+  fair lazy→vector gap, which batched dispatch shrank to ~1.5×, tcp's
+  gap comes from *ack ticks*: the lazy engine pays one heap event per
+  flow per ack round while the vector policy advances whole due cohorts
+  per wake (synchronized broadcast waves share identical congestion
+  trajectories, so their ticks coalesce), and that cost is untouched by
+  completion batching; and
 * the fast-model bar — ``latency-only`` still ahead of ``fair`` at the
   120-authority stretch point.  PR 3's original ≥3× form of this bar was
   *obsoleted by the lazy engine*: once shared-model per-event cost became
@@ -47,7 +57,7 @@ Five acceptance bars are asserted:
   assertion now pins the direction and a conservative margin at the
   largest N, where the remaining coupling cost is widest.
 
-A fifth assertion is the *non-transport floor tripwire*: format-5 cells
+A further assertion is the *non-transport floor tripwire*: format-5 cells
 carry exclusive phase buckets (``repro.utils.phases``), and the summed
 non-transport time of the lazy ``fair`` cell at the stretch point must
 stay under a generous budget (measured ~0.7 s after the batched-dispatch
@@ -55,11 +65,13 @@ PR, asserted <2.5 s) — it catches per-recipient serialization or dispatch
 overhead creeping back in without failing on machine noise.
 
 The sweep's numbers are written to ``BENCH_scaling.json`` next to this
-run's working directory (a committed format-5 snapshot from the reference
-machine lives at the repo root; format 5 adds per-cell ``phases`` buckets
-and the ``non_transport_floor_fair`` table, on top of format 4's parallel
-cells at 120 and 300 authorities, per-cell effective ``workers`` count,
-and vector→parallel table, and format 3's 300-authority cells, per-cell
+run's working directory (a committed format-6 snapshot from the reference
+machine lives at the repo root; format 6 adds tcp cells on the vector
+engine up to 120 authorities and the ``speedup_tcp_lazy_to_vector``
+table, on top of format 5's per-cell ``phases`` buckets and
+``non_transport_floor_fair`` table, format 4's parallel cells at 120 and
+300 authorities, per-cell effective ``workers`` count, and
+vector→parallel table, and format 3's 300-authority cells, per-cell
 ``peak_rss_mb`` high-water mark, and lazy→vector table).
 """
 
@@ -142,6 +154,14 @@ def test_bench_scaling_sweep(benchmark, tmp_path):
         assert parallel_speedup >= 0.5, (
             "parallel-engine fair ratio at N=%d was %.2fx vector"
             % (EXTREME, parallel_speedup)
+        )
+        # The tcp-vector bar (see module docstring): cohort ack ticks must
+        # beat the scalar one-event-per-flow-per-round loop where broadcast
+        # waves are widest (measured ~1.8-2.1x on the reference machine).
+        tcp_speedup = vector_speedup_at(cells, STRETCH, transport="tcp")
+        assert tcp_speedup is not None
+        assert tcp_speedup >= 1.5, (
+            "vector-engine tcp speedup at N=%d was %.2fx" % (STRETCH, tcp_speedup)
         )
 
     transport_speedup = speedup_at(cells, STRETCH)

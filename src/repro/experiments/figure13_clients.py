@@ -15,7 +15,10 @@ clients actually experience:
   networkstatus" lines a real client logs).
 
 Populations sweep 10k → 10M modeled clients across the three protocols,
-plus an *extreme* row at 100M clients in 1000 cohorts.  Cohort aggregation
+plus an *extreme* row at 100M clients in 1000 cohorts — and the whole
+standard grid repeats under ``transport="tcp"`` on the vector engine, so
+the committed recovery curve also exists under real congestion control
+(slow start, fast recovery) rather than the idealized ``fair`` split.  Cohort aggregation
 (32 cohorts for the standard rows; see ``DESIGN-clients.md``) keeps the
 10M-client cells at thousands of simulator events, so the whole
 three-protocol 10M row regenerates in seconds — and the extreme row leans
@@ -75,7 +78,11 @@ DEFAULT_MIRROR_COUNT = 256
 #: grid gains the 100M-client/1000-cohort extreme row, and cells carry the
 #: scheduler ``engine`` and ``peak_rss_mb`` (process high-water mark at
 #: cell end, cheapest cells first — growth is attributable to scale).
-BENCH_FORMAT_VERSION = 2
+#: Version 3: cells carry ``transport`` and the committed payload gains a
+#: full ``transport="tcp"`` grid on the vector engine — the realistic
+#: congestion-controlled recovery curve the tcp vector policy makes
+#: affordable at the 10M-client row.
+BENCH_FORMAT_VERSION = 3
 
 
 def cohort_count_for(population: int) -> int:
@@ -103,6 +110,7 @@ class Figure13Cell:
     virtual_end_s: float
     engine: str = "lazy"
     peak_rss_mb: float = 0.0
+    transport: str = "fair"
 
 
 def default_client_workload(
@@ -158,6 +166,7 @@ def figure13_spec(
     seed: int = 7,
     max_time: float = 1800.0,
     residual_bandwidth_mbps: float = 0.05,
+    transport: str = "fair",
 ) -> RunSpec:
     """One cell's frozen spec: the Figure-1 attack plus the client workload."""
     attack = majority_attack_plan(residual_bandwidth_mbps=residual_bandwidth_mbps)
@@ -166,6 +175,7 @@ def figure13_spec(
         relay_count=relay_count,
         seed=seed,
         max_time=max_time,
+        transport=transport,
         bandwidth_overrides=attack.bandwidth_overrides(),
         client_workload=default_client_workload(
             population, cohort_count=cohort_count, mirror_count=mirror_count
@@ -182,6 +192,7 @@ def run_figure13(
     seed: int = 7,
     max_time: float = 1800.0,
     engine: Optional[str] = None,
+    transport: str = "fair",
     progress: Optional[Callable[[Figure13Cell], None]] = None,
 ) -> List[Figure13Cell]:
     """Execute the grid serially, timing each cell's wall clock.
@@ -190,8 +201,11 @@ def run_figure13(
     (:func:`cohort_count_for`: 32, or 1000 at the extreme population).
     ``engine`` of None runs the ambient shared engine; the extreme row is
     normally run with ``engine="vector"`` (downgrading to lazy without
-    numpy).  ``progress`` (if given) fires after each cell — a 12-cell grid
-    with 10M clients is not instant, and silence reads as a hang.
+    numpy).  ``transport`` selects the link model — ``"tcp"`` runs the
+    recovery curve under real congestion control, affordable at the large
+    populations because tcp now has a vector policy.  ``progress`` (if
+    given) fires after each cell — a 12-cell grid with 10M clients is not
+    instant, and silence reads as a hang.
     """
     from repro.protocols.runner import execute_spec
 
@@ -209,9 +223,10 @@ def run_figure13(
                 relay_count=relay_count,
                 seed=seed,
                 max_time=max_time,
+                transport=transport,
             )
             with use_shared_engine(engine) if engine is not None else nullcontext():
-                effective = effective_shared_engine()
+                effective = effective_shared_engine(transport=transport)
                 started = time.perf_counter()
                 result = execute_spec(spec)
                 elapsed = time.perf_counter() - started
@@ -233,6 +248,7 @@ def run_figure13(
                 virtual_end_s=result.end_time,
                 engine=effective,
                 peak_rss_mb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+                transport=transport,
             )
             cells.append(cell)
             if progress is not None:
@@ -248,6 +264,7 @@ def render_figure13(cells: Sequence[Figure13Cell]) -> str:
             (
                 "{:,}".format(cell.population),
                 cell.protocol,
+                cell.transport,
                 "ok" if cell.run_success else "FAIL",
                 "%.1f%%" % (100.0 * cell.fresh_fraction),
                 "%.0f s" % cell.time_to_fresh_p50_s
@@ -267,6 +284,7 @@ def render_figure13(cells: Sequence[Figure13Cell]) -> str:
         [
             "Clients",
             "Protocol",
+            "Transport",
             "Consensus",
             "Fresh at end",
             "p50 fresh",
@@ -317,6 +335,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="skip the 100M-client/1000-cohort vector-engine row",
     )
+    parser.add_argument(
+        "--transport",
+        default=None,
+        help="run the grid on one link model only (default: the fair grid "
+        "plus a full tcp grid on the vector engine)",
+    )
     args = parser.parse_args(argv)
     extreme = not args.no_extreme
     if args.populations is not None:
@@ -330,10 +354,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     def progress(cell: Figure13Cell) -> None:
         print(
-            "cell done: %s @ %s clients — fresh %.1f%%, %.1f s wall"
+            "cell done: %s @ %s clients transport=%s — fresh %.1f%%, %.1f s wall"
             % (
                 cell.protocol,
                 "{:,}".format(cell.population),
+                cell.transport,
                 100.0 * cell.fresh_fraction,
                 cell.wall_clock_s,
             )
@@ -341,7 +366,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     from repro.simnet.vector_sched import vector_available
 
-    cells = run_figure13(populations=populations, progress=progress)
+    if args.transport is not None:
+        cells = run_figure13(
+            populations=populations, transport=args.transport, progress=progress
+        )
+        extreme = False
+    else:
+        cells = run_figure13(populations=populations, progress=progress)
+        # The realistic-transport grid: the same populations under tcp
+        # congestion control, on the vector engine (downgrading to lazy
+        # without numpy) — the curve DESIGN-transport.md documents.
+        cells += run_figure13(
+            populations=populations,
+            engine="vector",
+            transport="tcp",
+            progress=progress,
+        )
     if extreme and not vector_available():
         print("skipping the 100M-client row: the vector engine needs numpy "
               "(install the [perf] extra)")

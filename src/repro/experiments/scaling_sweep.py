@@ -33,15 +33,17 @@ the legacy engine at 90, the counts where each scalar loop is still
 affordable — the 300-authority shared-transport cells exist *because* the
 vector engine makes them tractable — and on the parallel engine runs at
 the two largest counts (120, 300), where sharding has links to gate.
-``tcp`` (no vector policy; lazy engine
-only) runs at paper scale and 30 authorities, pricing per-flow congestion
-control against the memoryless ``fair`` model.  Cells run serially and in-process (never through a result
+``tcp`` runs at :data:`DEFAULT_TCP_COUNTS` on the lazy engine *and* (numpy
+present) the vector engine, pricing per-flow congestion control against
+the memoryless ``fair`` model and the scalar ack-tick loop against the
+vector policy's cohort ticks.  Cells run serially and in-process (never through a result
 cache) so the timings measure simulation cost, not cache or pool behaviour.
-:func:`write_bench_json` emits the numbers (format 5: per-cell ``phases``
-wall-clock buckets and the ``non_transport_floor_fair`` table, on top of
-format 4's parallel cells with per-cell ``workers`` and
-``speedup_fair_vector_to_parallel``, format 3's 300-authority cells,
-per-cell ``engine`` and ``peak_rss_mb``, and
+:func:`write_bench_json` emits the numbers (format 6: tcp vector cells up
+to 120 authorities and the ``speedup_tcp_lazy_to_vector`` table, on top of
+format 5's per-cell ``phases`` wall-clock buckets and
+``non_transport_floor_fair``, format 4's parallel cells with per-cell
+``workers`` and ``speedup_fair_vector_to_parallel``, format 3's
+300-authority cells, per-cell ``engine`` and ``peak_rss_mb``, and
 ``speedup_fair_lazy_to_vector``).
 """
 
@@ -84,11 +86,13 @@ DEFAULT_LEGACY_FAIR_COUNTS = (9, 30, 90)
 #: there, and the lazy→vector speedup table makes its point at 120.
 DEFAULT_LAZY_FAIR_COUNTS = (9, 30, 90, 120)
 
-#: Counts at which ``tcp`` cells run.  The model has no vector policy (it
-#: downgrades to lazy), so its per-tick cost is scalar; paper scale and the
-#: first 10×/3 point are enough to price congestion control against
-#: ``fair``, and the CI perf-smoke budget asserts the tcp@30 cell.
-DEFAULT_TCP_COUNTS = (9, 30)
+#: Counts at which ``tcp`` cells run — on the lazy engine and (numpy
+#: present) the vector engine, so the committed snapshot carries the
+#: lazy→vector tcp speedup table.  120 is the headline point: broadcast
+#: waves there are wide enough for the vector policy's cohort ack ticks to
+#: amortise, which is what the ≥1.5× bar in ``test_bench_scaling.py``
+#: asserts.  The CI perf-smoke budget asserts the tcp@30 cells.
+DEFAULT_TCP_COUNTS = (9, 30, 120)
 
 #: Counts at which ``fair`` additionally runs on the partition-parallel
 #: engine.  Small counts are deliberately absent: sharding pays a constant
@@ -113,8 +117,11 @@ DEFAULT_PARALLEL_FAIR_COUNTS = (120, 300)
 #: adds ~1–2 % overhead, paid by every cell so the buckets always sum to
 #: the recorded wall clock) and ``non_transport_floor_fair`` reports each
 #: fair cell's non-transport bucket total per ``engine@N`` — the floor the
-#: batched-dispatch work shrinks and the tripwire tests pin.
-BENCH_FORMAT_VERSION = 5
+#: batched-dispatch work shrinks and the tripwire tests pin.  Version 6:
+#: ``tcp`` grew a vector policy — tcp cells run on the lazy *and* vector
+#: engines up to 120 authorities and ``speedup_tcp_lazy_to_vector``
+#: reports the scalar-ack-tick→cohort-tick wall-clock ratio per count.
+BENCH_FORMAT_VERSION = 6
 
 
 def _peak_rss_mb() -> float:
@@ -240,8 +247,8 @@ def run_scaling_sweep(
     not downgraded:
     a downgraded cell would be a duplicate lazy run, and at 300 authorities
     minutes of scalar loop for no information.
-    ``tcp`` cells run on the lazy engine only (the model has no vector
-    policy) and only at ``tcp_counts`` — counts outside it are skipped, so
+    ``tcp`` cells run on the lazy engine and (numpy present) the vector
+    engine, only at ``tcp_counts`` — counts outside it are skipped, so
     small custom grids stay tcp-free unless asked.
     ``progress`` (if given) fires after each cell — the largest cells take
     minutes on slow machines and silence reads as a hang.
@@ -271,6 +278,8 @@ def run_scaling_sweep(
         if spec.transport == "tcp":
             if spec.authority_count in tcp_counts:
                 _run(spec, "lazy")
+                if vector_available():
+                    _run(spec, "vector")
             continue
         if spec.transport != "fair":
             _run(spec, "lazy")
@@ -388,6 +397,27 @@ def vector_speedups(
     return results
 
 
+def tcp_vector_speedups(
+    cells: Sequence[ScalingCell],
+) -> List[Tuple[str, int, float]]:
+    """Every grid point's lazy→vector *tcp* speedup as (protocol, N, speedup).
+
+    The tcp counterpart of :func:`vector_speedups`: the ratio prices the
+    scalar per-flow ack-tick loop against the vector policy's cohort
+    ticks, and the committed snapshot's 120-authority entry is the ≥1.5×
+    bar ``benchmarks/test_bench_scaling.py`` asserts.
+    """
+    results: List[Tuple[str, int, float]] = []
+    for authority_count in sorted({cell.authority_count for cell in cells}):
+        for protocol in sorted({cell.protocol for cell in cells}):
+            speedup = vector_speedup_at(
+                cells, authority_count, protocol, transport="tcp"
+            )
+            if speedup is not None:
+                results.append((protocol, authority_count, speedup))
+    return results
+
+
 def parallel_speedup_at(
     cells: Sequence[ScalingCell],
     authority_count: int,
@@ -466,6 +496,11 @@ def render_scaling(cells: Sequence[ScalingCell]) -> str:
         for protocol, authority_count, speedup in vector_speedups(cells)
     )
     notes.extend(
+        "N=%d %s: vector tcp engine is %.1fx faster than lazy"
+        % (authority_count, protocol, speedup)
+        for protocol, authority_count, speedup in tcp_vector_speedups(cells)
+    )
+    notes.extend(
         "N=%d %s: parallel fair engine is %.2fx the vector engine"
         % (authority_count, protocol, speedup)
         for protocol, authority_count, speedup in parallel_speedups(cells)
@@ -490,6 +525,10 @@ def write_bench_json(
         "%s@%d" % (protocol, authority_count): speedup
         for protocol, authority_count, speedup in vector_speedups(cells)
     }
+    tcp_lazy_to_vector = {
+        "%s@%d" % (protocol, authority_count): speedup
+        for protocol, authority_count, speedup in tcp_vector_speedups(cells)
+    }
     vector_to_parallel = {
         "%s@%d" % (protocol, authority_count): speedup
         for protocol, authority_count, speedup in parallel_speedups(cells)
@@ -511,6 +550,7 @@ def write_bench_json(
         "speedup_fair_to_latency_only": transport_speedups,
         "speedup_fair_legacy_to_lazy": legacy_to_lazy,
         "speedup_fair_lazy_to_vector": lazy_to_vector,
+        "speedup_tcp_lazy_to_vector": tcp_lazy_to_vector,
         "speedup_fair_vector_to_parallel": vector_to_parallel,
         "non_transport_floor_fair": floor_fair,
     }

@@ -35,7 +35,11 @@ from repro.utils.validation import ensure
 #: Version 5: specs may carry a ``client_workload`` (spec format v5) and
 #: summaries a ``clients`` block (result summary v3); older entries read
 #: as misses.
-CACHE_FORMAT_VERSION = 5
+#: Version 6: tcp grew Reno fast retransmit/recovery (every lossy tcp
+#: trajectory differs from the Tahoe-era v5 build) and a vector policy —
+#: v5 vector-request entries were keyed as lazy under the old downgrade,
+#: so *all* v5 entries must read as misses rather than mis-hit tcp runs.
+CACHE_FORMAT_VERSION = 6
 
 
 class ResultCache:
@@ -56,7 +60,9 @@ class ResultCache:
         therefore never hit entries produced by default runs, or vice versa.
         The *effective* engine is what matters: a ``vector`` request on a
         numpy-less install — or for a shared model without a vector policy
-        (``tcp``) — runs the lazy engine and must hit lazy entries.  The
+        (third-party models; fair/fifo/tcp all ship one) — runs the lazy
+        engine and must hit lazy entries, while a tcp vector run stores
+        under the ``.vector`` suffix like any other vectorized model.  The
         partition-parallel engine additionally keys on its partition count:
         trajectories agree across partition counts only to float rounding,
         so a 2-partition run must never hit a 4-partition entry (and the

@@ -112,28 +112,23 @@ def effective_shared_engine(
     the engine (the result cache) agree with :func:`make_flow_scheduler`.
 
     When ``transport`` is given, the downgrade also accounts for shared
-    models without a vector policy (``tcp``): a vector request for such a
-    model runs — and is cache-keyed as — the lazy engine.
+    models without a vector policy: a vector request for such a model runs —
+    and is cache-keyed as — the lazy engine.  Every shipped shared model
+    (``fair``, ``fifo``, ``tcp``) now has a vector policy, so this branch
+    only guards third-party models.
 
-    ``"parallel"`` downgrades the same way — to ``"lazy"`` on a numpy-less
-    install, for shared models without a partitioned policy (``fifo``,
-    ``tcp``), and in the degenerate single-partition configuration, where
-    the partition-parallel engine *is* the serial lazy engine by definition
+    ``"parallel"`` downgrades to ``"lazy"`` on a numpy-less install and in
+    the degenerate single-partition configuration, where the
+    partition-parallel engine *is* the serial lazy engine by definition
     (which is what makes the 1-partition conformance case byte-identical).
+    For shared models without a partitioned policy (``fifo``, ``tcp`` —
+    their serialising dynamics defeat partition-local batching, see
+    :data:`repro.simnet.parallel_sched.PARALLEL_MODELS`) a parallel request
+    falls back to the *vector* engine instead: the next-best batched engine,
+    resolved by the vector rules above rather than straight to lazy.
     """
     engine = resolve_shared_engine(explicit)
-    if engine == "vector":
-        from repro.simnet.vector_sched import VECTOR_POLICIES, vector_available
-
-        if not vector_available():
-            return "lazy"
-        if transport is not None:
-            from repro.simnet.linkmodel import get_link_model
-
-            model = get_link_model(transport)
-            if model.shared and model.name not in VECTOR_POLICIES:
-                return "lazy"
-    elif engine == "parallel":
+    if engine == "parallel":
         from repro.simnet.parallel_sched import PARALLEL_MODELS, parallel_available
         from repro.simnet.partition import resolve_partition_count
 
@@ -144,6 +139,17 @@ def effective_shared_engine(
 
             model = get_link_model(transport)
             if model.shared and model.name not in PARALLEL_MODELS:
+                engine = "vector"  # fall through to the vector resolution
+    if engine == "vector":
+        from repro.simnet.vector_sched import VECTOR_POLICIES, vector_available
+
+        if not vector_available():
+            return "lazy"
+        if transport is not None:
+            from repro.simnet.linkmodel import get_link_model
+
+            model = get_link_model(transport)
+            if model.shared and model.name not in VECTOR_POLICIES:
                 return "lazy"
     return engine
 
@@ -591,8 +597,9 @@ def make_flow_scheduler(
     between the lazy-advance engine, the numpy structure-of-arrays engine
     (``"vector"``; requires the ``[perf]`` extra and a registered vector
     policy, otherwise it silently falls back to lazy), the partition-parallel
-    engine (``"parallel"``; same numpy requirement, downgrades identically,
-    and with one partition *is* the lazy engine), and the legacy
+    engine (``"parallel"``; same numpy requirement, with one partition *is*
+    the lazy engine, and for models without a partitioned policy falls back
+    to the vector engine rather than straight to lazy), and the legacy
     global-recompute loop.  Shared models without a registered lazy rater
     always get the legacy scheduler — it handles any ``assign_rates``
     implementation.  ``latency_fn`` (the network's pairwise latency lookup)
@@ -612,17 +619,20 @@ def make_flow_scheduler(
         from repro.simnet.partition import resolve_partition_count
 
         partitions = resolve_partition_count()
-        if parallel_available() and model.name in PARALLEL_MODELS and partitions > 1:
-            return ParallelSharedLinkScheduler(
-                model,
-                simulator,
-                links,
-                complete,
-                expire,
-                partitions=partitions,
-                latency_fn=latency_fn,
-            )
-        engine = "lazy"  # pure-Python install, unsupported model, or 1 partition
+        if parallel_available() and partitions > 1:
+            if model.name in PARALLEL_MODELS:
+                return ParallelSharedLinkScheduler(
+                    model,
+                    simulator,
+                    links,
+                    complete,
+                    expire,
+                    partitions=partitions,
+                    latency_fn=latency_fn,
+                )
+            engine = "vector"  # unsupported model: next-best batched engine
+        else:
+            engine = "lazy"  # pure-Python install or 1 partition
     if engine == "vector":
         from repro.simnet.vector_sched import (
             VECTOR_POLICIES,

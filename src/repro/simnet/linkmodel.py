@@ -30,13 +30,16 @@ Four models ship in the registry:
     promoted flow and the two affected downlinks.
 
 ``"tcp"``
-    Per-flow Tahoe-style congestion control on top of weighted fair link
+    Per-flow Reno-style congestion control on top of weighted fair link
     shares: each flow carries a congestion window (slow start → congestion
     avoidance), EWMA estRTT/devRTT derived from propagation latency plus
-    queue-induced delay, and an RTO with exponential backoff.  Its rate is
-    ``min(fair share, window / estRTT)``, so on loss-free static links it
-    converges to exactly the ``fair`` share after slow-start ramp-up — while
-    drop-typed faults (via :meth:`repro.faults.injector.FaultInjector.tcp_loss_event`)
+    queue-induced delay, an RTO with exponential backoff, and a duplicate-ack
+    counter driving fast retransmit/fast recovery (a loss with acks still
+    flowing halves the window instead of collapsing it to one segment; only
+    a true timeout restarts slow start).  Its rate is ``min(fair share,
+    window / estRTT)``, so on loss-free static links it converges to exactly
+    the ``fair`` share after slow-start ramp-up — while drop-typed faults
+    (via :meth:`repro.faults.injector.FaultInjector.tcp_loss_event`)
     trigger multiplicative decrease, making congestion collapse under a
     DDoS flood representable.  See ``DESIGN-transport.md``.
 
@@ -246,9 +249,12 @@ class FifoLinkModel(LinkModel):
 #: TCP segment size used to translate congestion windows into rates (bytes).
 TCP_MSS_BYTES = 1500.0
 
-#: Initial congestion window / slow-start threshold, in MSS units (Tahoe).
+#: Initial congestion window / slow-start threshold, in MSS units.
 TCP_INITIAL_CWND = 1.0
 TCP_INITIAL_SSTHRESH = 64.0
+
+#: Duplicate acks that trigger fast retransmit (RFC 5681 §3.2).
+TCP_DUPACK_THRESHOLD = 3
 
 #: Floor on the modelled round-trip time (zero-latency links still ack).
 TCP_MIN_RTT_S = 1e-3
@@ -269,9 +275,11 @@ _TICK_EPSILON = 1e-9
 
 
 class _TcpFlowState:
-    """Per-flow Tahoe congestion state (cwnd and friends, in MSS units)."""
+    """Per-flow Reno congestion state (cwnd and friends, in MSS units)."""
 
-    __slots__ = ("cwnd", "ssthresh", "srtt", "devrtt", "rto", "base_rtt", "next_tick")
+    __slots__ = (
+        "cwnd", "ssthresh", "srtt", "devrtt", "rto", "base_rtt", "next_tick", "dupacks",
+    )
 
     def __init__(self, base_rtt: float, now: float) -> None:
         self.cwnd = TCP_INITIAL_CWND
@@ -281,6 +289,7 @@ class _TcpFlowState:
         self.devrtt = base_rtt / 2.0
         self.rto = min(max(self.srtt + 4.0 * self.devrtt, TCP_MIN_RTO_S), TCP_MAX_RTO_S)
         self.next_tick = now + self.srtt
+        self.dupacks = 0
 
     def window_rate(self, weight: int) -> float:
         """The window-limited send rate: ``weight × cwnd × MSS / estRTT``."""
@@ -288,23 +297,33 @@ class _TcpFlowState:
 
 
 class TcpLinkModel(LinkModel):
-    """Tahoe-style congestion control over weighted fair link shares.
+    """Reno-style congestion control over weighted fair link shares.
 
     Each flow stands in for ``weight`` identical TCP connections sharing one
     congestion state.  The model keeps the ``fair`` share as the capacity
     constraint and caps it by the window-limited rate ``cwnd × MSS / estRTT``;
     the congestion state advances at *ack ticks* (one per estimated RTT),
     which the flow schedulers drive through :meth:`next_event_time` (legacy
-    engine) or per-flow simulator events
-    (:class:`repro.simnet.shared_sched.TcpLazyRater`).
+    engine), per-flow simulator events
+    (:class:`repro.simnet.shared_sched.TcpLazyRater`), or the vector
+    engine's single wake scan
+    (:class:`repro.simnet.vector_sched._TcpVectorPolicy`).
 
     At each tick the flow's granted rate since the previous tick plays the
     role of the ack stream:
 
-    * granted rate zero (starved link) or a loss event from the fault
-      injector (:meth:`~repro.faults.injector.FaultInjector.tcp_loss_event`,
-      one Bernoulli draw per window segment) → Tahoe timeout: ``ssthresh =
-      cwnd/2``, ``cwnd = 1``, RTO doubled, next tick one RTO out;
+    * granted rate zero (starved link, no acks at all) → retransmission
+      timeout: ``ssthresh = cwnd/2``, ``cwnd = 1``, RTO doubled, next tick
+      one RTO out;
+    * a loss event from the fault injector
+      (:meth:`~repro.faults.injector.FaultInjector.tcp_loss_event`, one
+      Bernoulli draw per window segment) while acks still flow → the
+      surviving segments of the round raise duplicate acks; at three or
+      more, *fast retransmit / fast recovery* (Reno): ``ssthresh = cwnd/2``,
+      ``cwnd = ssthresh`` — halving, not slow-start restart — with the ack
+      clock intact (next tick one estRTT out, RTO untouched).  A window too
+      small to raise three duplicate acks falls back to the timeout path,
+      as real Reno does;
     * otherwise an RTT sample ``max(base_rtt, cwnd × MSS / per-connection
       rate)`` — propagation plus self-induced queueing delay — feeds the
       EWMA estimators (gains 1/8 and 1/4, RFC 6298) and the window opens:
@@ -348,22 +367,66 @@ class TcpLinkModel(LinkModel):
         self._states.pop(flow_id, None)
 
     # -- congestion machinery ----------------------------------------------
-    def advance_flow(self, flow: "Flow", state: _TcpFlowState, now: float) -> None:
-        """Process one ack tick: sample the RTT, grow or collapse the window."""
-        granted = flow.rate
+    @staticmethod
+    def _timeout(state: _TcpFlowState, now: float) -> None:
+        """Retransmission timeout: multiplicative decrease, window back to
+        one segment, exponential RTO backoff (the Tahoe-era collapse, which
+        Reno keeps for timeouts)."""
+        state.ssthresh = max(state.cwnd / 2.0, 2.0)
+        state.cwnd = TCP_INITIAL_CWND
+        state.rto = min(state.rto * 2.0, TCP_MAX_RTO_S)
+        state.dupacks = 0
+        state.next_tick = now + state.rto
+
+    def advance_flow(
+        self,
+        flow: "Flow",
+        state: _TcpFlowState,
+        now: float,
+        granted: Optional[float] = None,
+    ) -> None:
+        """Process one ack tick: sample the RTT, grow or shrink the window.
+
+        ``granted`` is the rate the transport actually assigned over the
+        round (default: ``flow.rate``, which the scalar engines keep
+        current; the vector engine passes its slot-array rate instead).
+        This is the **one** Reno state machine — legacy ``assign_rates``,
+        :class:`repro.simnet.shared_sched.TcpLazyRater` ticks, and the
+        vector engine's ``_TcpVectorPolicy`` all drive transitions through
+        this method, so the three engines cannot drift apart.
+        """
+        if granted is None:
+            granted = flow.rate
         lost = False
         injector = None if self._network is None else self._network.fault_injector
         if injector is not None:
             segments = max(1, int(state.cwnd))
             lost = injector.tcp_loss_event(flow.src, flow.dst, now, segments)
-        if lost or granted <= 0.0:
-            # Tahoe timeout: multiplicative decrease, window back to one
-            # segment, exponential RTO backoff.
-            state.ssthresh = max(state.cwnd / 2.0, 2.0)
-            state.cwnd = TCP_INITIAL_CWND
-            state.rto = min(state.rto * 2.0, TCP_MAX_RTO_S)
-            state.next_tick = now + state.rto
+        if granted <= 0.0:
+            # A starved link returns no acks at all: only the retransmit
+            # timer can fire.
+            self._timeout(state, now)
             return
+        if lost:
+            # Acks still flow, so every segment of the round that survived
+            # the lost one raises a duplicate ack for it.
+            state.dupacks += max(0, int(state.cwnd) - 1)
+            if state.dupacks >= TCP_DUPACK_THRESHOLD:
+                # Fast retransmit + fast recovery (Reno, RFC 5681 §3.2):
+                # halve the window and stay in congestion avoidance — no
+                # slow-start restart, no RTO backoff — and retransmit within
+                # the ack clock (next tick one estRTT out, not one RTO).
+                state.ssthresh = max(state.cwnd / 2.0, 2.0)
+                state.cwnd = state.ssthresh
+                state.dupacks = 0
+                state.next_tick = now + state.srtt
+                return
+            # Too few segments in flight to raise three duplicate acks
+            # (cwnd < 4): the lost segment can only recover by RTO, exactly
+            # as in Tahoe.
+            self._timeout(state, now)
+            return
+        state.dupacks = 0
         # Ack round: the RTT sample is propagation latency plus the queueing
         # delay of a full window draining at the per-connection granted rate.
         sample = max(state.base_rtt, state.cwnd * TCP_MSS_BYTES / (granted / flow.weight))

@@ -98,7 +98,8 @@ __all__ = [
 #: Link models with a partition-parallel policy.  Only ``fair`` — fifo's
 #: arrival-order service and tcp's per-flow window events serialise against
 #: global state per event, which defeats partition-local batching; both
-#: fall back to the lazy engine (see ``effective_shared_engine``).
+#: fall back to the vector engine — the next-best batched engine — when
+#: numpy is present, else lazy (see ``effective_shared_engine``).
 PARALLEL_MODELS = ("fair",)
 
 #: Initial per-shard slot capacity (doubled on demand).

@@ -34,7 +34,7 @@ changed, which each link model knows how to enumerate through its
   per-uplink arrival queue and per-downlink serving counts incrementally, so
   a completion touches only the promoted flow and the eligible flows on the
   two affected downlinks (queued flows have rate 0 and are never touched).
-* ``tcp`` — the fair share capped by each flow's Tahoe congestion window
+* ``tcp`` — the fair share capped by each flow's Reno congestion window
   (:class:`repro.simnet.linkmodel.TcpLinkModel`); the rater adds one
   simulator *ack-tick* event per flow that advances its congestion state and
   re-aims only that flow, so window dynamics ride on the fair rater's
@@ -413,7 +413,7 @@ class FifoLazyRater(LazyRater):
 
 
 class TcpLazyRater(FairLazyRater):
-    """Tahoe congestion control over lazy fair shares.
+    """Reno congestion control over lazy fair shares.
 
     The capacity side is exactly :class:`FairLazyRater` — occupancy-coupled
     equal splits with the same touched sets.  On top of it, each flow's rate
@@ -430,9 +430,12 @@ class TcpLazyRater(FairLazyRater):
     perf-smoke ``tcp@30`` budget in CI pins.
 
     Unlike fair/fifo, tcp makes no cross-engine trajectory claim: the lazy
-    engine advances windows at exact tick instants while the legacy engine
-    folds due ticks into its recompute events, so each engine is pinned by
-    its own golden trace.
+    engine advances windows at exact tick instants, the legacy engine folds
+    due ticks into its recompute events, and the vector engine
+    (:class:`repro.simnet.vector_sched._TcpVectorPolicy`) advances whole due
+    cohorts per wake — so each of the three engines is pinned by its own
+    golden trace.  The Reno state machine itself lives in one place:
+    :meth:`repro.simnet.linkmodel.TcpLinkModel.advance_flow`.
     """
 
     def __init__(self, by_src, by_dst, up_cap, down_cap, src_weight, dst_weight, links) -> None:

@@ -24,7 +24,11 @@ loops into array expressions:
   scheduler keeps a single wake event at ``min(target)`` over all slots; due
   slots are found with one vectorized comparison and settled in flow-id
   order.  (Early wakes are harmless, exactly like the lazy engine's stale
-  completion estimates: they find nothing due and re-aim.)
+  completion estimates: they find nothing due and re-aim.)  Stateful
+  policies fold their own clock into the same event: the ``tcp`` policy's
+  per-slot ack ticks (:class:`_TcpVectorPolicy`) are found by the same
+  vectorized scan and a whole due cohort advances per wake, instead of one
+  simulator tick per flow per ack round.
 
 Float semantics: progress chips happen at recompute instants, which coalesce
 differently from the lazy engine's per-touch chips, so trajectories agree
@@ -52,6 +56,7 @@ from repro.simnet.flows import (
     Flow,
     FlowScheduler,
 )
+from repro.simnet.linkmodel import _TICK_EPSILON
 
 try:  # pragma: no cover - absence exercised by the no-numpy CI leg
     import numpy as _np
@@ -118,6 +123,24 @@ class _VectorPolicy:
     def rates(self, slots) -> "object":
         """New rates for ``slots`` (an int64 array), as a float64 array."""
         raise NotImplementedError
+
+    # -- policy-internal dynamics (stateful models: tcp ack ticks) ----------
+    def next_event_time(self) -> float:
+        """Earliest future instant at which the policy itself changes rates.
+
+        The scheduler folds this into its wake aim, the array twin of
+        :meth:`repro.simnet.linkmodel.LinkModel.next_event_time`.  Memoryless
+        policies (fair, fifo) return ``inf``: their rates only change when
+        flows or link capacities do.
+        """
+        return float("inf")
+
+    def advance_due(self, now: float) -> bool:
+        """Settle policy-internal dynamics due at ``now``; return whether any
+        slot advanced (advanced slots must be marked touched so the
+        recompute re-rates them).  Memoryless policies never have any.
+        """
+        return False
 
 
 class _FairVectorPolicy(_VectorPolicy):
@@ -324,11 +347,129 @@ class _FifoVectorPolicy(_VectorPolicy):
             del self._queues[src]
 
 
+class _TcpVectorPolicy(_FairVectorPolicy):
+    """Reno congestion control over batched fair shares.
+
+    The capacity side is exactly :class:`_FairVectorPolicy` — dirty-link
+    touched sets, elementwise share math.  On top of it the policy keeps the
+    congestion side in two policy-owned SoA columns mirroring the canonical
+    per-slot :class:`repro.simnet.linkmodel._TcpFlowState` (which also holds
+    cwnd, ssthresh, srtt/devrtt, RTO backoff, and the duplicate-ack count):
+
+    * ``_next_tick`` — each slot's next ack-tick instant (``inf`` when
+      free), so due ticks are found with one vectorized comparison and the
+      whole due cohort of an instant advances in one pass (a synchronized
+      broadcast wave keeps identical congestion trajectories, so its ticks
+      coalesce for the entire run), where the lazy engine pays one simulator
+      heap event per flow per ack round;
+    * ``_wrate`` — each slot's window-limited rate ``weight·cwnd·MSS/estRTT``,
+      refreshed whenever a slot's state advances, so :meth:`rates` is the
+      fair share pass plus one elementwise ``minimum`` against the window
+      cap.
+
+    State *transitions* are never reimplemented here: each due slot is
+    advanced through :meth:`repro.simnet.linkmodel.TcpLinkModel.advance_flow`
+    (fed the slot array's granted rate), the same Reno machine the legacy
+    hooks and :class:`repro.simnet.shared_sched.TcpLazyRater` drive — loss
+    draws included, which keeps the per-pair ``tcp_loss_event`` streams and
+    their consumption order (flow-id order within an instant, matching
+    ``_settle_due``) deterministic.  Like the scalar engines, tcp makes no
+    cross-engine trajectory claim: the vector engine coalesces ticks and
+    chips progress at recompute instants, so it is pinned by its own golden
+    trace (``golden_transport_tcp_vector.json``) plus the fair-share
+    convergence property.
+    """
+
+    def __init__(self, sched: "VectorSharedLinkScheduler") -> None:
+        super().__init__(sched)
+        self._next_tick = _np.full(sched._capacity, _np.inf, dtype=_np.float64)
+        self._wrate = _np.zeros(sched._capacity, dtype=_np.float64)
+        #: Canonical per-slot congestion state (owned by the link model).
+        self._state: List[Optional[object]] = [None] * sched._capacity
+        #: Slots whose window advanced this instant (rate cap moved).
+        self._ticked: Set[int] = set()
+
+    def grow_slots(self, capacity: int) -> None:
+        grown = capacity - len(self._next_tick)
+        self._next_tick = _np.concatenate(
+            [self._next_tick, _np.full(grown, _np.inf, dtype=_np.float64)]
+        )
+        self._wrate = _np.concatenate(
+            [self._wrate, _np.zeros(grown, dtype=_np.float64)]
+        )
+        self._state.extend([None] * grown)
+
+    # -- transitions -------------------------------------------------------
+    def on_add(self, slot: int) -> None:
+        s = self._s
+        flow = s._flow_at[slot]
+        state = s.model.state_of(flow, s.simulator.now)
+        self._state[slot] = state
+        self._next_tick[slot] = state.next_tick
+        self._wrate[slot] = state.window_rate(flow.weight)
+        super().on_add(slot)
+
+    def on_remove(self, slot: int) -> None:
+        s = self._s
+        s.model.drop_state(s._flow_at[slot].flow_id)
+        self._state[slot] = None
+        self._next_tick[slot] = _np.inf
+        self._wrate[slot] = 0.0
+        super().on_remove(slot)
+
+    def has_touched(self) -> bool:
+        return bool(self._ticked) or super().has_touched()
+
+    def take_touched(self) -> Set[int]:
+        touched = super().take_touched()
+        touched.update(self._ticked)
+        self._ticked.clear()
+        return touched
+
+    # -- ack ticks ----------------------------------------------------------
+    def next_event_time(self) -> float:
+        hi = self._s._hi
+        if not hi:
+            return float("inf")
+        return float(self._next_tick[:hi].min())
+
+    def advance_due(self, now: float) -> bool:
+        hi = self._s._hi
+        if not hi:
+            return False
+        due = _np.nonzero(self._next_tick[:hi] <= now + _TICK_EPSILON)[0]
+        if not due.size:
+            return False
+        s = self._s
+        advance = s.model.advance_flow
+        flow_at = s._flow_at
+        rate = s._rate
+        # Flow-id order, like _settle_due: it makes same-instant loss-draw
+        # consumption (flows sharing an authority pair share one stream)
+        # independent of slot assignment.
+        for slot in sorted((int(x) for x in due), key=lambda x: flow_at[x].flow_id):
+            flow = flow_at[slot]
+            state = self._state[slot]
+            advance(flow, state, now, granted=float(rate[slot]))
+            self._next_tick[slot] = state.next_tick
+            # A window change never moves a neighbour's fair share (the
+            # TcpLazyRater contract), so only the ticked slot is touched.
+            self._wrate[slot] = state.window_rate(flow.weight)
+            self._ticked.add(slot)
+        return True
+
+    def rates(self, slots):
+        # The elementwise twin of TcpLinkModel.assign_rates' rate line:
+        # min(fair up/down share, window-limited rate), one array pass.
+        return _np.minimum(super().rates(slots), self._wrate[slots])
+
+
 #: LinkModel name -> vector policy class; the vector engine applies to
 #: models listed here, everything else falls back to the lazy/legacy chain.
 VECTOR_POLICIES = {
     "fair": _FairVectorPolicy,
     "fifo": _FifoVectorPolicy,
+    "tcp": _TcpVectorPolicy,
 }
 
 
@@ -444,6 +585,11 @@ class VectorSharedLinkScheduler(FlowScheduler):
                     if due.size:
                         self._settle_due(due, now)
                         progressed = True
+                if self._policy.advance_due(now):
+                    # Policy-internal dynamics (tcp ack ticks) due at this
+                    # instant: the whole due cohort advanced and marked
+                    # itself touched for the recompute below.
+                    progressed = True
                 if self._policy.has_touched():
                     self._recompute(now)
                     continue  # the recompute may have pulled targets to now
@@ -524,6 +670,9 @@ class VectorSharedLinkScheduler(FlowScheduler):
 
     def _aim_wake(self) -> None:
         tmin = float(self._target[: self._hi].min()) if self._hi else float("inf")
+        # Stateful policies tick on their own clock (tcp ack rounds), even
+        # when every completion target is stranded at inf.
+        tmin = min(tmin, self._policy.next_event_time())
         if tmin == float("inf"):
             # Every slot is stranded (or none exist): watchers revive them.
             if self._wake is not None:

@@ -12,6 +12,7 @@ from repro.experiments.scaling_sweep import (
     run_scaling_sweep,
     scaling_specs,
     speedup_at,
+    tcp_vector_speedups,
     vector_speedup_at,
     vector_speedups,
     write_bench_json,
@@ -41,6 +42,8 @@ def synthetic_cells():
         cell("fair", 90, 2.5, engine="vector"),
         cell("fair", 90, 1.25, engine="parallel"),
         cell("latency-only", 90, 5.0),
+        cell("tcp", 90, 8.0),
+        cell("tcp", 90, 4.0, engine="vector"),
     ]
 
 
@@ -62,33 +65,40 @@ def test_small_scaling_sweep_runs_and_reports(tmp_path):
         max_time=600.0,
         legacy_fair_counts=(5,),
         parallel_fair_counts=(5,),
+        tcp_counts=(5,),
     )
     # fair on every available engine, latency-only on the lazy engine
-    # only.  Numpy-less installs skip (not downgrade) the vector and
-    # parallel cells.
+    # only, tcp on lazy and (numpy present) vector.  Numpy-less installs
+    # skip (not downgrade) the vector and parallel cells.
     expected = [("fair", "lazy"), ("fair", "legacy")]
     if vector_available():
         expected.append(("fair", "vector"))
         expected.append(("fair", "parallel"))
     expected.append(("latency-only", "lazy"))
+    expected.append(("tcp", "lazy"))
+    if vector_available():
+        expected.append(("tcp", "vector"))
     assert [(cell.transport, cell.engine) for cell in cells] == expected
     assert all(cell.success for cell in cells)
     assert all(cell.wall_clock_s > 0 for cell in cells)
-    # Identical protocol work under every transport and engine.
-    assert len({cell.messages_sent for cell in cells}) == 1
+    # Identical protocol work under every loss-free transport and engine
+    # (tcp is excluded: its engines make no cross-engine trajectory claim,
+    # and loss draws can change the message count).
+    assert len({c.messages_sent for c in cells if c.transport != "tcp"}) == 1
 
     text = render_scaling(cells)
     assert "latency-only" in text and "fair" in text and "legacy" in text
 
     out = write_bench_json(cells, tmp_path / "BENCH_scaling.json")
     payload = json.loads(out.read_text())
-    assert payload["format"] == 5
-    assert len(payload["cells"]) == (5 if vector_available() else 3)
+    assert payload["format"] == 6
+    assert len(payload["cells"]) == (7 if vector_available() else 4)
     assert "current@5" in payload["speedup_fair_to_latency_only"]
     assert "current@5" in payload["speedup_fair_legacy_to_lazy"]
     if vector_available():
         assert "current@5" in payload["speedup_fair_lazy_to_vector"]
         assert "current@5" in payload["speedup_fair_vector_to_parallel"]
+        assert "current@5" in payload["speedup_tcp_lazy_to_vector"]
     assert all(cell["peak_rss_mb"] > 0 for cell in payload["cells"])
     assert all(cell["workers"] >= 1 for cell in payload["cells"])
     # Format 5: per-cell phase buckets and the fair-cell floor table.
@@ -133,9 +143,17 @@ def test_parallel_speedup_compares_vector_to_parallel_fair_cells():
     assert parallel_speedups(cells) == [("current", 90, 2.0)]
 
 
+def test_tcp_vector_speedup_compares_tcp_engine_cells():
+    cells = synthetic_cells()
+    assert vector_speedup_at(cells, 90, transport="tcp") == 2.0
+    assert vector_speedup_at(cells, 9, transport="tcp") is None  # no tcp at N=9
+    assert tcp_vector_speedups(cells) == [("current", 90, 2.0)]
+
+
 def test_render_scaling_annotates_speedups():
     text = render_scaling(synthetic_cells())
     assert "N=90 current: latency-only is 2.0x faster than fair" in text
     assert "N=90 current: lazy fair engine is 4.0x faster than legacy" in text
     assert "N=90 current: vector fair engine is 4.0x faster than lazy" in text
     assert "N=90 current: parallel fair engine is 2.00x the vector engine" in text
+    assert "N=90 current: vector tcp engine is 2.0x faster than lazy" in text

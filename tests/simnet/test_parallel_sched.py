@@ -173,11 +173,16 @@ def test_one_partition_downgrades_to_the_lazy_engine(partitions):
 
 
 @pytest.mark.parametrize("transport", ["fifo", "tcp"])
-def test_models_without_a_parallel_policy_downgrade_to_lazy(partitions, transport):
+def test_models_without_a_parallel_policy_fall_back_to_the_vector_engine(
+    partitions, transport
+):
+    # fifo/tcp have no partitioned policy, but they do have a vector policy:
+    # a parallel request lands on the next-best batched engine, not lazy.
     assert transport not in PARALLEL_MODELS
     partitions(4)
     with use_shared_engine("parallel"):
-        assert effective_shared_engine(transport=transport) == "lazy"
+        expected = "vector" if parallel_available() else "lazy"
+        assert effective_shared_engine(transport=transport) == expected
 
 
 # -- conformance: parallel engine vs lazy engine -------------------------------

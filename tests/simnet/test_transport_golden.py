@@ -20,6 +20,12 @@ per shared-scheduler engine:
   advance at exact ack-tick instants on the lazy engine but fold into
   recompute events on the legacy one, so the two trajectories differ by
   design and each needs its own anchor.
+* ``golden_transport_tcp_vector.json`` — the **vector** engine's tcp
+  trajectory (numpy-gated).  The vector engine advances whole due cohorts
+  per wake, which lands ack ticks on slightly different instants than the
+  lazy engine's per-flow events, so tcp's third engine also needs its own
+  anchor.  fair/fifo need no vector golden: their vector trajectories are
+  conformance-checked against lazy in ``test_vector_sched.py`` instead.
 
 GOLDEN version history: format 1 (implicit, no marker) pinned the legacy
 engine's trajectory as the default; format 2 pins the lazy engine's (the
@@ -56,6 +62,11 @@ DATA_DIR = Path(__file__).resolve().parent.parent / "data"
 GOLDEN_TRANSPORTS = ("fair", "fifo", "tcp")
 GOLDEN_ENGINES = ("lazy", "legacy")
 
+#: (transport, engine) pairs pinned beyond the lazy/legacy grid: tcp's
+#: vector-engine trajectory differs by design (cohort ack ticks) and gets
+#: its own numpy-gated anchor.
+VECTOR_GOLDEN_TRANSPORTS = ("tcp",)
+
 #: Format of the lazy-engine golden records ("golden_format" key); the
 #: legacy files predate the marker and are pinned without one.
 GOLDEN_FORMAT = 2
@@ -78,7 +89,7 @@ class _Recorder(ProtocolNode):
 
 
 def golden_path(transport: str, engine: str) -> Path:
-    suffix = "" if engine == "lazy" else "_legacy"
+    suffix = "" if engine == "lazy" else "_%s" % engine
     return DATA_DIR / ("golden_transport_%s%s.json" % (transport, suffix))
 
 
@@ -155,7 +166,7 @@ def run_transport_workload(transport: str) -> dict:
 def _record_for(transport: str, engine: str) -> dict:
     with use_shared_engine(engine):
         record = run_transport_workload(transport)
-    if engine == "lazy":
+    if engine != "legacy":  # the legacy files predate the format marker
         record["golden_format"] = GOLDEN_FORMAT
     return record
 
@@ -180,6 +191,16 @@ def test_transport_workload_reproduces_the_golden_trace_exactly(transport, engin
     assert _record_for(transport, engine) == golden
 
 
+@pytest.mark.parametrize("transport", VECTOR_GOLDEN_TRANSPORTS)
+def test_vector_transport_workload_reproduces_the_golden_trace_exactly(transport):
+    from repro.simnet.vector_sched import vector_available
+
+    if not vector_available():
+        pytest.skip("vector engine needs numpy; downgrade path covered elsewhere")
+    golden = json.loads(golden_path(transport, "vector").read_text())
+    assert _record_for(transport, "vector") == golden
+
+
 @pytest.mark.parametrize("engine", GOLDEN_ENGINES)
 def test_fifo_protocol_run_reproduces_the_golden_summary_exactly(engine):
     from repro.protocols.runner import execute_spec
@@ -196,12 +217,21 @@ def test_fifo_protocol_run_reproduces_the_golden_summary_exactly(engine):
 def regenerate() -> None:  # pragma: no cover - maintenance entry point
     from repro.protocols.runner import execute_spec
 
+    from repro.simnet.vector_sched import vector_available
+
     for engine in GOLDEN_ENGINES:
         for transport in GOLDEN_TRANSPORTS:
             record = _record_for(transport, engine)
             path = golden_path(transport, engine)
             path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
             print("rebaselined", path)
+    if vector_available():
+        for transport in VECTOR_GOLDEN_TRANSPORTS:
+            record = _record_for(transport, "vector")
+            path = golden_path(transport, "vector")
+            path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+            print("rebaselined", path)
+    for engine in GOLDEN_ENGINES:
         spec = _fifo_run_spec()
         with use_shared_engine(engine):
             summary = execute_spec(spec).summary()
